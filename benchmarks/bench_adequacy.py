@@ -1,0 +1,73 @@
+"""Benchmark: the empirical adequacy sweep (Theorem 6.2).
+
+Runs the full catalog of paper examples through the adequacy harness
+(SEQ verdict vs PS^na refinement under the context library) and prints
+the summary table; the timed benchmark measures a representative slice.
+"""
+
+import pytest
+
+from repro.adequacy import check_adequacy, standard_contexts
+from repro.litmus import ALL_TRANSFORMATION_CASES, case_by_name
+from repro.psna import PsConfig
+
+CFG = PsConfig(allow_promises=False, values=(0, 1, 2))
+
+SLICE = ["slf-basic", "rel-then-na-write", "slf-across-acq-read"]
+
+
+@pytest.mark.parametrize("name", SLICE)
+def test_adequacy_single_case(benchmark, name):
+    case = case_by_name(name)
+    report = benchmark(check_adequacy, case.source, case.target,
+                       None, CFG)
+    assert report.adequate
+
+
+def test_adequacy_full_sweep(benchmark):
+    """The full table: every catalog case against every context."""
+    benchmark.pedantic(_full_sweep, rounds=1, iterations=1)
+
+
+def _full_sweep():
+    print()
+    print(f"{'case':36s} {'seq':9s} {'psna ctx ok':>12s} "
+          f"{'skipped':>8s} {'adequate':>9s}")
+    violations = []
+    for case in ALL_TRANSFORMATION_CASES:
+        report = check_adequacy(case.source, case.target, config=CFG)
+        ok = sum(r.verdict.refines for r in report.contexts)
+        print(f"{case.name:36s} {report.seq.notion:9s} "
+              f"{ok:>3d}/{len(report.contexts):<8d} "
+              f"{len(report.skipped):>8d} "
+              f"{'yes' if report.adequate else 'NO':>9s}")
+        if not report.adequate:
+            # Read-write reorderings need the full promising machine:
+            # the source must promise its later write (see
+            # tests/test_rlx_na_reorder.py).  Retry with promises.
+            full = check_adequacy(
+                case.source, case.target,
+                config=PsConfig(promise_budget=1, values=(0, 1, 2)))
+            print(f"{'':36s} -> retried with promises: "
+                  f"{'adequate' if full.adequate else 'VIOLATION'}")
+            if not full.adequate:
+                violations.append(case.name)
+    assert not violations, f"adequacy violations: {violations}"
+
+
+def test_adequacy_with_promises(benchmark):
+    """Theorem 6.2 against the *full* promising machine (budget 1).
+
+    The advanced-notion cases are the interesting ones here: commitment
+    sets exist precisely to justify source certifications (§6), so the
+    promise machinery is what they interact with.
+    """
+
+    def sweep():
+        config = PsConfig(promise_budget=1, values=(0, 1, 2))
+        for name in ("rel-then-na-write", "rlx-read-then-na-write"):
+            case = case_by_name(name)
+            report = check_adequacy(case.source, case.target, config=config)
+            assert report.adequate, name
+
+    benchmark.pedantic(sweep, rounds=1, iterations=1)

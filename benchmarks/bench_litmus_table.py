@@ -1,0 +1,58 @@
+"""Benchmark: regenerate the paper's transformation verdict table.
+
+The paper's evaluation is the set of validated/invalidated examples in
+§2–§3.  ``test_verdict_table`` re-derives every verdict and prints the
+same rows the paper reports; the timed benchmarks measure the checker on
+the three verdict classes.
+"""
+
+import pytest
+
+from repro.litmus import ALL_TRANSFORMATION_CASES, case_by_name
+from repro.seq import check_transformation
+
+
+def sweep():
+    rows = []
+    for case in ALL_TRANSFORMATION_CASES:
+        verdict = check_transformation(case.source, case.target)
+        measured = verdict.notion if verdict.valid else "invalid"
+        rows.append((case.name, case.paper_ref, case.expected, measured))
+    return rows
+
+
+def test_verdict_table(benchmark):
+    rows = benchmark(sweep)
+    print()
+    print(f"{'case':36s} {'paper ref':26s} {'paper':9s} {'measured':9s}")
+    agree = 0
+    for name, ref, expected, measured in rows:
+        agree += expected == measured
+        print(f"{name:36s} {ref:26s} {expected:9s} {measured:9s}")
+    print(f"--> {agree}/{len(rows)} verdicts match the paper")
+    assert agree == len(rows)
+
+
+@pytest.mark.parametrize("name", ["slf-basic", "slf-across-acq-read",
+                                  "read-across-infinite-loop"])
+def test_simple_valid_case(benchmark, name):
+    case = case_by_name(name)
+    verdict = benchmark(check_transformation, case.source, case.target)
+    assert verdict.notion == "simple"
+
+
+@pytest.mark.parametrize("name", ["rel-then-na-write", "dse-across-rel-write",
+                                  "rlx-read-then-na-write"])
+def test_advanced_valid_case(benchmark, name):
+    case = case_by_name(name)
+    verdict = benchmark(check_transformation, case.source, case.target)
+    assert verdict.notion == "advanced"
+
+
+@pytest.mark.parametrize("name", ["slf-across-rel-acq-pair",
+                                  "example-3-1-chain",
+                                  "late-ub-needs-oracle"])
+def test_invalid_case(benchmark, name):
+    case = case_by_name(name)
+    verdict = benchmark(check_transformation, case.source, case.target)
+    assert not verdict.valid

@@ -1,0 +1,69 @@
+"""Benchmark: SC vs promise-free PS^na vs full PS^na (DRF baselines, §5).
+
+Prints the per-litmus series of explored state counts and observable
+outcomes across the three machines — the "who allows what, at what cost"
+comparison behind the DRF guarantees.
+"""
+
+import pytest
+
+from repro.lang import parse
+from repro.psna import PsConfig, explore, explore_sc, promise_free_config
+
+SUITE = {
+    "MP-ra": ["x_na := 1; y_rel := 1; return 0;",
+              "a := y_acq; if a == 1 { b := x_na; return b; } return 9;"],
+    "SB-rlx": ["x_rlx := 1; a := y_rlx; return a;",
+               "y_rlx := 1; b := x_rlx; return b;"],
+    "LB-rlx": ["a := x_rlx; y_rlx := a; return a;",
+               "b := y_rlx; x_rlx := 1; return b;"],
+    "race-wr": ["x_na := 1; return 0;", "a := x_na; return a;"],
+}
+
+
+def _threads(name):
+    return [parse(source) for source in SUITE[name]]
+
+
+@pytest.mark.parametrize("name", sorted(SUITE))
+def test_sc_machine(benchmark, name):
+    result = benchmark(explore_sc, _threads(name))
+    benchmark.extra_info["states"] = result.states
+    benchmark.extra_info["outcomes"] = len(result.behaviors)
+
+
+@pytest.mark.parametrize("name", sorted(SUITE))
+def test_promise_free_machine(benchmark, name):
+    result = benchmark(explore, _threads(name), promise_free_config())
+    benchmark.extra_info["states"] = result.states
+    benchmark.extra_info["outcomes"] = len(result.behaviors)
+
+
+@pytest.mark.parametrize("name", sorted(SUITE))
+def test_full_machine(benchmark, name):
+    result = benchmark(explore, _threads(name), PsConfig(promise_budget=1))
+    benchmark.extra_info["states"] = result.states
+    benchmark.extra_info["outcomes"] = len(result.behaviors)
+
+
+def test_series_summary(benchmark):
+    """Print the SC ⊆ PF ⊆ FULL outcome series for every litmus shape."""
+    benchmark.pedantic(_series_summary, rounds=1, iterations=1)
+
+
+def _series_summary():
+    print()
+    header = (f"{'litmus':10s} {'SC outcomes':>12s} {'PF outcomes':>12s} "
+              f"{'FULL outcomes':>14s} {'SC st':>7s} {'PF st':>7s} "
+              f"{'FULL st':>8s}")
+    print(header)
+    for name in sorted(SUITE):
+        threads = _threads(name)
+        sc = explore_sc(threads)
+        pf = explore(threads, promise_free_config())
+        full = explore(threads, PsConfig(promise_budget=1))
+        print(f"{name:10s} {len(sc.behaviors):>12d} "
+              f"{len(pf.behaviors):>12d} {len(full.behaviors):>14d} "
+              f"{sc.states:>7d} {pf.states:>7d} {full.states:>8d}")
+        # the machines form a chain: SC ⊆ PF ⊆ FULL on return values
+        assert sc.returns() <= pf.returns() <= full.returns()

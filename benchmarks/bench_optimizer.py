@@ -1,0 +1,82 @@
+"""Benchmark: the four optimizer passes and the validated pipeline (§4).
+
+Workloads are seeded random programs (reproducible), swept over size.
+The validated-pipeline benchmark measures the cost of the per-run SEQ
+certificate relative to plain optimization.
+"""
+
+import pytest
+
+from repro.litmus.generator import GeneratorConfig, ProgramGenerator
+from repro.opt import (
+    Optimizer,
+    dse_pass,
+    licm_pass,
+    llf_pass,
+    optimize,
+    slf_pass,
+)
+
+SMALL = GeneratorConfig(na_locs=("x",), atomic_locs=("y",),
+                        registers=("a", "b", "c"), values=(0, 1))
+
+
+def _programs(count, length, seed_base=100):
+    return [ProgramGenerator(seed=seed_base + i).straightline(length)
+            for i in range(count)]
+
+
+@pytest.mark.parametrize("pass_fn", [slf_pass, llf_pass, dse_pass,
+                                     licm_pass],
+                         ids=["slf", "llf", "dse", "licm"])
+def test_single_pass_throughput(benchmark, pass_fn):
+    programs = _programs(count=20, length=20)
+
+    def run():
+        return [pass_fn(program) for program in programs]
+
+    benchmark(run)
+
+
+@pytest.mark.parametrize("length", [10, 40, 160])
+def test_pipeline_scaling(benchmark, length):
+    programs = _programs(count=5, length=length)
+
+    def run():
+        return [optimize(program) for program in programs]
+
+    benchmark(run)
+
+
+def test_unvalidated_pipeline(benchmark):
+    programs = [ProgramGenerator(SMALL, seed=i).straightline(6)
+                for i in range(5)]
+    benchmark(lambda: [optimize(program) for program in programs])
+
+
+def test_validated_pipeline(benchmark):
+    """Translation validation overhead (the per-run certificate)."""
+    programs = [ProgramGenerator(SMALL, seed=i).straightline(6)
+                for i in range(5)]
+    optimizer = Optimizer(validate=True)
+
+    def run():
+        return [optimizer.optimize(program) for program in programs]
+
+    results = benchmark(run)
+    assert all(result.validated for result in results)
+
+
+def test_loop_nest_licm(benchmark):
+    programs = [ProgramGenerator(seed=i).loop_nest(depth=2, body_length=4)
+                for i in range(10)]
+    benchmark(lambda: [licm_pass(program) for program in programs])
+
+
+def test_extended_pipeline(benchmark):
+    """The paper's passes plus the extension passes (-O2)."""
+    from repro.opt import EXTENDED_PASSES
+
+    programs = _programs(count=5, length=20)
+    optimizer = Optimizer(passes=EXTENDED_PASSES)
+    benchmark(lambda: [optimizer.optimize(p).optimized for p in programs])

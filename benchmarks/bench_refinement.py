@@ -1,0 +1,118 @@
+"""Benchmark: the refinement checkers and the directed-search ablation.
+
+DESIGN.md's ablation (d): the directed product game of
+``repro.seq.refinement`` against a naive checker that enumerates the full
+behavior sets of both programs and matches them pointwise (Def 2.4
+literally).  The naive checker is exponentially slower on programs with
+atomic operations — the printed state counts show why the game search is
+the right decision procedure.
+"""
+
+import pytest
+
+from repro.litmus import case_by_name
+from repro.seq import (
+    SeqConfig,
+    behavior_leq,
+    check_advanced_refinement,
+    check_simple_refinement,
+    enumerate_behaviors,
+    iter_initial_configs,
+    universe_for,
+)
+
+
+def naive_simple_refinement(source, target, universe, max_steps=16):
+    """Def 2.4 by brute force: enumerate and match both behavior sets."""
+    for tgt0 in iter_initial_configs(target, universe):
+        src0 = SeqConfig.initial(source, tgt0.perms, tgt0.memory)
+        tgt_behaviors = enumerate_behaviors(tgt0, universe, max_steps)
+        src_behaviors = enumerate_behaviors(src0, universe, max_steps)
+        for behavior in tgt_behaviors:
+            if not any(behavior_leq(behavior, candidate)
+                       for candidate in src_behaviors):
+                return False
+    return True
+
+
+CASES = ["slf-basic", "slf-across-acq-read", "dse-across-acq-read"]
+
+
+@pytest.mark.parametrize("name", CASES)
+def test_directed_game(benchmark, name):
+    case = case_by_name(name)
+    universe = universe_for(case.source, case.target)
+    verdict = benchmark(check_simple_refinement, case.source, case.target,
+                        universe)
+    assert verdict.refines
+    benchmark.extra_info["game_states"] = verdict.game_states
+
+
+@pytest.mark.parametrize("name", CASES)
+def test_naive_enumeration_ablation(benchmark, name):
+    case = case_by_name(name)
+    universe = universe_for(case.source, case.target)
+    result = benchmark(naive_simple_refinement, case.source, case.target,
+                       universe)
+    assert result
+
+
+def test_agreement_directed_vs_naive(benchmark):
+    """The ablation is only meaningful if both return the same verdicts."""
+    benchmark.pedantic(_check_agreement, rounds=1, iterations=1)
+
+
+def _check_agreement():
+    for name in CASES + ["na-reorder-same-loc", "store-reintro-after-rel"]:
+        case = case_by_name(name)
+        universe = universe_for(case.source, case.target)
+        directed = check_simple_refinement(case.source, case.target,
+                                           universe).refines
+        naive = naive_simple_refinement(case.source, case.target, universe)
+        assert directed == naive, name
+
+
+@pytest.mark.parametrize("name", ["rel-then-na-write",
+                                  "dse-across-rel-write"])
+def test_advanced_checker(benchmark, name):
+    case = case_by_name(name)
+    verdict = benchmark(check_advanced_refinement, case.source, case.target)
+    assert verdict.refines
+    benchmark.extra_info["game_states"] = verdict.game_states
+
+
+@pytest.mark.parametrize("family_values", [(0, 1), (0, 1, 2), (0, 1, 2, 3)])
+def test_oracle_family_size_ablation(benchmark, family_values):
+    """DESIGN.md ablation (c): cost of larger adversarial oracle families."""
+    from repro.seq import SeqUniverse, default_oracle_family
+
+    case = case_by_name("rel-then-na-write")
+    universe = SeqUniverse(("y",), family_values)
+    family = default_oracle_family(family_values)
+    verdict = benchmark(check_advanced_refinement, case.source, case.target,
+                        universe, family=family)
+    assert verdict.refines
+    benchmark.extra_info["family_size"] = len(family)
+
+
+@pytest.mark.parametrize("name", ["slf-basic", "slf-across-acq-read"])
+def test_certificate_production(benchmark, name):
+    """Cost of emitting the simulation-relation witness."""
+    from repro.seq.certificate import produce_certificate
+
+    case = case_by_name(name)
+    certificate = benchmark(produce_certificate, case.source, case.target)
+    assert certificate is not None
+    benchmark.extra_info["relation_size"] = len(certificate)
+
+
+@pytest.mark.parametrize("name", ["slf-basic", "slf-across-acq-read"])
+def test_certificate_verification(benchmark, name):
+    """Re-checking a certificate is search-free and cheap."""
+    from repro.seq.certificate import produce_certificate, verify_certificate
+
+    case = case_by_name(name)
+    certificate = produce_certificate(case.source, case.target)
+    result = benchmark(verify_certificate, certificate, case.source,
+                       case.target)
+    assert result

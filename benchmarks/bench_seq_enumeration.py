@@ -1,0 +1,47 @@
+"""Benchmark: SEQ behavior enumeration (Fig 1 / Def 2.1) scaling.
+
+Measures how the behavior set of the permission machine grows with the
+number of atomic operations (each acquire/release multiplies the
+environment's non-deterministic choices) and with the universe size.
+"""
+
+import pytest
+
+from repro.lang import parse
+from repro.seq import SeqConfig, SeqUniverse, enumerate_behaviors
+
+
+def _program(atomic_ops: int) -> str:
+    body = ["x_na := 1;"]
+    for index in range(atomic_ops):
+        body.append("l := y_acq;" if index % 2 == 0 else "y_rel := 1;")
+    body.append("b := x_na; return b;")
+    return " ".join(body)
+
+
+@pytest.mark.parametrize("atomic_ops", [0, 1, 2, 3])
+def test_enumeration_vs_atomic_ops(benchmark, atomic_ops):
+    universe = SeqUniverse(("x",), (0, 1))
+    cfg = SeqConfig.initial(parse(_program(atomic_ops)), {"x"}, {"x": 0})
+    behaviors = benchmark(enumerate_behaviors, cfg, universe, 24)
+    benchmark.extra_info["behaviors"] = len(behaviors)
+
+
+@pytest.mark.parametrize("locs", [1, 2, 3])
+def test_enumeration_vs_universe_size(benchmark, locs):
+    names = tuple(f"v{i}" for i in range(locs))
+    universe = SeqUniverse(names, (0, 1))
+    memory = {name: 0 for name in names}
+    cfg = SeqConfig.initial(parse("l := y_acq; b := v0_na; return b;"),
+                            set(names), memory)
+    behaviors = benchmark(enumerate_behaviors, cfg, universe, 16)
+    benchmark.extra_info["behaviors"] = len(behaviors)
+
+
+def test_enumeration_partial_behaviors_on_loop(benchmark):
+    universe = SeqUniverse(("x",), (0, 1))
+    cfg = SeqConfig.initial(
+        parse("while 1 { a := x_na; x_na := a; } return 0;"),
+        {"x"}, {"x": 0})
+    behaviors = benchmark(enumerate_behaviors, cfg, universe, 20)
+    assert all(b.result.__class__.__name__ == "Prt" for b in behaviors)

@@ -1,0 +1,60 @@
+#!/usr/bin/env python3
+"""Reproduce Figure 4: the worked SLF example with its abstract tokens.
+
+Prints the program annotated with the SLF analysis state at every point
+(matching the left column of Fig 4), then the optimized program, and
+finally the SEQ certificate for the rewrite.
+
+Run: python examples/fig4_walkthrough.py
+"""
+
+from repro.lang import parse
+from repro.opt import SlfPass, slf_annotations, slf_pass
+from repro.seq import check_transformation
+
+FIG4 = """
+x_na := 42;
+l := y_acq;
+if l == 0 { a := x_na; y_rel := 1; }
+b := x_na;
+return b;
+"""
+
+
+def main() -> None:
+    program = parse(FIG4)
+
+    print("== Figure 4: SLF analysis walkthrough ==\n")
+    for line, state in slf_annotations(program):
+        token = state.get("x")
+        print(f"  {{x ↦ {token!r}}}")
+        if line != "(end)":
+            print(f"      {line}")
+    print()
+
+    # The branch interior (Fig 4 annotates inside the conditional too):
+    print("inside the then-branch:")
+    pass_ = SlfPass()
+    state = pass_.initial()
+    for source in ("x_na := 42;", "l := y_acq;"):
+        state = pass_.analyze(parse(source), state)
+    for source in ("a := x_na;", "y_rel := 1;"):
+        print(f"  {{x ↦ {state.get('x')!r}}}   before  {source}")
+        state = pass_.analyze(parse(source), state)
+    print(f"  {{x ↦ {state.get('x')!r}}}   after the branch\n")
+
+    optimized = slf_pass(program)
+    print("optimized program:")
+    print(f"  {optimized!r}\n")
+    assert "a := 42" in repr(optimized) and "b := 42" in repr(optimized)
+
+    print("SEQ certificate for the whole rewrite:")
+    verdict = check_transformation(program, optimized)
+    print(f"  {verdict!r}")
+    print("\nBoth loads were replaced by register assignments, exactly as"
+          "\nin the paper's Figure 4, and the rewrite is certified by"
+          "\nsequential reasoning alone.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,42 @@
+#!/usr/bin/env python3
+"""Regenerate the paper's transformation verdict table.
+
+Runs every §2/§3 example through the SEQ refinement checkers and prints
+the verdict next to the paper's claim — this is the evaluation "table"
+of the paper (which states, per example, whether the transformation is
+validated and by which refinement notion).
+
+Run: python examples/litmus_gallery.py
+"""
+
+import time
+
+from repro.litmus import ALL_TRANSFORMATION_CASES
+from repro.seq import check_transformation
+
+
+def main() -> None:
+    header = (f"{'case':36s} {'paper ref':26s} {'paper':9s} "
+              f"{'measured':9s} {'agree':5s} {'time':>7s}")
+    print(header)
+    print("-" * len(header))
+    agreements = 0
+    start_all = time.perf_counter()
+    for case in ALL_TRANSFORMATION_CASES:
+        start = time.perf_counter()
+        verdict = check_transformation(case.source, case.target)
+        elapsed = time.perf_counter() - start
+        measured = verdict.notion if verdict.valid else "invalid"
+        agree = measured == case.expected
+        agreements += agree
+        print(f"{case.name:36s} {case.paper_ref:26s} {case.expected:9s} "
+              f"{measured:9s} {'yes' if agree else 'NO':5s} "
+              f"{elapsed * 1000:6.1f}ms")
+    total = time.perf_counter() - start_all
+    print("-" * len(header))
+    print(f"{agreements}/{len(ALL_TRANSFORMATION_CASES)} verdicts match "
+          f"the paper ({total:.1f}s total)")
+
+
+if __name__ == "__main__":
+    main()

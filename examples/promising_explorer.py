@@ -1,0 +1,61 @@
+#!/usr/bin/env python3
+"""Explore PS^na behaviors of classic weak-memory litmus tests.
+
+Prints, for each shape, the observable outcomes under three machines:
+SC (interleaving), promise-free PS^na, and full PS^na — showing where
+weak behaviors (store buffering, load buffering) and the non-atomic race
+semantics (undef reads, UB on write races) come from.
+
+Run: python examples/promising_explorer.py
+"""
+
+from repro.lang import parse
+from repro.psna import PsConfig, explore, explore_sc, promise_free_config
+
+LITMUS = {
+    "SB (relaxed store buffering)": [
+        "x_rlx := 1; a := y_rlx; return a;",
+        "y_rlx := 1; b := x_rlx; return b;"],
+    "LB (relaxed load buffering)": [
+        "a := x_rlx; y_rlx := a; return a;",
+        "b := y_rlx; x_rlx := 1; return b;"],
+    "MP (release/acquire message passing)": [
+        "x_na := 1; y_rel := 1; return 0;",
+        "a := y_acq; if a == 1 { b := x_na; return b; } return 9;"],
+    "MP (relaxed — racy)": [
+        "x_na := 1; y_rlx := 1; return 0;",
+        "a := y_rlx; if a == 1 { b := x_na; return b; } return 9;"],
+    "WW race (UB)": [
+        "x_na := 1; return 0;",
+        "x_na := 2; return 0;"],
+    "Ex 5.1 (promise + racy read)": [
+        "a := x_na; y_rlx := 1; return a;",
+        "b := y_rlx; if b == 1 { x_na := 1; } return b;"],
+}
+
+
+def fmt(result) -> str:
+    outcomes = sorted(result.returns(), key=repr)
+    text = ", ".join(repr(o) for o in outcomes)
+    if result.has_bottom():
+        text += ", ⊥(UB)"
+    if not result.complete:
+        text += "  [bounds hit]"
+    return text
+
+
+def main() -> None:
+    full = PsConfig(promise_budget=1)
+    for name, sources in LITMUS.items():
+        threads = [parse(source) for source in sources]
+        print(f"== {name} ==")
+        print(f"  SC           : {fmt(explore_sc(threads))}")
+        print(f"  PS^na (PF)   : {fmt(explore(threads, promise_free_config()))}")
+        result = explore(threads, full)
+        print(f"  PS^na (full) : {fmt(result)}  "
+              f"[{result.states} states explored]")
+        print()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,5 @@
+from setuptools import setup
+
+# Offline-friendly shim: `python setup.py develop` works without the
+# `wheel` package; `pip install -e .` requires network for build deps.
+setup()

@@ -1,0 +1,28 @@
+"""repro — executable reproduction of *Sequential Reasoning for Optimizing
+Compilers under Weak Memory Concurrency* (Cho, Lee, Lee, Hur, Lahav;
+PLDI 2022).
+
+Subpackages
+-----------
+``repro.lang``
+    The WHILE toy language: values with ``undef``, interaction-tree thread
+    states, AST, parser, interpreter.
+``repro.seq``
+    The sequential permission machine SEQ (§2), behaviors, simple and
+    advanced behavioral refinement (§2, §3), oracles, and a simulation
+    checker (Appendix A).
+``repro.psna``
+    PS^na — the Promising Semantics 2.1 extended with non-atomic accesses
+    (§5) — plus SC and promise-free baseline machines and empirical DRF
+    checks.
+``repro.opt``
+    The four-pass optimizer of §4 / Appendix D (SLF, LLF, DSE, LICM) with
+    translation validation against SEQ.
+``repro.litmus``
+    Every example of the paper as a checkable transformation/program with
+    the paper's expected verdict.
+``repro.adequacy``
+    Empirical adequacy testing of Theorem 6.2.
+"""
+
+__version__ = "1.0.0"

@@ -1,0 +1,235 @@
+"""Empirical adequacy of sequential reasoning (Theorem 6.2).
+
+The paper proves: if ``σ_tgt ⊑w σ_src`` in SEQ and ``σ_src`` is
+deterministic (Def 6.1), then ``σ_tgt ∥ σ₁ ∥ … ∥ σₙ ⊑_PS^na
+σ_src ∥ σ₁ ∥ … ∥ σₙ`` for any context threads.
+
+The Coq proof is replaced here by differential testing: for a
+transformation pair we (1) decide SEQ refinement with the checkers of
+:mod:`repro.seq`, and (2) decide PS^na behavioral refinement (Def 5.3)
+under a library of concurrent contexts.  Adequacy predicts that a SEQ
+"valid" verdict implies PS^na refinement under *every* context; for SEQ
+"invalid" verdicts the harness looks for a context that witnesses the
+difference (not implied by the theorem, but it shows our SEQ
+counterexamples are not artifacts).
+
+Determinism (Def 6.1) holds structurally for programs driven through the
+interaction-tree protocol — each state exposes exactly one pending
+action, and only read/choose results branch — and
+:func:`check_deterministic` verifies the protocol contract on concrete
+programs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+from .lang.ast import (
+    Stmt,
+    atomic_locations,
+    nonatomic_locations,
+    shared_locations,
+)
+from .lang.interp import WhileThread
+from .lang.itree import (
+    ChooseAction,
+    ErrAction,
+    FailAction,
+    ReadAction,
+    RetAction,
+    RmwAction,
+    ThreadState,
+)
+from .lang.parser import parse
+from .lang.values import UNDEF
+from .psna.refinement import PsVerdict, check_psna_refinement
+from .psna.thread import PsConfig
+from .seq.refinement import TransformationVerdict, check_transformation
+
+
+@dataclass(frozen=True)
+class Context:
+    """A concurrent context: the other threads of the composition."""
+
+    name: str
+    threads: tuple[Stmt, ...]
+
+
+def standard_contexts(na_loc: str = "x", atomic_loc: str = "y",
+                      second_atomic: str = "z") -> tuple[Context, ...]:
+    """A context library exercising the failure modes of §2–§3.
+
+    The default location names match the catalog's conventions: ``x`` is
+    the non-atomic data location, ``y``/``z`` the synchronization
+    locations.
+    """
+    x, y, z = na_loc, atomic_loc, second_atomic
+    return (
+        Context("empty", ()),
+        Context("racy-reader",
+                (parse(f"r := {x}_na; return r;"),)),
+        Context("racy-writer",
+                (parse(f"{x}_na := 5; return 0;"),)),
+        Context("atomic-writer",
+                (parse(f"{y}_rlx := 1; return 0;"),)),
+        Context("atomic-reader",
+                (parse(f"r := {y}_rlx; return r;"),)),
+        Context("acquiring-reader",
+                (parse(f"r := {y}_acq; if r == 1 {{ s := {x}_na; "
+                       f"return s; }} return 9;"),)),
+        Context("interfering-pair",
+                (parse(f"r := {y}_acq; if r == 1 {{ {x}_na := 7; }} "
+                       f"{z}_rel := 1; return 0;"),)),
+        Context("relay",
+                (parse(f"r := {y}_rlx; {z}_rlx := r; return 0;"),)),
+    )
+
+
+def contexts_for(source: Stmt, target: Stmt) -> tuple[Context, ...]:
+    """Instantiate the context library on the pair's own locations.
+
+    Picks the first non-atomic and atomic locations the programs use
+    (falling back to fresh names) so the contexts can actually interact
+    with — yet never mix kinds on — the transformed code.
+    """
+    na = sorted(nonatomic_locations(source) | nonatomic_locations(target))
+    atomic = sorted(atomic_locations(source) | atomic_locations(target))
+    taken = set(na) | set(atomic)
+    na_loc = na[0] if na else _fresh("d", taken)
+    atomic_loc = atomic[0] if atomic else _fresh("s", taken | {na_loc})
+    second = (atomic[1] if len(atomic) > 1
+              else _fresh("t", taken | {na_loc, atomic_loc}))
+    return standard_contexts(na_loc, atomic_loc, second)
+
+
+def _fresh(base: str, taken: set[str]) -> str:
+    name = base
+    index = 0
+    while name in taken:
+        index += 1
+        name = f"{base}{index}"
+    return name
+
+
+def respects_location_discipline(threads: Sequence[Stmt]) -> bool:
+    """No location is accessed both atomically and non-atomically.
+
+    SEQ divides locations into atomic and non-atomic kinds (§2, footnote
+    3; Appendix E), so Theorem 6.2 only speaks about compositions obeying
+    this discipline.  The harness skips contexts that would violate it
+    for a given transformation pair.
+    """
+    atomics: set[str] = set()
+    nonatomics: set[str] = set()
+    for thread in threads:
+        atomics |= atomic_locations(thread)
+        nonatomics |= nonatomic_locations(thread)
+    return not (atomics & nonatomics)
+
+
+@dataclass
+class ContextResult:
+    context: Context
+    verdict: PsVerdict
+
+
+@dataclass
+class AdequacyReport:
+    """Outcome of one adequacy check for a transformation pair."""
+
+    seq: TransformationVerdict
+    contexts: list[ContextResult] = field(default_factory=list)
+    skipped: list[Context] = field(default_factory=list)
+
+    @property
+    def adequate(self) -> bool:
+        """Theorem 6.2's prediction: SEQ-valid ⇒ PS^na-refines everywhere."""
+        if not self.seq.valid:
+            return True  # the theorem predicts nothing for invalid cases
+        return all(result.verdict.refines for result in self.contexts)
+
+    @property
+    def witnessed(self) -> Optional[Context]:
+        """For SEQ-invalid cases: a context showing a PS^na difference."""
+        for result in self.contexts:
+            if not result.verdict.refines:
+                return result.context
+        return None
+
+    def __repr__(self) -> str:
+        status = "ADEQUATE" if self.adequate else "ADEQUACY VIOLATION"
+        return (f"{status}: seq={self.seq!r}, "
+                f"{sum(r.verdict.refines for r in self.contexts)}/"
+                f"{len(self.contexts)} contexts refine")
+
+
+def check_adequacy(source: Stmt, target: Stmt,
+                   contexts: Optional[Sequence[Context]] = None,
+                   config: Optional[PsConfig] = None,
+                   seq_verdict: Optional[TransformationVerdict] = None,
+                   ) -> AdequacyReport:
+    """Differentially test Theorem 6.2 on one transformation pair."""
+    if contexts is None:
+        contexts = contexts_for(source, target)
+    if config is None:
+        config = PsConfig(allow_promises=False)
+    if seq_verdict is None:
+        seq_verdict = check_transformation(source, target)
+    report = AdequacyReport(seq_verdict)
+    base_locations = (set(shared_locations(source))
+                      | set(shared_locations(target)))
+    for context in contexts:
+        if not respects_location_discipline(
+                [source, target, *context.threads]):
+            report.skipped.append(context)
+            continue
+        locations = set(base_locations)
+        for thread in context.threads:
+            locations |= shared_locations(thread)
+        verdict = check_psna_refinement(
+            [source, *context.threads], [target, *context.threads],
+            config, locations)
+        report.contexts.append(ContextResult(context, verdict))
+    return report
+
+
+def check_deterministic(program: Stmt | ThreadState,
+                        probe_values=(0, 1, UNDEF),
+                        max_states: int = 50_000) -> bool:
+    """Verify Def 6.1 on a program via the interaction-tree protocol.
+
+    Confirms that every reachable state exposes a single stable pending
+    action and that ``resume`` is a function of the answer — the only
+    branching is over read/choose results, exactly as Def 6.1 permits.
+    """
+    state = (WhileThread.start(program) if isinstance(program, Stmt)
+             else program)
+    seen: set[ThreadState] = set()
+    stack = [state]
+    while stack and len(seen) < max_states:
+        current = stack.pop()
+        if current in seen:
+            continue
+        seen.add(current)
+        action = current.peek()
+        if current.peek() != action:
+            return False  # unstable pending action
+        if isinstance(action, (RetAction, ErrAction)):
+            continue
+        if isinstance(action, (ReadAction, ChooseAction, RmwAction)):
+            answers = probe_values
+            if isinstance(action, ChooseAction):
+                # choose resolves undef to a *defined* value (Remark 1)
+                answers = tuple(v for v in probe_values if v is not UNDEF)
+            for value in answers:
+                first = current.resume(value)
+                if first != current.resume(value):
+                    return False  # resume must be deterministic
+                stack.append(first)
+        else:
+            first = current.resume(None)
+            if first != current.resume(None):
+                return False
+            stack.append(first)
+    return True

@@ -1,0 +1,175 @@
+"""Command-line interface.
+
+Subcommands::
+
+    repro validate SOURCE TARGET   # decide `source {~> target` in SEQ
+    repro optimize PROGRAM         # run the optimizer, print the result
+    repro explore PROGRAM...       # PS^na / SC behaviors of a composition
+    repro litmus                   # regenerate the paper's verdict table
+    repro adequacy SOURCE TARGET   # Theorem 6.2 differential check
+
+Each PROGRAM/SOURCE/TARGET argument is a path to a WHILE file, or inline
+WHILE source (detected when the argument is not an existing file).
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+from typing import Optional, Sequence
+
+from .adequacy import check_adequacy
+from .lang.ast import Stmt
+from .lang.parser import parse
+from .lang.pretty import to_source
+from .litmus import ALL_TRANSFORMATION_CASES, EXTENDED_CASES
+from .opt import DEFAULT_PASSES, EXTENDED_PASSES, Optimizer
+from .psna import PsConfig, explore, explore_sc, promise_free_config
+from .seq import check_transformation
+
+
+def _load(argument: str) -> Stmt:
+    if os.path.exists(argument):
+        with open(argument) as handle:
+            return parse(handle.read())
+    return parse(argument)
+
+
+def _cmd_validate(args: argparse.Namespace) -> int:
+    source = _load(args.source)
+    target = _load(args.target)
+    verdict = check_transformation(source, target)
+    if verdict.valid:
+        print(f"VALID — certified by {verdict.notion} behavioral refinement")
+        return 0
+    print("INVALID — no refinement notion validates this transformation")
+    cex = (verdict.advanced.counterexample if verdict.advanced is not None
+           else verdict.simple.counterexample)
+    if cex is not None:
+        print(f"  initial state : P={set(cex.initial.perms) or '{}'}, "
+              f"M={cex.initial.memory}")
+        print(f"  target trace  : {list(cex.trace)}")
+        print(f"  obligation    : {cex.reason}")
+        if cex.defaults is not None:
+            print(f"  refuting oracle: {cex.defaults!r}")
+    return 1
+
+
+def _cmd_optimize(args: argparse.Namespace) -> int:
+    program = _load(args.program)
+    passes = EXTENDED_PASSES if args.extended else DEFAULT_PASSES
+    optimizer = Optimizer(passes=passes, validate=args.validate)
+    result = optimizer.optimize(program)
+    if args.validate:
+        for record in result.records:
+            if record.changed:
+                notion = record.verdict.notion if record.verdict else "?"
+                print(f"# {record.name}: certified ({notion})",
+                      file=sys.stderr)
+    print(to_source(result.optimized))
+    return 0
+
+
+def _cmd_explore(args: argparse.Namespace) -> int:
+    threads = [_load(argument) for argument in args.programs]
+    if args.machine == "sc":
+        result = explore_sc(threads)
+        outcomes = sorted(result.behaviors, key=repr)
+        states = result.states
+    else:
+        if args.machine == "pf":
+            config = promise_free_config()
+        else:
+            config = PsConfig(promise_budget=args.promises)
+        result = explore(threads, config)
+        outcomes = sorted(result.behaviors, key=repr)
+        states = result.states
+    print(f"machine: {args.machine}, states explored: {states}, "
+          f"complete: {result.complete}")
+    for outcome in outcomes:
+        print(f"  {outcome!r}")
+    return 0
+
+
+def _cmd_litmus(args: argparse.Namespace) -> int:
+    cases = EXTENDED_CASES if args.extended else ALL_TRANSFORMATION_CASES
+    mismatches = 0
+    for case in cases:
+        verdict = check_transformation(case.source, case.target)
+        measured = verdict.notion if verdict.valid else "invalid"
+        agree = measured == case.expected
+        mismatches += not agree
+        print(f"{case.name:36s} {case.expected:9s} {measured:9s} "
+              f"{'ok' if agree else 'MISMATCH'}")
+    print(f"{len(cases) - mismatches}/{len(cases)} verdicts match")
+    return 1 if mismatches else 0
+
+
+def _cmd_adequacy(args: argparse.Namespace) -> int:
+    source = _load(args.source)
+    target = _load(args.target)
+    config = PsConfig(allow_promises=False)
+    report = check_adequacy(source, target, config=config)
+    print(f"SEQ verdict: {report.seq!r}")
+    for result in report.contexts:
+        status = "refines" if result.verdict.refines else "VIOLATES"
+        print(f"  context {result.context.name:18s} {status}")
+    for context in report.skipped:
+        print(f"  context {context.name:18s} skipped (mixes location kinds)")
+    print("adequate" if report.adequate else "ADEQUACY VIOLATION")
+    return 0 if report.adequate else 1
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Sequential reasoning for optimizing compilers under "
+                    "weak memory concurrency (PLDI 2022 reproduction)")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    validate = sub.add_parser(
+        "validate", help="check `source {~> target` in SEQ")
+    validate.add_argument("source")
+    validate.add_argument("target")
+    validate.set_defaults(fn=_cmd_validate)
+
+    optimize = sub.add_parser("optimize", help="run the §4 optimizer")
+    optimize.add_argument("program")
+    optimize.add_argument("--validate", action="store_true",
+                          help="translation-validate every pass")
+    optimize.add_argument("-O2", "--extended", action="store_true",
+                          help="include the extension passes")
+    optimize.set_defaults(fn=_cmd_optimize)
+
+    explore_cmd = sub.add_parser(
+        "explore", help="enumerate behaviors of a parallel composition")
+    explore_cmd.add_argument("programs", nargs="+")
+    explore_cmd.add_argument("--machine", choices=("sc", "pf", "full"),
+                             default="full")
+    explore_cmd.add_argument("--promises", type=int, default=1,
+                             help="promise budget per thread (full machine)")
+    explore_cmd.set_defaults(fn=_cmd_explore)
+
+    litmus = sub.add_parser(
+        "litmus", help="regenerate the paper's verdict table")
+    litmus.add_argument("--extended", action="store_true",
+                        help="include the fence extension cases")
+    litmus.set_defaults(fn=_cmd_litmus)
+
+    adequacy = sub.add_parser(
+        "adequacy", help="differentially test Theorem 6.2 on a pair")
+    adequacy.add_argument("source")
+    adequacy.add_argument("target")
+    adequacy.set_defaults(fn=_cmd_adequacy)
+
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

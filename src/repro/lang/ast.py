@@ -1,0 +1,420 @@
+"""Abstract syntax of WHILE, the paper's toy concurrent language (§4).
+
+Expressions range over thread-local registers only; all shared-memory
+interaction happens through dedicated load/store/RMW statements carrying a
+C11-style access mode.  This matches the paper's presentation, where the
+program-as-LTS communicates with memory solely through labeled read/write
+transitions.
+
+Undefined behavior follows the paper's LLVM-inspired rules (Remark 1):
+
+* branching on ``undef`` invokes UB;
+* division by zero (or by ``undef``) invokes UB;
+* ``freeze`` non-deterministically resolves ``undef`` to a defined value.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, Optional
+
+from .events import AccessMode, FenceKind
+from .itree import RmwOp
+from .values import UNDEF, Value, is_undef
+
+
+class UBError(Exception):
+    """Raised internally when expression evaluation invokes UB."""
+
+
+# ---------------------------------------------------------------------------
+# Expressions
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Expr:
+    """Base class of pure (register-only) expressions."""
+
+    def eval(self, regs: "RegFile") -> Value:
+        raise NotImplementedError
+
+    def registers(self) -> frozenset[str]:
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class Const(Expr):
+    value: Value
+
+    def eval(self, regs: "RegFile") -> Value:
+        return self.value
+
+    def registers(self) -> frozenset[str]:
+        return frozenset()
+
+    def __repr__(self) -> str:
+        return repr(self.value)
+
+
+@dataclass(frozen=True)
+class Reg(Expr):
+    name: str
+
+    def eval(self, regs: "RegFile") -> Value:
+        return regs.get(self.name)
+
+    def registers(self) -> frozenset[str]:
+        return frozenset({self.name})
+
+    def __repr__(self) -> str:
+        return self.name
+
+
+_ARITH = {
+    "+": lambda a, b: a + b,
+    "-": lambda a, b: a - b,
+    "*": lambda a, b: a * b,
+    "==": lambda a, b: int(a == b),
+    "!=": lambda a, b: int(a != b),
+    "<": lambda a, b: int(a < b),
+    "<=": lambda a, b: int(a <= b),
+    ">": lambda a, b: int(a > b),
+    ">=": lambda a, b: int(a >= b),
+    "&&": lambda a, b: int(bool(a) and bool(b)),
+    "||": lambda a, b: int(bool(a) or bool(b)),
+}
+
+
+@dataclass(frozen=True)
+class BinOp(Expr):
+    op: str
+    left: Expr
+    right: Expr
+
+    def eval(self, regs: "RegFile") -> Value:
+        lhs = self.left.eval(regs)
+        rhs = self.right.eval(regs)
+        if self.op in ("/", "%"):
+            if is_undef(rhs):
+                raise UBError("division by undef")
+            assert isinstance(rhs, int)
+            if rhs == 0:
+                raise UBError("division by zero")
+            if is_undef(lhs):
+                return UNDEF
+            assert isinstance(lhs, int)
+            quotient, remainder = divmod(lhs, rhs)
+            return quotient if self.op == "/" else remainder
+        if is_undef(lhs) or is_undef(rhs):
+            return UNDEF
+        fn = _ARITH.get(self.op)
+        if fn is None:
+            raise ValueError(f"unknown operator {self.op!r}")
+        return fn(lhs, rhs)
+
+    def registers(self) -> frozenset[str]:
+        return self.left.registers() | self.right.registers()
+
+    def __repr__(self) -> str:
+        return f"({self.left!r} {self.op} {self.right!r})"
+
+
+@dataclass(frozen=True)
+class UnOp(Expr):
+    op: str
+    operand: Expr
+
+    def eval(self, regs: "RegFile") -> Value:
+        value = self.operand.eval(regs)
+        if is_undef(value):
+            return UNDEF
+        assert isinstance(value, int)
+        if self.op == "-":
+            return -value
+        if self.op == "!":
+            return int(not value)
+        raise ValueError(f"unknown unary operator {self.op!r}")
+
+    def registers(self) -> frozenset[str]:
+        return self.operand.registers()
+
+    def __repr__(self) -> str:
+        return f"{self.op}{self.operand!r}"
+
+
+# ---------------------------------------------------------------------------
+# Register files
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class RegFile:
+    """An immutable register file; unset registers read as 0."""
+
+    items: tuple[tuple[str, Value], ...] = ()
+
+    @staticmethod
+    def of(mapping: Optional[dict[str, Value]] = None) -> "RegFile":
+        if not mapping:
+            return RegFile()
+        return RegFile(tuple(sorted(mapping.items(), key=lambda kv: kv[0])))
+
+    def get(self, name: str) -> Value:
+        for key, value in self.items:
+            if key == name:
+                return value
+        return 0
+
+    def set(self, name: str, value: Value) -> "RegFile":
+        updated = dict(self.items)
+        updated[name] = value
+        return RegFile(tuple(sorted(updated.items(), key=lambda kv: kv[0])))
+
+    def as_dict(self) -> dict[str, Value]:
+        return dict(self.items)
+
+
+# ---------------------------------------------------------------------------
+# Statements
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Stmt:
+    """Base class of WHILE statements."""
+
+    def substatements(self) -> Iterator["Stmt"]:
+        """Yield immediate substatements (for generic traversals)."""
+        return iter(())
+
+
+@dataclass(frozen=True)
+class Skip(Stmt):
+    def __repr__(self) -> str:
+        return "skip"
+
+
+@dataclass(frozen=True)
+class Assign(Stmt):
+    """``reg := expr`` — thread-local register assignment (silent)."""
+
+    reg: str
+    expr: Expr
+
+    def __repr__(self) -> str:
+        return f"{self.reg} := {self.expr!r}"
+
+
+@dataclass(frozen=True)
+class Load(Stmt):
+    """``reg := x^mode`` — a memory read."""
+
+    reg: str
+    loc: str
+    mode: AccessMode
+
+    def __repr__(self) -> str:
+        return f"{self.reg} := {self.loc}_{self.mode}"
+
+
+@dataclass(frozen=True)
+class Store(Stmt):
+    """``x^mode := expr`` — a memory write."""
+
+    loc: str
+    expr: Expr
+    mode: AccessMode
+
+    def __repr__(self) -> str:
+        return f"{self.loc}_{self.mode} := {self.expr!r}"
+
+
+@dataclass(frozen=True)
+class Freeze(Stmt):
+    """``reg := freeze(expr)`` — resolve undef to an arbitrary value."""
+
+    reg: str
+    expr: Expr
+
+    def __repr__(self) -> str:
+        return f"{self.reg} := freeze({self.expr!r})"
+
+
+@dataclass(frozen=True)
+class Fence(Stmt):
+    """A memory fence (extension, mirroring the Coq development)."""
+
+    kind: FenceKind
+
+    def __repr__(self) -> str:
+        return f"fence_{self.kind}"
+
+
+@dataclass(frozen=True)
+class Rmw(Stmt):
+    """``reg := RMW(x)`` — atomic read-modify-write (extension)."""
+
+    reg: str
+    loc: str
+    op: RmwOp
+    read_mode: AccessMode
+    write_mode: AccessMode
+
+    def __repr__(self) -> str:
+        return (
+            f"{self.reg} := rmw_{self.read_mode}_{self.write_mode}"
+            f"({self.loc}, {self.op})"
+        )
+
+
+@dataclass(frozen=True)
+class Seq(Stmt):
+    stmts: tuple[Stmt, ...]
+
+    @staticmethod
+    def of(*stmts: Stmt) -> "Seq":
+        flat: list[Stmt] = []
+        for stmt in stmts:
+            if isinstance(stmt, Seq):
+                flat.extend(stmt.stmts)
+            else:
+                flat.append(stmt)
+        return Seq(tuple(flat))
+
+    def substatements(self) -> Iterator[Stmt]:
+        return iter(self.stmts)
+
+    def __repr__(self) -> str:
+        return "; ".join(repr(stmt) for stmt in self.stmts)
+
+
+@dataclass(frozen=True)
+class If(Stmt):
+    cond: Expr
+    then_branch: Stmt
+    else_branch: Stmt = field(default_factory=Skip)
+
+    def substatements(self) -> Iterator[Stmt]:
+        return iter((self.then_branch, self.else_branch))
+
+    def __repr__(self) -> str:
+        return (
+            f"if {self.cond!r} then {{ {self.then_branch!r} }}"
+            f" else {{ {self.else_branch!r} }}"
+        )
+
+
+@dataclass(frozen=True)
+class While(Stmt):
+    cond: Expr
+    body: Stmt
+
+    def substatements(self) -> Iterator[Stmt]:
+        return iter((self.body,))
+
+    def __repr__(self) -> str:
+        return f"while {self.cond!r} do {{ {self.body!r} }}"
+
+
+@dataclass(frozen=True)
+class Return(Stmt):
+    expr: Expr
+
+    def __repr__(self) -> str:
+        return f"return {self.expr!r}"
+
+
+@dataclass(frozen=True)
+class Abort(Stmt):
+    """Explicit undefined behavior (the ``fail`` transition)."""
+
+    def __repr__(self) -> str:
+        return "abort"
+
+
+@dataclass(frozen=True)
+class Print(Stmt):
+    """An observable system call (extension)."""
+
+    expr: Expr
+
+    def __repr__(self) -> str:
+        return f"print({self.expr!r})"
+
+
+# ---------------------------------------------------------------------------
+# Whole-program traversals
+# ---------------------------------------------------------------------------
+
+
+def walk(stmt: Stmt) -> Iterator[Stmt]:
+    """Yield ``stmt`` and all nested statements, pre-order."""
+    yield stmt
+    for sub in stmt.substatements():
+        yield from walk(sub)
+
+
+def shared_locations(stmt: Stmt) -> frozenset[str]:
+    """All shared locations syntactically accessed by ``stmt``."""
+    locs: set[str] = set()
+    for node in walk(stmt):
+        if isinstance(node, (Load, Store, Rmw)):
+            locs.add(node.loc)
+    return frozenset(locs)
+
+
+def nonatomic_locations(stmt: Stmt) -> frozenset[str]:
+    """Locations accessed non-atomically somewhere in ``stmt``."""
+    locs: set[str] = set()
+    for node in walk(stmt):
+        if isinstance(node, (Load, Store)) and node.mode is AccessMode.NA:
+            locs.add(node.loc)
+    return frozenset(locs)
+
+
+def atomic_locations(stmt: Stmt) -> frozenset[str]:
+    """Locations accessed atomically somewhere in ``stmt``."""
+    locs: set[str] = set()
+    for node in walk(stmt):
+        if isinstance(node, (Load, Store)) and node.mode is not AccessMode.NA:
+            locs.add(node.loc)
+        if isinstance(node, Rmw):
+            locs.add(node.loc)
+    return frozenset(locs)
+
+
+def constant_values(stmt: Stmt) -> frozenset[int]:
+    """All integer constants occurring in ``stmt`` (for value universes)."""
+
+    def expr_consts(expr: Expr) -> Iterator[int]:
+        if isinstance(expr, Const) and isinstance(expr.value, int):
+            yield expr.value
+        elif isinstance(expr, BinOp):
+            yield from expr_consts(expr.left)
+            yield from expr_consts(expr.right)
+        elif isinstance(expr, UnOp):
+            yield from expr_consts(expr.operand)
+
+    values: set[int] = set()
+    for node in walk(stmt):
+        for attr in ("expr", "cond"):
+            expr = getattr(node, attr, None)
+            if isinstance(expr, Expr):
+                values.update(expr_consts(expr))
+    return frozenset(values)
+
+
+def check_no_mixed_accesses(stmt: Stmt) -> None:
+    """Enforce SEQ's no-mixing rule (§2, footnote 3; Appendix E).
+
+    SEQ divides locations into atomic and non-atomic ones; the same
+    location must not be accessed with both kinds.  PS^na itself allows
+    mixing — this check applies to programs meant to run under SEQ.
+    """
+    mixed = nonatomic_locations(stmt) & atomic_locations(stmt)
+    if mixed:
+        raise ValueError(
+            f"locations {sorted(mixed)} are accessed both atomically and "
+            "non-atomically; SEQ forbids mixing (paper §2, Appendix E)"
+        )

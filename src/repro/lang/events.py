@@ -1,0 +1,169 @@
+"""Program-level transition labels (§2, "Program representation").
+
+A program is a labeled transition system whose transitions carry one of:
+
+* a silent step (no label);
+* ``choose(v)`` — resolution of a non-deterministic choice (freeze);
+* ``R^o(x, v)`` with ``o ∈ {na, rlx, acq}`` — a read;
+* ``W^o(x, v)`` with ``o ∈ {na, rlx, rel}`` — a write;
+* ``fail`` — undefined behavior raised by the program itself (e.g. 1/0).
+
+The Coq development additionally covers fences, RMWs and system calls; we
+include them here as well (they are exercised by the PS^na machine and by
+extension tests), mirroring the footprint of the artifact.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from .values import Value
+
+
+class AccessMode(enum.Enum):
+    """C11-style access modes supported by the paper's fragment."""
+
+    NA = "na"
+    RLX = "rlx"
+    ACQ = "acq"
+    REL = "rel"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+    @property
+    def is_atomic(self) -> bool:
+        return self is not AccessMode.NA
+
+
+NA = AccessMode.NA
+RLX = AccessMode.RLX
+ACQ = AccessMode.ACQ
+REL = AccessMode.REL
+
+READ_MODES = (NA, RLX, ACQ)
+WRITE_MODES = (NA, RLX, REL)
+
+
+class FenceKind(enum.Enum):
+    """Fence kinds of the Coq development (extension beyond the paper text)."""
+
+    ACQ = "acq"
+    REL = "rel"
+    SC = "sc"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+@dataclass(frozen=True)
+class SilentEvent:
+    """A silent (τ) program step: conditionals, register assignments."""
+
+    def __repr__(self) -> str:
+        return "τ"
+
+
+@dataclass(frozen=True)
+class ChooseEvent:
+    """Resolution of internal non-determinism (``freeze``), Remark 1/3."""
+
+    value: Value
+
+    def __repr__(self) -> str:
+        return f"choose({self.value})"
+
+
+@dataclass(frozen=True)
+class ReadEvent:
+    """``R^o(x, v)`` — the program reads ``v`` from location ``x``."""
+
+    loc: str
+    value: Value
+    mode: AccessMode
+
+    def __post_init__(self) -> None:
+        if self.mode not in READ_MODES:
+            raise ValueError(f"invalid read mode {self.mode}")
+
+    def __repr__(self) -> str:
+        return f"R{self.mode}({self.loc},{self.value})"
+
+
+@dataclass(frozen=True)
+class WriteEvent:
+    """``W^o(x, v)`` — the program writes ``v`` to location ``x``."""
+
+    loc: str
+    value: Value
+    mode: AccessMode
+
+    def __post_init__(self) -> None:
+        if self.mode not in WRITE_MODES:
+            raise ValueError(f"invalid write mode {self.mode}")
+
+    def __repr__(self) -> str:
+        return f"W{self.mode}({self.loc},{self.value})"
+
+
+@dataclass(frozen=True)
+class FenceEvent:
+    """A memory fence (extension; present in the Coq development)."""
+
+    kind: FenceKind
+
+    def __repr__(self) -> str:
+        return f"F{self.kind}"
+
+
+@dataclass(frozen=True)
+class RmwEvent:
+    """An atomic read-modify-write (extension; in the Coq development).
+
+    Reads ``read_value`` and atomically writes ``write_value`` to ``loc``.
+    ``read_mode ∈ {rlx, acq}``; ``write_mode ∈ {rlx, rel}``.
+    """
+
+    loc: str
+    read_value: Value
+    write_value: Value
+    read_mode: AccessMode
+    write_mode: AccessMode
+
+    def __repr__(self) -> str:
+        return (
+            f"U{self.read_mode}{self.write_mode}"
+            f"({self.loc},{self.read_value}->{self.write_value})"
+        )
+
+
+@dataclass(frozen=True)
+class FailEvent:
+    """The program invokes undefined behavior itself (e.g. division by 0)."""
+
+    def __repr__(self) -> str:
+        return "fail"
+
+
+@dataclass(frozen=True)
+class SyscallEvent:
+    """An externally observable system call (extension), e.g. ``print``."""
+
+    name: str
+    value: Value
+
+    def __repr__(self) -> str:
+        return f"{self.name}({self.value})"
+
+
+ProgramEvent = (
+    SilentEvent
+    | ChooseEvent
+    | ReadEvent
+    | WriteEvent
+    | FenceEvent
+    | RmwEvent
+    | FailEvent
+    | SyscallEvent
+)

@@ -1,0 +1,183 @@
+"""Small-step interpretation of WHILE programs into thread states.
+
+This realizes the "reading as LTSs" of §2: a :class:`WhileThread` pairs a
+continuation (a stack of statements still to run) with a register file, and
+exposes exactly one pending :class:`~repro.lang.itree.Action` at a time.
+
+Termination: running off the end of the program is ``return(0)``; an
+explicit ``return e`` terminates with the value of ``e``.  Expression-level
+UB (division by zero, branching on undef) surfaces as a ``fail`` transition
+into the ⊥ state, matching the paper's treatment.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from .ast import (
+    Abort,
+    Assign,
+    Expr,
+    Fence,
+    Freeze,
+    If,
+    Load,
+    Print,
+    Return,
+    RegFile,
+    Rmw,
+    Seq,
+    Skip,
+    Stmt,
+    Store,
+    UBError,
+    While,
+)
+from .itree import (
+    Action,
+    ChooseAction,
+    Crashed,
+    Done,
+    FailAction,
+    FenceAction,
+    ReadAction,
+    RetAction,
+    RmwAction,
+    SyscallAction,
+    TauAction,
+    ThreadState,
+    WriteAction,
+)
+from .values import Value, is_undef
+
+
+@dataclass(frozen=True)
+class WhileThread(ThreadState):
+    """A WHILE program state: continuation stack plus register file."""
+
+    cont: tuple[Stmt, ...]
+    regs: RegFile = RegFile()
+
+    @staticmethod
+    def start(program: Stmt,
+              regs: Optional[dict[str, Value]] = None) -> "WhileThread":
+        """The initial thread state for ``program``."""
+        return WhileThread(_push(program, ()), RegFile.of(regs))
+
+    # -- protocol ----------------------------------------------------------
+
+    def peek(self) -> Action:
+        if not self.cont:
+            return RetAction(0)
+        head = self.cont[0]
+        if isinstance(head, Skip):
+            return TauAction()
+        if isinstance(head, Assign):
+            return _action_for_eval(head.expr, self.regs, TauAction())
+        if isinstance(head, Load):
+            return ReadAction(head.loc, head.mode)
+        if isinstance(head, Store):
+            try:
+                value = head.expr.eval(self.regs)
+            except UBError:
+                return FailAction()
+            return WriteAction(head.loc, head.mode, value)
+        if isinstance(head, Freeze):
+            try:
+                value = head.expr.eval(self.regs)
+            except UBError:
+                return FailAction()
+            if is_undef(value):
+                return ChooseAction()
+            return TauAction()
+        if isinstance(head, Fence):
+            return FenceAction(head.kind)
+        if isinstance(head, Rmw):
+            return RmwAction(head.loc, head.read_mode, head.write_mode,
+                             head.op)
+        if isinstance(head, (If, While)):
+            try:
+                cond = head.cond.eval(self.regs)
+            except UBError:
+                return FailAction()
+            if is_undef(cond):
+                # Branching on undef invokes UB (Remark 1).
+                return FailAction()
+            return TauAction()
+        if isinstance(head, Return):
+            return _action_for_eval(head.expr, self.regs, TauAction())
+        if isinstance(head, Abort):
+            return FailAction()
+        if isinstance(head, Print):
+            try:
+                value = head.expr.eval(self.regs)
+            except UBError:
+                return FailAction()
+            return SyscallAction("print", value)
+        raise TypeError(f"unknown statement {head!r}")
+
+    def resume(self, answer: Optional[Value]) -> ThreadState:
+        action = self.peek()
+        if isinstance(action, FailAction):
+            return Crashed()
+        if not self.cont:
+            raise ValueError("cannot resume a terminated thread")
+        head, rest = self.cont[0], self.cont[1:]
+        if isinstance(head, Skip):
+            return WhileThread(rest, self.regs)
+        if isinstance(head, Assign):
+            value = head.expr.eval(self.regs)
+            return WhileThread(rest, self.regs.set(head.reg, value))
+        if isinstance(head, Load):
+            assert answer is not None
+            return WhileThread(rest, self.regs.set(head.reg, answer))
+        if isinstance(head, Store):
+            return WhileThread(rest, self.regs)
+        if isinstance(head, Freeze):
+            value = head.expr.eval(self.regs)
+            if is_undef(value):
+                assert answer is not None and not is_undef(answer)
+                return WhileThread(rest, self.regs.set(head.reg, answer))
+            return WhileThread(rest, self.regs.set(head.reg, value))
+        if isinstance(head, Fence):
+            return WhileThread(rest, self.regs)
+        if isinstance(head, Rmw):
+            assert answer is not None
+            return WhileThread(rest, self.regs.set(head.reg, answer))
+        if isinstance(head, If):
+            cond = head.cond.eval(self.regs)
+            assert isinstance(cond, int)
+            branch = head.then_branch if cond else head.else_branch
+            return WhileThread(_push(branch, rest), self.regs)
+        if isinstance(head, While):
+            cond = head.cond.eval(self.regs)
+            assert isinstance(cond, int)
+            if cond:
+                return WhileThread(_push(head.body, (head,) + rest),
+                                   self.regs)
+            return WhileThread(rest, self.regs)
+        if isinstance(head, Return):
+            return Done(head.expr.eval(self.regs))
+        if isinstance(head, Print):
+            return WhileThread(rest, self.regs)
+        raise TypeError(f"unknown statement {head!r}")
+
+
+def _push(stmt: Stmt, rest: tuple[Stmt, ...]) -> tuple[Stmt, ...]:
+    """Flatten ``stmt`` onto the continuation stack."""
+    if isinstance(stmt, Seq):
+        result = rest
+        for sub in reversed(stmt.stmts):
+            result = _push(sub, result)
+        return result
+    return (stmt,) + rest
+
+
+def _action_for_eval(expr: Expr, regs: RegFile, ok: Action) -> Action:
+    """Return ``ok`` if ``expr`` evaluates, else a ``fail`` action."""
+    try:
+        expr.eval(regs)
+    except UBError:
+        return FailAction()
+    return ok

@@ -1,0 +1,257 @@
+"""Interaction-tree-style thread states.
+
+The Coq development represents programs as interaction trees [Xia et al.
+2019]: a program is a tree whose nodes *request* an interaction with the
+environment (read a value, resolve a choice) and whose children are indexed
+by the environment's *answer*.  We mirror that structure with a small
+protocol:
+
+* ``peek()`` returns the pending :class:`Action` — what the program wants
+  to do next;
+* ``resume(answer)`` consumes the environment's answer (the value read, the
+  chosen value, or ``None`` for answer-less actions) and returns the next
+  thread state.
+
+Because each state has exactly one pending action, programs built this way
+are *deterministic* in the sense of Def 6.1: the only branching is on read
+values and choose values, which is exactly what the definition permits.
+
+Memory machines (SEQ, PS^na, SC) drive thread states through this protocol
+and record the corresponding :mod:`repro.lang.events` labels.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+from typing import Optional
+
+from .events import AccessMode, FenceKind, READ_MODES, WRITE_MODES
+from .values import Value
+
+
+@dataclass(frozen=True)
+class RetAction:
+    """The thread terminated normally: ``σ = return(v)``."""
+
+    value: Value
+
+
+@dataclass(frozen=True)
+class ErrAction:
+    """The thread reached the error state ⊥ (program-level UB)."""
+
+
+@dataclass(frozen=True)
+class FailAction:
+    """The thread is about to invoke UB: ``σ --fail--> ⊥``.
+
+    Kept distinct from :class:`ErrAction` because PS^na's ``fail`` rule has
+    a precondition on the thread's outstanding promises (Fig 5); the machine
+    must observe the transition, not just the resulting ⊥ state.  Resume
+    with ``None`` to obtain the ⊥ state.
+    """
+
+
+@dataclass(frozen=True)
+class TauAction:
+    """A silent step; resume with ``None``."""
+
+
+@dataclass(frozen=True)
+class ChooseAction:
+    """Resolve internal non-determinism (freeze); resume with a value."""
+
+
+@dataclass(frozen=True)
+class ReadAction:
+    """Read from ``loc`` with ``mode``; resume with the value read."""
+
+    loc: str
+    mode: AccessMode
+
+    def __post_init__(self) -> None:
+        if self.mode not in READ_MODES:
+            raise ValueError(f"invalid read mode {self.mode}")
+
+
+@dataclass(frozen=True)
+class WriteAction:
+    """Write ``value`` to ``loc`` with ``mode``; resume with ``None``."""
+
+    loc: str
+    mode: AccessMode
+    value: Value
+
+    def __post_init__(self) -> None:
+        if self.mode not in WRITE_MODES:
+            raise ValueError(f"invalid write mode {self.mode}")
+
+
+@dataclass(frozen=True)
+class FenceAction:
+    """A fence (extension); resume with ``None``."""
+
+    kind: FenceKind
+
+
+@dataclass(frozen=True)
+class FetchAddOp:
+    """RMW operation: atomically add ``addend``."""
+
+    addend: int
+
+    def apply(self, read: Value) -> Value:
+        if isinstance(read, int):
+            return read + self.addend
+        return read  # undef propagates
+
+
+@dataclass(frozen=True)
+class ExchangeOp:
+    """RMW operation: atomically swap in ``value``."""
+
+    value: int
+
+    def apply(self, read: Value) -> Value:
+        return self.value
+
+
+@dataclass(frozen=True)
+class CasOp:
+    """RMW operation: compare-and-swap ``expected -> desired``.
+
+    Only successful CASes are modeled as RMWs; a failing CAS is a plain
+    read, which front ends should emit separately.
+    """
+
+    expected: int
+    desired: int
+
+    def apply(self, read: Value) -> Value:
+        return self.desired
+
+
+RmwOp = FetchAddOp | ExchangeOp | CasOp
+
+
+@dataclass(frozen=True)
+class RmwAction:
+    """An atomic read-modify-write (extension); resume with the read value."""
+
+    loc: str
+    read_mode: AccessMode
+    write_mode: AccessMode
+    op: RmwOp
+
+
+@dataclass(frozen=True)
+class SyscallAction:
+    """An externally observable call (extension); resume with ``None``."""
+
+    name: str
+    value: Value
+
+
+Action = (
+    RetAction
+    | ErrAction
+    | FailAction
+    | TauAction
+    | ChooseAction
+    | ReadAction
+    | WriteAction
+    | FenceAction
+    | RmwAction
+    | SyscallAction
+)
+
+
+class ThreadState(abc.ABC):
+    """A deterministic program state in the interaction-tree protocol.
+
+    Implementations must be immutable, hashable and equality-comparable so
+    machines can memoize explored configurations.
+    """
+
+    @abc.abstractmethod
+    def peek(self) -> Action:
+        """Return the pending action of this state."""
+
+    @abc.abstractmethod
+    def resume(self, answer: Optional[Value]) -> "ThreadState":
+        """Consume the environment's answer and return the next state."""
+
+    # Convenience predicates -------------------------------------------------
+
+    def is_terminated(self) -> bool:
+        return isinstance(self.peek(), RetAction)
+
+    def is_error(self) -> bool:
+        return isinstance(self.peek(), ErrAction)
+
+    def return_value(self) -> Value:
+        action = self.peek()
+        if not isinstance(action, RetAction):
+            raise ValueError("thread has not terminated")
+        return action.value
+
+
+@dataclass(frozen=True)
+class Done(ThreadState):
+    """A terminated thread state ``return(v)``."""
+
+    value: Value
+
+    def peek(self) -> Action:
+        return RetAction(self.value)
+
+    def resume(self, answer: Optional[Value]) -> ThreadState:
+        raise ValueError("cannot resume a terminated thread")
+
+
+@dataclass(frozen=True)
+class Crashed(ThreadState):
+    """The error state ⊥."""
+
+    def peek(self) -> Action:
+        return ErrAction()
+
+    def resume(self, answer: Optional[Value]) -> ThreadState:
+        raise ValueError("cannot resume a crashed thread")
+
+
+def locations_of(state: ThreadState, *, max_states: int = 100_000,
+                 value_probe: tuple[Value, ...] = (0,)) -> frozenset[str]:
+    """Best-effort set of shared locations a thread state may touch.
+
+    Walks the reachable interaction tree, answering reads/chooses with the
+    probe values.  Used to size finite universes for the bounded checkers;
+    callers may always pass explicit universes instead.
+    """
+    seen: set[ThreadState] = set()
+    stack = [state]
+    locs: set[str] = set()
+    while stack and len(seen) < max_states:
+        current = stack.pop()
+        if current in seen:
+            continue
+        seen.add(current)
+        action = current.peek()
+        if isinstance(action, (RetAction, ErrAction)):
+            continue
+        if isinstance(action, FailAction):
+            stack.append(current.resume(None))
+            continue
+        if isinstance(action, (ReadAction, WriteAction, RmwAction)):
+            locs.add(action.loc)
+        if isinstance(action, (TauAction, WriteAction, FenceAction,
+                               SyscallAction)):
+            stack.append(current.resume(None))
+        elif isinstance(action, (ReadAction, ChooseAction)):
+            for value in value_probe:
+                stack.append(current.resume(value))
+        elif isinstance(action, RmwAction):
+            for value in value_probe:
+                stack.append(current.resume(value))
+    return frozenset(locs)

@@ -1,0 +1,356 @@
+"""A small concrete syntax for WHILE programs.
+
+The syntax mirrors the paper's notation.  Shared-memory accesses carry an
+explicit mode suffix; bare identifiers are thread-local registers::
+
+    x_na := 42;
+    l := y_acq;
+    if l == 0 { a := x_na; y_rel := 1; }
+    b := x_na;
+    return b;
+
+Grammar sketch::
+
+    prog  := stmt*
+    stmt  := 'skip' ';' | 'abort' ';' | 'return' expr ';'
+           | 'print' '(' expr ')' ';'
+           | 'fence_acq' ';' | 'fence_rel' ';' | 'fence_sc' ';'
+           | 'if' expr '{' prog '}' ('else' '{' prog '}')?
+           | 'while' expr '{' prog '}'
+           | LOC ':=' expr ';'                          -- store
+           | REG ':=' LOC ';'                           -- load
+           | REG ':=' 'freeze' '(' expr ')' ';'
+           | REG ':=' RMW '(' LOC (',' INT)* ')' ';'    -- fadd/cas/xchg
+           | REG ':=' expr ';'                          -- register assign
+
+where ``LOC`` is an identifier ending in ``_na``/``_rlx``/``_acq``/``_rel``
+(the suffix is the access mode, the prefix the location name), ``REG`` is
+any other identifier, and ``RMW`` is ``fadd_r_w``, ``cas_r_w`` or
+``xchg_r_w`` with ``r ∈ {rlx, acq}``, ``w ∈ {rlx, rel}``.
+
+Comments run from ``//`` or ``#`` to end of line.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Optional
+
+from .ast import (
+    Abort,
+    Assign,
+    BinOp,
+    Const,
+    Expr,
+    Fence,
+    Freeze,
+    If,
+    Load,
+    Print,
+    Reg,
+    Return,
+    Rmw,
+    Seq,
+    Skip,
+    Stmt,
+    Store,
+    UnOp,
+    While,
+)
+from .events import ACQ, NA, REL, RLX, AccessMode, FenceKind
+from .itree import CasOp, ExchangeOp, FetchAddOp, RmwOp
+
+
+class ParseError(Exception):
+    """Raised on malformed WHILE source."""
+
+
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<ws>\s+|//[^\n]*|\#[^\n]*)
+  | (?P<int>\d+)
+  | (?P<ident>[A-Za-z_][A-Za-z0-9_]*)
+  | (?P<op>:=|==|!=|<=|>=|&&|\|\||[-+*/%<>!(){},;])
+    """,
+    re.VERBOSE,
+)
+
+_MODE_SUFFIXES: dict[str, AccessMode] = {
+    "na": NA,
+    "rlx": RLX,
+    "acq": ACQ,
+    "rel": REL,
+}
+
+_FENCES = {
+    "fence_acq": FenceKind.ACQ,
+    "fence_rel": FenceKind.REL,
+    "fence_sc": FenceKind.SC,
+}
+
+_KEYWORDS = {
+    "skip", "abort", "return", "print", "if", "else", "while", "freeze",
+} | set(_FENCES)
+
+
+@dataclass(frozen=True)
+class _Token:
+    kind: str  # 'int' | 'ident' | 'op' | 'eof'
+    text: str
+    pos: int
+
+
+def _tokenize(source: str) -> list[_Token]:
+    tokens: list[_Token] = []
+    pos = 0
+    while pos < len(source):
+        match = _TOKEN_RE.match(source, pos)
+        if match is None:
+            raise ParseError(f"unexpected character {source[pos]!r} at {pos}")
+        pos = match.end()
+        if match.lastgroup == "ws":
+            continue
+        assert match.lastgroup is not None
+        tokens.append(_Token(match.lastgroup, match.group(), match.start()))
+    tokens.append(_Token("eof", "", len(source)))
+    return tokens
+
+
+def split_location(name: str) -> Optional[tuple[str, AccessMode]]:
+    """Split ``x_na`` into ``('x', NA)``; None if not a location reference."""
+    if "_" not in name:
+        return None
+    prefix, _, suffix = name.rpartition("_")
+    mode = _MODE_SUFFIXES.get(suffix)
+    if mode is None or not prefix:
+        return None
+    return prefix, mode
+
+
+def _split_rmw(name: str) -> Optional[tuple[str, AccessMode, AccessMode]]:
+    parts = name.split("_")
+    if len(parts) != 3 or parts[0] not in ("fadd", "cas", "xchg"):
+        return None
+    rmode = _MODE_SUFFIXES.get(parts[1])
+    wmode = _MODE_SUFFIXES.get(parts[2])
+    if rmode not in (RLX, ACQ) or wmode not in (RLX, REL):
+        return None
+    return parts[0], rmode, wmode
+
+
+class _Parser:
+    def __init__(self, source: str) -> None:
+        self.tokens = _tokenize(source)
+        self.index = 0
+
+    # -- token helpers -------------------------------------------------
+
+    def peek(self) -> _Token:
+        return self.tokens[self.index]
+
+    def advance(self) -> _Token:
+        token = self.tokens[self.index]
+        self.index += 1
+        return token
+
+    def expect(self, text: str) -> _Token:
+        token = self.advance()
+        if token.text != text:
+            raise ParseError(
+                f"expected {text!r} but found {token.text!r} at {token.pos}")
+        return token
+
+    def at(self, text: str) -> bool:
+        return self.peek().text == text
+
+    # -- statements ------------------------------------------------------
+
+    def parse_program(self) -> Stmt:
+        stmts = self.parse_block_body(stop="eof")
+        self.expect("")
+        return Seq.of(*stmts) if len(stmts) != 1 else stmts[0]
+
+    def parse_block_body(self, stop: str) -> list[Stmt]:
+        stmts: list[Stmt] = []
+        while True:
+            token = self.peek()
+            if (stop == "eof" and token.kind == "eof") or token.text == stop:
+                return stmts
+            stmts.append(self.parse_stmt())
+
+    def parse_block(self) -> Stmt:
+        self.expect("{")
+        stmts = self.parse_block_body(stop="}")
+        self.expect("}")
+        if not stmts:
+            return Skip()
+        return Seq.of(*stmts) if len(stmts) != 1 else stmts[0]
+
+    def parse_stmt(self) -> Stmt:
+        token = self.peek()
+        if token.text == "skip":
+            self.advance()
+            self.expect(";")
+            return Skip()
+        if token.text == "abort":
+            self.advance()
+            self.expect(";")
+            return Abort()
+        if token.text == "return":
+            self.advance()
+            expr = self.parse_expr()
+            self.expect(";")
+            return Return(expr)
+        if token.text == "print":
+            self.advance()
+            self.expect("(")
+            expr = self.parse_expr()
+            self.expect(")")
+            self.expect(";")
+            return Print(expr)
+        if token.text in _FENCES:
+            self.advance()
+            self.expect(";")
+            return Fence(_FENCES[token.text])
+        if token.text == "if":
+            self.advance()
+            cond = self.parse_expr()
+            then_branch = self.parse_block()
+            else_branch: Stmt = Skip()
+            if self.at("else"):
+                self.advance()
+                else_branch = self.parse_block()
+            return If(cond, then_branch, else_branch)
+        if token.text == "while":
+            self.advance()
+            cond = self.parse_expr()
+            body = self.parse_block()
+            return While(cond, body)
+        if token.kind == "ident":
+            return self.parse_assignment()
+        raise ParseError(f"unexpected token {token.text!r} at {token.pos}")
+
+    def parse_assignment(self) -> Stmt:
+        lhs = self.advance()
+        if lhs.text in _KEYWORDS:
+            raise ParseError(f"{lhs.text!r} is a keyword (at {lhs.pos})")
+        self.expect(":=")
+        loc = split_location(lhs.text)
+        if loc is not None:
+            expr = self.parse_expr()
+            self.expect(";")
+            return Store(loc[0], expr, loc[1])
+        stmt = self._parse_register_rhs(lhs.text)
+        self.expect(";")
+        return stmt
+
+    def _parse_register_rhs(self, reg: str) -> Stmt:
+        token = self.peek()
+        if token.kind == "ident":
+            rmw = _split_rmw(token.text)
+            if rmw is not None:
+                self.advance()
+                return self._parse_rmw_args(reg, *rmw)
+            loc = split_location(token.text)
+            if loc is not None and self.tokens[self.index + 1].text == ";":
+                self.advance()
+                return Load(reg, loc[0], loc[1])
+            if token.text == "freeze":
+                self.advance()
+                self.expect("(")
+                expr = self.parse_expr()
+                self.expect(")")
+                return Freeze(reg, expr)
+        return Assign(reg, self.parse_expr())
+
+    def _parse_rmw_args(self, reg: str, kind: str, rmode: AccessMode,
+                        wmode: AccessMode) -> Stmt:
+        self.expect("(")
+        loc_token = self.advance()
+        loc = split_location(loc_token.text)
+        if loc is None or loc[1] is not RLX:
+            raise ParseError(
+                f"RMW target must be written like 'x_rlx' (location only); "
+                f"got {loc_token.text!r} at {loc_token.pos}")
+        args: list[int] = []
+        while self.at(","):
+            self.advance()
+            negative = False
+            if self.at("-"):
+                self.advance()
+                negative = True
+            arg = self.advance()
+            if arg.kind != "int":
+                raise ParseError(
+                    f"RMW arguments must be integer literals; got "
+                    f"{arg.text!r} at {arg.pos}")
+            args.append(-int(arg.text) if negative else int(arg.text))
+        self.expect(")")
+        op: RmwOp
+        if kind == "fadd":
+            if len(args) != 1:
+                raise ParseError("fadd takes one argument")
+            op = FetchAddOp(args[0])
+        elif kind == "xchg":
+            if len(args) != 1:
+                raise ParseError("xchg takes one argument")
+            op = ExchangeOp(args[0])
+        else:
+            if len(args) != 2:
+                raise ParseError("cas takes two arguments")
+            op = CasOp(args[0], args[1])
+        return Rmw(reg, loc[0], op, rmode, wmode)
+
+    # -- expressions -----------------------------------------------------
+
+    _PRECEDENCE = [
+        ("||",),
+        ("&&",),
+        ("==", "!="),
+        ("<", "<=", ">", ">="),
+        ("+", "-"),
+        ("*", "/", "%"),
+    ]
+
+    def parse_expr(self, level: int = 0) -> Expr:
+        if level == len(self._PRECEDENCE):
+            return self.parse_unary()
+        ops = self._PRECEDENCE[level]
+        expr = self.parse_expr(level + 1)
+        while self.peek().text in ops:
+            op = self.advance().text
+            right = self.parse_expr(level + 1)
+            expr = BinOp(op, expr, right)
+        return expr
+
+    def parse_unary(self) -> Expr:
+        token = self.peek()
+        if token.text in ("-", "!"):
+            self.advance()
+            return UnOp(token.text, self.parse_unary())
+        return self.parse_atom()
+
+    def parse_atom(self) -> Expr:
+        token = self.advance()
+        if token.kind == "int":
+            return Const(int(token.text))
+        if token.text == "(":
+            expr = self.parse_expr()
+            self.expect(")")
+            return expr
+        if token.kind == "ident":
+            if split_location(token.text) is not None:
+                raise ParseError(
+                    f"location reference {token.text!r} cannot appear inside "
+                    f"an expression (at {token.pos}); use a load statement")
+            if token.text in _KEYWORDS:
+                raise ParseError(
+                    f"keyword {token.text!r} in expression at {token.pos}")
+            return Reg(token.text)
+        raise ParseError(f"unexpected token {token.text!r} at {token.pos}")
+
+
+def parse(source: str) -> Stmt:
+    """Parse WHILE source text into a statement."""
+    return _Parser(source).parse_program()

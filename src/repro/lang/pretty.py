@@ -1,0 +1,111 @@
+"""Pretty-printing WHILE ASTs back to parseable source text.
+
+``parse(to_source(p)) == p`` for every program expressible in the
+concrete syntax (everything except undef literals, which have no
+surface form).
+"""
+
+from __future__ import annotations
+
+from .ast import (
+    Abort,
+    Assign,
+    BinOp,
+    Const,
+    Expr,
+    Fence,
+    Freeze,
+    If,
+    Load,
+    Print,
+    Reg,
+    Return,
+    Rmw,
+    Seq,
+    Skip,
+    Stmt,
+    Store,
+    UnOp,
+    While,
+)
+from .itree import CasOp, ExchangeOp, FetchAddOp
+from .values import is_undef
+
+_PRECEDENCE = {
+    "||": 1, "&&": 2, "==": 3, "!=": 3,
+    "<": 4, "<=": 4, ">": 4, ">=": 4,
+    "+": 5, "-": 5, "*": 6, "/": 6, "%": 6,
+}
+
+
+def expr_source(expr: Expr, parent_prec: int = 0) -> str:
+    if isinstance(expr, Const):
+        if is_undef(expr.value):
+            raise ValueError("undef has no concrete syntax")
+        text = str(expr.value)
+        if expr.value < 0 and parent_prec > 0:
+            return f"({text})"
+        return text
+    if isinstance(expr, Reg):
+        return expr.name
+    if isinstance(expr, UnOp):
+        return f"{expr.op}{expr_source(expr.operand, 7)}"
+    if isinstance(expr, BinOp):
+        prec = _PRECEDENCE[expr.op]
+        left = expr_source(expr.left, prec)
+        right = expr_source(expr.right, prec + 1)
+        text = f"{left} {expr.op} {right}"
+        return f"({text})" if prec < parent_prec else text
+    raise TypeError(f"unknown expression {expr!r}")
+
+
+def _rmw_source(stmt: Rmw) -> str:
+    if isinstance(stmt.op, FetchAddOp):
+        call = f"fadd_{stmt.read_mode}_{stmt.write_mode}" \
+               f"({stmt.loc}_rlx, {stmt.op.addend})"
+    elif isinstance(stmt.op, ExchangeOp):
+        call = f"xchg_{stmt.read_mode}_{stmt.write_mode}" \
+               f"({stmt.loc}_rlx, {stmt.op.value})"
+    else:
+        assert isinstance(stmt.op, CasOp)
+        call = (f"cas_{stmt.read_mode}_{stmt.write_mode}"
+                f"({stmt.loc}_rlx, {stmt.op.expected}, {stmt.op.desired})")
+    return f"{stmt.reg} := {call};"
+
+
+def to_source(stmt: Stmt, indent: int = 0) -> str:
+    """Render a statement as parseable WHILE source."""
+    pad = "  " * indent
+    if isinstance(stmt, Seq):
+        return "\n".join(to_source(sub, indent) for sub in stmt.stmts)
+    if isinstance(stmt, Skip):
+        return f"{pad}skip;"
+    if isinstance(stmt, Abort):
+        return f"{pad}abort;"
+    if isinstance(stmt, Assign):
+        return f"{pad}{stmt.reg} := {expr_source(stmt.expr)};"
+    if isinstance(stmt, Freeze):
+        return f"{pad}{stmt.reg} := freeze({expr_source(stmt.expr)});"
+    if isinstance(stmt, Load):
+        return f"{pad}{stmt.reg} := {stmt.loc}_{stmt.mode};"
+    if isinstance(stmt, Store):
+        return f"{pad}{stmt.loc}_{stmt.mode} := {expr_source(stmt.expr)};"
+    if isinstance(stmt, Fence):
+        return f"{pad}fence_{stmt.kind};"
+    if isinstance(stmt, Rmw):
+        return f"{pad}{_rmw_source(stmt)}"
+    if isinstance(stmt, Return):
+        return f"{pad}return {expr_source(stmt.expr)};"
+    if isinstance(stmt, Print):
+        return f"{pad}print({expr_source(stmt.expr)});"
+    if isinstance(stmt, If):
+        text = (f"{pad}if {expr_source(stmt.cond)} {{\n"
+                f"{to_source(stmt.then_branch, indent + 1)}\n{pad}}}")
+        if stmt.else_branch != Skip():
+            text += (f" else {{\n"
+                     f"{to_source(stmt.else_branch, indent + 1)}\n{pad}}}")
+        return text
+    if isinstance(stmt, While):
+        return (f"{pad}while {expr_source(stmt.cond)} {{\n"
+                f"{to_source(stmt.body, indent + 1)}\n{pad}}}")
+    raise TypeError(f"unknown statement {stmt!r}")

@@ -1,0 +1,90 @@
+"""A concrete single-thread reference executor.
+
+Runs one WHILE program to completion against a plain memory, answering
+``choose`` (freeze) actions from a seeded RNG.  Useful for quick
+inspection, differential testing against the machines, and the fuzzing
+example.  Races cannot happen single-threadedly, so non-atomic reads
+simply read memory — this matches SEQ with full permissions and the SC
+machine with one thread.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Optional
+
+from .ast import Stmt
+from .interp import WhileThread
+from .itree import (
+    ChooseAction,
+    ErrAction,
+    FailAction,
+    ReadAction,
+    RetAction,
+    RmwAction,
+    SyscallAction,
+    ThreadState,
+)
+from .values import Value
+
+
+@dataclass
+class RunResult:
+    """Outcome of a concrete run."""
+
+    value: Optional[Value]          # None when UB was invoked
+    memory: dict[str, Value]
+    prints: list[Value] = field(default_factory=list)
+    steps: int = 0
+
+    @property
+    def is_ub(self) -> bool:
+        return self.value is None
+
+    def __repr__(self) -> str:
+        outcome = "⊥" if self.is_ub else repr(self.value)
+        return (f"RunResult(value={outcome}, memory={self.memory}, "
+                f"prints={self.prints}, steps={self.steps})")
+
+
+def run_program(program: Stmt | ThreadState,
+                memory: Optional[dict[str, Value]] = None,
+                seed: int = 0,
+                choose_values: tuple[int, ...] = (0, 1),
+                max_steps: int = 100_000) -> RunResult:
+    """Execute ``program`` concretely and return its outcome."""
+    thread = (WhileThread.start(program) if isinstance(program, Stmt)
+              else program)
+    rng = random.Random(seed)
+    mem: dict[str, Value] = dict(memory or {})
+    prints: list[Value] = []
+    for steps in range(max_steps):
+        action = thread.peek()
+        if isinstance(action, RetAction):
+            return RunResult(action.value, mem, prints, steps)
+        if isinstance(action, (ErrAction, FailAction)):
+            return RunResult(None, mem, prints, steps)
+        if isinstance(action, ReadAction):
+            thread = thread.resume(mem.get(action.loc, 0))
+        elif isinstance(action, RmwAction):
+            read = mem.get(action.loc, 0)
+            from .itree import CasOp
+
+            if isinstance(action.op, CasOp) and read != action.op.expected:
+                # failing CAS: model as a plain read of the old value
+                thread = thread.resume(read)
+                continue
+            mem[action.loc] = action.op.apply(read)
+            thread = thread.resume(read)
+        elif isinstance(action, ChooseAction):
+            thread = thread.resume(rng.choice(choose_values))
+        elif isinstance(action, SyscallAction):
+            prints.append(action.value)
+            thread = thread.resume(None)
+        else:
+            answer = None
+            if hasattr(action, "value") and hasattr(action, "loc"):
+                mem[action.loc] = action.value  # a write
+            thread = thread.resume(answer)
+    raise RuntimeError(f"program did not terminate within {max_steps} steps")

@@ -1,0 +1,101 @@
+"""Value domain of the paper (§2, "Values").
+
+The paper assumes a parametric set ``Val`` containing a distinguished
+"undefined value" ``undef``.  Racy non-atomic reads in both SEQ and PS^na
+return ``undef``; a ``freeze`` instruction (``choose`` transition) may later
+turn it into an arbitrary defined value.
+
+The partial order on values is::
+
+    v ⊑ v'  ⇔  v = v'  ∨  v' = undef
+
+i.e. the *source* being undef is "less committed" and may be matched by any
+*target* value.  The order is lifted pointwise to (partial) functions into
+``Val``.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Optional, Union
+
+
+class _Undef:
+    """The distinguished undefined value.
+
+    A singleton: every construction returns the module-level ``UNDEF``.
+    """
+
+    _instance: Optional["_Undef"] = None
+
+    def __new__(cls) -> "_Undef":
+        if cls._instance is None:
+            cls._instance = super().__new__(cls)
+        return cls._instance
+
+    def __repr__(self) -> str:
+        return "undef"
+
+    def __hash__(self) -> int:
+        return hash("repro.undef")
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, _Undef)
+
+    def __reduce__(self):
+        return (_Undef, ())
+
+
+UNDEF = _Undef()
+
+#: A program value: a Python int or the undefined value.
+Value = Union[int, _Undef]
+
+
+def is_undef(value: Value) -> bool:
+    """Return True if ``value`` is the undefined value."""
+    return isinstance(value, _Undef)
+
+
+def is_defined(value: Value) -> bool:
+    """Return True if ``value`` is a normal (defined) value."""
+    return not isinstance(value, _Undef)
+
+
+def value_leq(target: Value, source: Value) -> bool:
+    """The order ``target ⊑ source``: equal, or the source is undef.
+
+    Following Def 2.3, the *source* returning ``undef`` may be matched by
+    any target value (e.g. after the compiler freezes the undef).
+    """
+    return target == source or is_undef(source)
+
+
+def value_lub_defined(value: Value, fallback: int = 0) -> int:
+    """Concretize ``value``: undef freezes to ``fallback``."""
+    if is_undef(value):
+        return fallback
+    assert isinstance(value, int)
+    return value
+
+
+def map_leq(target: Mapping[str, Value], source: Mapping[str, Value]) -> bool:
+    """Pointwise lifting of ``⊑`` to total maps with a common key set.
+
+    Keys present in only one map are treated as unequal (not related), so
+    callers should compare maps over the same location universe.
+    """
+    if set(target) != set(source):
+        return False
+    return all(value_leq(target[key], source[key]) for key in target)
+
+
+def freeze_choices(value: Value, universe: tuple[int, ...]) -> tuple[int, ...]:
+    """Possible results of ``freeze(value)`` over a finite value universe.
+
+    A defined value freezes to itself; ``undef`` freezes to any value in
+    the universe (LLVM's ``freeze``, Remark 1 of the paper).
+    """
+    if is_undef(value):
+        return universe
+    assert isinstance(value, int)
+    return (value,)

@@ -1,0 +1,22 @@
+"""Litmus catalog: the paper's examples as checkable cases."""
+
+from .catalog import (
+    ALL_TRANSFORMATION_CASES,
+    EXTENDED_CASES,
+    FENCE_CASES,
+    RLX_NA_CASES,
+    SEC2_CASES,
+    SEC3_CASES,
+    TransformationCase,
+    case_by_name,
+)
+
+__all__ = [
+    "ALL_TRANSFORMATION_CASES", "EXTENDED_CASES", "FENCE_CASES",
+    "RLX_NA_CASES", "SEC2_CASES", "SEC3_CASES",
+    "TransformationCase", "case_by_name",
+]
+
+from .generator import GeneratorConfig, ProgramGenerator  # noqa: E402
+
+__all__ += ["GeneratorConfig", "ProgramGenerator"]

@@ -1,0 +1,50 @@
+"""The §4 optimizer: SLF, LLF, DSE, LICM + translation validation."""
+
+from .absval import AbsConst, AbsReg, AbsVal, expr_may_fail, expr_to_absval
+from .framework import BackwardPass, FixpointStats, ForwardPass
+from .slf import (
+    After,
+    Before,
+    SlfPass,
+    SlfState,
+    Top,
+    slf_annotations,
+    slf_pass,
+    token_join,
+)
+from .llf import LlfPass, LlfState, llf_pass
+from .dse import DsePass, DseState, DseToken, dse_pass
+from .licm import hoistable_locations, introduce_loop_loads, licm_pass
+from .constfold import ConstFoldPass, constfold_pass, fold_expr
+from .copyprop import CopyPropPass, copyprop_pass
+from .dce import DcePass, dce_pass
+from .speculation import (
+    SPECULATIVE_PASSES,
+    speculative_load_hoist_pass,
+    unswitch_pass,
+)
+from .pipeline import (
+    DEFAULT_PASSES,
+    EXTENDED_PASSES,
+    OptimizationResult,
+    Optimizer,
+    PassRecord,
+    ValidationError,
+    optimize,
+)
+
+__all__ = [
+    "AbsConst", "AbsReg", "AbsVal", "expr_may_fail", "expr_to_absval",
+    "BackwardPass", "FixpointStats", "ForwardPass",
+    "After", "Before", "SlfPass", "SlfState", "Top", "slf_annotations",
+    "slf_pass", "token_join",
+    "LlfPass", "LlfState", "llf_pass",
+    "DsePass", "DseState", "DseToken", "dse_pass",
+    "hoistable_locations", "introduce_loop_loads", "licm_pass",
+    "DEFAULT_PASSES", "EXTENDED_PASSES", "OptimizationResult", "Optimizer",
+    "PassRecord", "ValidationError", "optimize",
+    "ConstFoldPass", "constfold_pass", "fold_expr",
+    "CopyPropPass", "copyprop_pass",
+    "DcePass", "dce_pass",
+    "SPECULATIVE_PASSES", "speculative_load_hoist_pass", "unswitch_pass",
+]

@@ -1,0 +1,69 @@
+"""Abstract stored values for the SLF analysis (Fig 3).
+
+The paper's SLF analysis tracks "the value ``v`` written by the most
+recent store".  In real programs stores write expressions, so a
+forwardable abstract value is either a constant or a register whose
+content is unchanged since the store; anything else is unknown.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..lang.ast import BinOp, Const, Expr, Reg, UnOp
+from ..lang.values import is_defined
+
+
+@dataclass(frozen=True)
+class AbsConst:
+    """A known constant value."""
+
+    value: int
+
+    def __repr__(self) -> str:
+        return str(self.value)
+
+
+@dataclass(frozen=True)
+class AbsReg:
+    """The current content of a register (killed when it is reassigned)."""
+
+    name: str
+
+    def __repr__(self) -> str:
+        return self.name
+
+
+AbsVal = AbsConst | AbsReg
+
+
+def expr_to_absval(expr: Expr) -> Optional[AbsVal]:
+    """Abstract a stored expression, or None if not forwardable."""
+    if isinstance(expr, Const) and is_defined(expr.value):
+        assert isinstance(expr.value, int)
+        return AbsConst(expr.value)
+    if isinstance(expr, Reg):
+        return AbsReg(expr.name)
+    return None
+
+
+def absval_to_expr(value: AbsVal) -> Expr:
+    """Concretize an abstract value back into an expression."""
+    if isinstance(value, AbsConst):
+        return Const(value.value)
+    return Reg(value.name)
+
+
+def mentions_register(value: Optional[AbsVal], reg: str) -> bool:
+    return isinstance(value, AbsReg) and value.name == reg
+
+
+def expr_may_fail(expr: Expr) -> bool:
+    """Whether evaluating ``expr`` can invoke UB (division/modulo)."""
+    if isinstance(expr, BinOp):
+        return (expr.op in ("/", "%") or expr_may_fail(expr.left)
+                or expr_may_fail(expr.right))
+    if isinstance(expr, UnOp):
+        return expr_may_fail(expr.operand)
+    return False

@@ -1,0 +1,170 @@
+"""Constant propagation and folding (extension pass).
+
+Not one of the paper's four passes, but exactly the kind of purely
+sequential optimization the SEQ result licenses for free: it touches only
+registers and expression syntax, so simple behavioral refinement validates
+it like any other thread-local rewrite.  Running it before SLF also
+widens SLF's reach (stores of folded constants become forwardable).
+
+UB preservation: divisions are folded only when the divisor is a nonzero
+constant, and never *introduced*; branches are simplified only when the
+condition is a defined constant.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..lang.ast import (
+    Assign,
+    BinOp,
+    Const,
+    Expr,
+    Freeze,
+    If,
+    Load,
+    Print,
+    Reg,
+    Return,
+    Rmw,
+    Seq,
+    Skip,
+    Stmt,
+    Store,
+    UnOp,
+    While,
+)
+from ..util.fmap import FrozenMap
+from .framework import ForwardPass
+
+#: Lattice: absent register = unknown (⊤); present = known constant.
+
+
+class ConstState:
+    __slots__ = ("consts",)
+
+    def __init__(self, consts: Optional[FrozenMap] = None) -> None:
+        self.consts = consts if consts is not None else FrozenMap()
+
+    def get(self, reg: str) -> Optional[int]:
+        return self.consts.get(reg)
+
+    def set(self, reg: str, value: Optional[int]) -> "ConstState":
+        mapping = self.consts.as_dict()
+        if value is None:
+            mapping.pop(reg, None)
+        else:
+            mapping[reg] = value
+        return ConstState(FrozenMap.of(mapping))
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, ConstState) and self.consts == other.consts
+
+    def __hash__(self) -> int:
+        return hash(self.consts)
+
+    def __repr__(self) -> str:
+        return repr(self.consts)
+
+
+def fold_expr(expr: Expr, state: ConstState) -> Expr:
+    """Substitute known constants and fold UB-free subexpressions."""
+    if isinstance(expr, Reg):
+        known = state.get(expr.name)
+        return Const(known) if known is not None else expr
+    if isinstance(expr, UnOp):
+        operand = fold_expr(expr.operand, state)
+        folded = UnOp(expr.op, operand)
+        if isinstance(operand, Const) and isinstance(operand.value, int):
+            return Const(folded.eval(_EMPTY_REGS))
+        return folded
+    if isinstance(expr, BinOp):
+        left = fold_expr(expr.left, state)
+        right = fold_expr(expr.right, state)
+        folded = BinOp(expr.op, left, right)
+        if (isinstance(left, Const) and isinstance(left.value, int)
+                and isinstance(right, Const)
+                and isinstance(right.value, int)):
+            if expr.op in ("/", "%") and right.value == 0:
+                return folded  # preserve the UB
+            return Const(folded.eval(_EMPTY_REGS))
+        return folded
+    return expr
+
+
+from ..lang.ast import RegFile as _RegFile  # noqa: E402
+
+_EMPTY_REGS = _RegFile()
+
+
+def _known(expr: Expr, state: ConstState) -> Optional[int]:
+    folded = fold_expr(expr, state)
+    if isinstance(folded, Const) and isinstance(folded.value, int):
+        return folded.value
+    return None
+
+
+class ConstFoldPass(ForwardPass[ConstState]):
+    """Constant propagation/folding over registers."""
+
+    def initial(self) -> ConstState:
+        return ConstState()
+
+    def join(self, left: ConstState, right: ConstState) -> ConstState:
+        mapping = {reg: value for reg, value in left.consts.items
+                   if right.get(reg) == value}
+        return ConstState(FrozenMap.of(mapping))
+
+    def transfer(self, stmt: Stmt, state: ConstState) -> ConstState:
+        if isinstance(stmt, Assign):
+            return state.set(stmt.reg, _known(stmt.expr, state))
+        if isinstance(stmt, Freeze):
+            # freeze of a defined constant is that constant
+            return state.set(stmt.reg, _known(stmt.expr, state))
+        if isinstance(stmt, (Load, Rmw)):
+            return state.set(stmt.reg, None)
+        return state
+
+    def rewrite(self, stmt: Stmt, state: ConstState) -> Stmt:
+        if isinstance(stmt, Assign):
+            return Assign(stmt.reg, fold_expr(stmt.expr, state))
+        if isinstance(stmt, Freeze):
+            folded = fold_expr(stmt.expr, state)
+            if isinstance(folded, Const) and isinstance(folded.value, int):
+                return Assign(stmt.reg, folded)
+            return Freeze(stmt.reg, folded)
+        if isinstance(stmt, Store):
+            return Store(stmt.loc, fold_expr(stmt.expr, state), stmt.mode)
+        if isinstance(stmt, Return):
+            return Return(fold_expr(stmt.expr, state))
+        if isinstance(stmt, Print):
+            return Print(fold_expr(stmt.expr, state))
+        return stmt
+
+    def rewrite_condition(self, cond: Expr, state: ConstState) -> Expr:
+        return fold_expr(cond, state)
+
+
+def _simplify_branches(stmt: Stmt) -> Stmt:
+    """Fold conditionals/loops whose condition is a defined constant."""
+    if isinstance(stmt, Seq):
+        return Seq.of(*[_simplify_branches(sub) for sub in stmt.stmts])
+    if isinstance(stmt, If):
+        then_branch = _simplify_branches(stmt.then_branch)
+        else_branch = _simplify_branches(stmt.else_branch)
+        if isinstance(stmt.cond, Const) and isinstance(stmt.cond.value, int):
+            return then_branch if stmt.cond.value else else_branch
+        return If(stmt.cond, then_branch, else_branch)
+    if isinstance(stmt, While):
+        body = _simplify_branches(stmt.body)
+        if (isinstance(stmt.cond, Const)
+                and isinstance(stmt.cond.value, int)
+                and stmt.cond.value == 0):
+            return Skip()
+        return While(stmt.cond, body)
+    return stmt
+
+
+def constfold_pass(stmt: Stmt) -> Stmt:
+    """Run constant propagation, folding and branch simplification."""
+    return _simplify_branches(ConstFoldPass().run(stmt))

@@ -1,0 +1,115 @@
+"""Register copy propagation (extension pass).
+
+Replaces uses of a register by the register it was copied from, as long
+as neither has been reassigned.  Purely thread-local, validated by simple
+SEQ refinement; it mainly creates opportunities for DCE (the copy itself
+becomes dead) and for the value-forwarding passes.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..lang.ast import (
+    Assign,
+    BinOp,
+    Expr,
+    Freeze,
+    Load,
+    Print,
+    Reg,
+    Return,
+    Rmw,
+    Stmt,
+    Store,
+    UnOp,
+)
+from ..util.fmap import FrozenMap
+from .framework import ForwardPass
+
+
+class CopyState:
+    """Maps a register to the (root) register it currently copies."""
+
+    __slots__ = ("copies",)
+
+    def __init__(self, copies: Optional[FrozenMap] = None) -> None:
+        self.copies = copies if copies is not None else FrozenMap()
+
+    def root(self, reg: str) -> str:
+        return self.copies.get(reg, reg)
+
+    def set_copy(self, reg: str, source: str) -> "CopyState":
+        mapping = self._kill_dict(reg)
+        root = mapping.get(source, source)
+        if root != reg:
+            mapping[reg] = root
+        return CopyState(FrozenMap.of(mapping))
+
+    def kill(self, reg: str) -> "CopyState":
+        return CopyState(FrozenMap.of(self._kill_dict(reg)))
+
+    def _kill_dict(self, reg: str) -> dict:
+        return {target: source
+                for target, source in self.copies.as_dict().items()
+                if target != reg and source != reg}
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, CopyState) and self.copies == other.copies
+
+    def __hash__(self) -> int:
+        return hash(self.copies)
+
+    def __repr__(self) -> str:
+        return repr(self.copies)
+
+
+def substitute(expr: Expr, state: CopyState) -> Expr:
+    if isinstance(expr, Reg):
+        return Reg(state.root(expr.name))
+    if isinstance(expr, UnOp):
+        return UnOp(expr.op, substitute(expr.operand, state))
+    if isinstance(expr, BinOp):
+        return BinOp(expr.op, substitute(expr.left, state),
+                     substitute(expr.right, state))
+    return expr
+
+
+class CopyPropPass(ForwardPass[CopyState]):
+    def initial(self) -> CopyState:
+        return CopyState()
+
+    def join(self, left: CopyState, right: CopyState) -> CopyState:
+        mapping = {reg: source for reg, source in left.copies.items
+                   if right.copies.get(reg) == source}
+        return CopyState(FrozenMap.of(mapping))
+
+    def transfer(self, stmt: Stmt, state: CopyState) -> CopyState:
+        if isinstance(stmt, Assign):
+            if isinstance(stmt.expr, Reg):
+                return state.set_copy(stmt.reg, state.root(stmt.expr.name))
+            return state.kill(stmt.reg)
+        if isinstance(stmt, (Load, Freeze, Rmw)):
+            return state.kill(stmt.reg)
+        return state
+
+    def rewrite(self, stmt: Stmt, state: CopyState) -> Stmt:
+        if isinstance(stmt, Assign):
+            return Assign(stmt.reg, substitute(stmt.expr, state))
+        if isinstance(stmt, Freeze):
+            return Freeze(stmt.reg, substitute(stmt.expr, state))
+        if isinstance(stmt, Store):
+            return Store(stmt.loc, substitute(stmt.expr, state), stmt.mode)
+        if isinstance(stmt, Return):
+            return Return(substitute(stmt.expr, state))
+        if isinstance(stmt, Print):
+            return Print(substitute(stmt.expr, state))
+        return stmt
+
+    def rewrite_condition(self, cond: Expr, state: CopyState) -> Expr:
+        return substitute(cond, state)
+
+
+def copyprop_pass(stmt: Stmt) -> Stmt:
+    """Run copy propagation over a program."""
+    return CopyPropPass().run(stmt)

@@ -1,0 +1,72 @@
+"""Dead code elimination via backward liveness (extension pass).
+
+Removes register assignments whose target is never used afterwards, and —
+notably — *unused loads* (Example 2.8: ``a := x^na {~> skip`` when ``a``
+is dead), which is sound in SEQ precisely because SEQ does not use
+catch-fire semantics for races.
+
+Conservatively kept:
+
+* ``freeze`` whose argument may be undef — its ``choose(v)`` transition
+  is visible in SEQ traces (Remark 3), so it cannot be dropped;
+* assignments whose expression may invoke UB (division);
+* stores (those belong to DSE), fences, RMWs, prints.
+"""
+
+from __future__ import annotations
+
+from ..lang.ast import Assign, Expr, Freeze, Load, Print, Return, Rmw, \
+    Skip, Stmt, Store
+from ..lang.events import NA
+from .absval import expr_may_fail
+from .framework import BackwardPass
+
+LiveSet = frozenset
+
+
+class DcePass(BackwardPass[frozenset]):
+    """Backward liveness analysis + dead assignment/load elimination."""
+
+    def initial(self) -> frozenset:
+        return frozenset()  # nothing is live at the exit but the return
+
+    def join(self, left: frozenset, right: frozenset) -> frozenset:
+        return left | right
+
+    def condition_transfer(self, cond: Expr, state: frozenset) -> frozenset:
+        return state | cond.registers()
+
+    def transfer(self, stmt: Stmt, state: frozenset) -> frozenset:
+        if isinstance(stmt, Assign):
+            if stmt.reg in state or expr_may_fail(stmt.expr):
+                return (state - {stmt.reg}) | stmt.expr.registers()
+            return state  # will be removed: uses nothing
+        if isinstance(stmt, Freeze):
+            return (state - {stmt.reg}) | stmt.expr.registers()
+        if isinstance(stmt, Load):
+            if stmt.reg in state or stmt.mode is not NA:
+                return state - {stmt.reg}
+            return state  # dead non-atomic load: removable
+        if isinstance(stmt, Rmw):
+            return state - {stmt.reg}
+        if isinstance(stmt, (Store, Print, Return)):
+            return state | stmt.expr.registers()
+        return state
+
+    def rewrite(self, stmt: Stmt, state: frozenset) -> Stmt:
+        if isinstance(stmt, Assign):
+            if stmt.reg not in state and not expr_may_fail(stmt.expr):
+                return Skip()
+            return stmt
+        if isinstance(stmt, Load):
+            # Unused (non-atomic) load elimination — Example 2.8.  Atomic
+            # loads are trace-visible and must stay.
+            if stmt.mode is NA and stmt.reg not in state:
+                return Skip()
+            return stmt
+        return stmt
+
+
+def dce_pass(stmt: Stmt) -> Stmt:
+    """Run dead code elimination over a program."""
+    return DcePass().run(stmt)

@@ -1,0 +1,160 @@
+"""Dead store elimination (DSE), Appendix D / Fig 8b.
+
+DSE analyzes *backwards*: at each point it asks whether the current value
+of each location is certain to be overwritten before it can be observed.
+Tokens (per location):
+
+* ``◦`` — an overwriting store lies ahead, with no acquire read and no
+  read of ``x`` in between;
+* ``•`` — an overwriting store lies ahead; an acquire read may occur in
+  between, but no release write or read of ``x``;
+* ``⊤`` — anything else (in particular, a release-acquire pair or a read
+  of ``x`` may occur before the overwrite, or execution may end).
+
+Backward transitions (Fig 8b): a store to ``x`` yields ``◦``; a read of
+``x`` yields ``⊤``; an acquire read moves ``◦`` to ``•``; a release write
+moves ``•`` to ``⊤``.
+
+A non-atomic store to ``x`` is removed when the token *after* it is ``◦``
+or ``•`` — by Example 3.5 this is sound even across a release write
+(validated by the advanced refinement notion).  Stores whose expression
+may invoke UB (division) are kept.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Optional
+
+from ..lang.ast import Fence, Load, Print, Return, Rmw, Skip, Stmt, Store
+from ..lang.events import ACQ, NA, REL, FenceKind
+from ..util.fmap import FrozenMap
+from .absval import expr_may_fail
+from .framework import BackwardPass
+
+
+class DseToken(enum.Enum):
+    BEFORE = "◦"   # overwritten; no acquire crossed yet
+    AFTER = "•"    # overwritten; an acquire crossed, no release yet
+    TOP = "⊤"
+
+    def __repr__(self) -> str:
+        return self.value
+
+
+_ORDER = {DseToken.BEFORE: 0, DseToken.AFTER: 1, DseToken.TOP: 2}
+
+
+def token_join(left: DseToken, right: DseToken) -> DseToken:
+    return left if _ORDER[left] >= _ORDER[right] else right
+
+
+class DseState:
+    """Per-location DSE tokens; absent locations are ⊤."""
+
+    __slots__ = ("tokens",)
+
+    def __init__(self, tokens: Optional[FrozenMap] = None) -> None:
+        self.tokens = tokens if tokens is not None else FrozenMap()
+
+    def get(self, loc: str) -> DseToken:
+        return self.tokens.get(loc, DseToken.TOP)
+
+    def set(self, loc: str, token: DseToken) -> "DseState":
+        if token is DseToken.TOP:
+            trimmed = {k: v for k, v in self.tokens.as_dict().items()
+                       if k != loc}
+            return DseState(FrozenMap.of(trimmed))
+        return DseState(self.tokens.set(loc, token))
+
+    def map_tokens(self, fn) -> "DseState":
+        updated = {loc: fn(token)
+                   for loc, token in self.tokens.as_dict().items()}
+        return DseState(FrozenMap.of(
+            {loc: token for loc, token in updated.items()
+             if token is not DseToken.TOP}))
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, DseState) and self.tokens == other.tokens
+
+    def __hash__(self) -> int:
+        return hash(self.tokens)
+
+    def __repr__(self) -> str:
+        if not len(self.tokens):
+            return "{all ⊤}"
+        body = ", ".join(f"{loc} ↦ {token!r}"
+                         for loc, token in self.tokens.items)
+        return "{" + body + "}"
+
+
+class DsePass(BackwardPass[DseState]):
+    """The dead store elimination pass."""
+
+    def initial(self) -> DseState:
+        # At the program exit the final memory is observable (it appears
+        # in SEQ's trm(v, F, M) behaviors), so nothing is overwritten.
+        return DseState()
+
+    def join(self, left: DseState, right: DseState) -> DseState:
+        locs = set(left.tokens.keys()) | set(right.tokens.keys())
+        joined = {loc: token_join(left.get(loc), right.get(loc))
+                  for loc in locs}
+        return DseState(FrozenMap.of(
+            {loc: token for loc, token in joined.items()
+             if token is not DseToken.TOP}))
+
+    def transfer(self, stmt: Stmt, state: DseState) -> DseState:
+        if isinstance(stmt, Store):
+            if stmt.mode is NA:
+                return state.set(stmt.loc, DseToken.BEFORE)
+            if stmt.mode is REL:
+                return state.map_tokens(_release_transition)
+            return state
+        if isinstance(stmt, Load):
+            state = state.set(stmt.loc, DseToken.TOP)
+            if stmt.mode is ACQ:
+                return state.map_tokens(_acquire_transition)
+            return state
+        if isinstance(stmt, Rmw):
+            state = state.set(stmt.loc, DseToken.TOP)
+            state = state.map_tokens(_acquire_transition)
+            return state.map_tokens(_release_transition)
+        if isinstance(stmt, Fence):
+            if stmt.kind is FenceKind.ACQ:
+                return state.map_tokens(_acquire_transition)
+            if stmt.kind is FenceKind.REL:
+                return state.map_tokens(_release_transition)
+            state = state.map_tokens(_acquire_transition)
+            return state.map_tokens(_release_transition)
+        if isinstance(stmt, (Return, Print)):
+            # Observable points: everything becomes ⊤ via initial() for
+            # Return (handled by the engine); Print only reads registers.
+            return state
+        return state
+
+    def rewrite(self, stmt: Stmt, state: DseState) -> Stmt:
+        if (isinstance(stmt, Store) and stmt.mode is NA
+                and state.get(stmt.loc) in (DseToken.BEFORE, DseToken.AFTER)
+                and not expr_may_fail(stmt.expr)):
+            return Skip()
+        return stmt
+
+
+def _acquire_transition(token: DseToken) -> DseToken:
+    # backward: crossing an acquire read, ◦ becomes •
+    if token is DseToken.BEFORE:
+        return DseToken.AFTER
+    return token
+
+
+def _release_transition(token: DseToken) -> DseToken:
+    # backward: crossing a release write, • becomes ⊤
+    if token is DseToken.AFTER:
+        return DseToken.TOP
+    return token
+
+
+def dse_pass(stmt: Stmt) -> Stmt:
+    """Run dead store elimination over a program."""
+    return DsePass().run(stmt)

@@ -1,0 +1,223 @@
+"""Structured abstract interpretation for the optimizer passes (§4).
+
+The paper's optimizer "statically analyzes a given sequential program by
+performing a fixpoint computation in an abstract semantics and optimizes
+the program based on the static analysis".  WHILE is structured, so the
+analyses run directly over the AST:
+
+* forward passes thread an abstract state through sequences, join at the
+  merge point of conditionals, and compute loop invariants by iterating
+  the body transfer to a fixpoint (the paper proves SLF needs at most
+  three iterations; :class:`FixpointStats` records the counts so tests
+  and benchmarks can check the claim);
+* the backward pass (DSE) mirrors this against control flow.
+
+Each pass implements a leaf transfer and an optional leaf rewrite.  The
+abstract state used for transfer is always computed from the *original*
+statement, so a rewrite cannot influence its own pass's analysis.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+from typing import Generic, TypeVar
+
+from ..lang.ast import Expr, If, Return, Seq, Skip, Stmt, While
+
+State = TypeVar("State")
+
+
+@dataclass
+class FixpointStats:
+    """Iteration counts per loop, for the ≤3-iterations claim of §4."""
+
+    loop_iterations: list[int] = field(default_factory=list)
+
+    @property
+    def max_iterations(self) -> int:
+        return max(self.loop_iterations, default=0)
+
+
+class ForwardPass(abc.ABC, Generic[State]):
+    """A forward analysis + rewrite over structured WHILE programs."""
+
+    def __init__(self) -> None:
+        self.stats = FixpointStats()
+        self.max_loop_rounds = 64
+
+    # -- to implement ------------------------------------------------------
+
+    @abc.abstractmethod
+    def initial(self) -> State:
+        """Abstract state at the program entry."""
+
+    @abc.abstractmethod
+    def transfer(self, stmt: Stmt, state: State) -> State:
+        """Abstract effect of a leaf statement."""
+
+    @abc.abstractmethod
+    def join(self, left: State, right: State) -> State:
+        """Least upper bound at merge points."""
+
+    def rewrite(self, stmt: Stmt, state: State) -> Stmt:
+        """Optimize a leaf statement given the state before it."""
+        return stmt
+
+    def condition_transfer(self, cond: Expr, state: State) -> State:
+        """Abstract effect of evaluating a branch/loop condition.
+
+        Identity by default; liveness-style analyses override it to mark
+        the condition's registers as used.
+        """
+        return state
+
+    def rewrite_condition(self, cond: Expr, state: State) -> Expr:
+        """Optimize a branch/loop condition given the state before it."""
+        return cond
+
+    # -- engine -------------------------------------------------------------
+
+    def run(self, stmt: Stmt) -> Stmt:
+        rewritten, _ = self._go(stmt, self.initial(), rewriting=True)
+        return rewritten
+
+    def analyze(self, stmt: Stmt, state: State) -> State:
+        _, out = self._go(stmt, state, rewriting=False)
+        return out
+
+    def _go(self, stmt: Stmt, state: State,
+            rewriting: bool) -> tuple[Stmt, State]:
+        if isinstance(stmt, Seq):
+            parts = []
+            for sub in stmt.stmts:
+                new, state = self._go(sub, state, rewriting)
+                parts.append(new)
+            return (Seq(tuple(parts)) if rewriting else stmt), state
+        if isinstance(stmt, If):
+            cond_state = self.condition_transfer(stmt.cond, state)
+            then_new, then_out = self._go(stmt.then_branch, cond_state,
+                                          rewriting)
+            else_new, else_out = self._go(stmt.else_branch, cond_state,
+                                          rewriting)
+            joined = self.join(then_out, else_out)
+            if rewriting:
+                cond = self.rewrite_condition(stmt.cond, state)
+                return If(cond, then_new, else_new), joined
+            return stmt, joined
+        if isinstance(stmt, While):
+            invariant = self._loop_invariant(stmt, state)
+            cond_state = self.condition_transfer(stmt.cond, invariant)
+            body_new, _ = self._go(stmt.body, cond_state, rewriting)
+            if rewriting:
+                cond = self.rewrite_condition(stmt.cond, invariant)
+                return While(cond, body_new), cond_state
+            return stmt, cond_state
+        # leaf statement
+        out = self.transfer(stmt, state)
+        if rewriting:
+            return self.rewrite(stmt, state), out
+        return stmt, out
+
+    def _loop_invariant(self, loop: While, state: State) -> State:
+        invariant = state
+        iterations = 0
+        for _ in range(self.max_loop_rounds):
+            iterations += 1
+            body_out = self.analyze(
+                loop.body, self.condition_transfer(loop.cond, invariant))
+            joined = self.join(invariant, body_out)
+            if joined == invariant:
+                break
+            invariant = joined
+        else:  # pragma: no cover - lattice heights are finite
+            raise RuntimeError("loop fixpoint did not converge")
+        self.stats.loop_iterations.append(iterations)
+        return invariant
+
+
+class BackwardPass(abc.ABC, Generic[State]):
+    """A backward analysis + rewrite (used by dead store elimination)."""
+
+    def __init__(self) -> None:
+        self.stats = FixpointStats()
+        self.max_loop_rounds = 64
+
+    @abc.abstractmethod
+    def initial(self) -> State:
+        """Abstract state at the program *exit*."""
+
+    @abc.abstractmethod
+    def transfer(self, stmt: Stmt, state: State) -> State:
+        """Abstract effect of a leaf statement, backwards."""
+
+    @abc.abstractmethod
+    def join(self, left: State, right: State) -> State:
+        """Least upper bound at (backward) merge points."""
+
+    def rewrite(self, stmt: Stmt, state: State) -> Stmt:
+        """Optimize a leaf given the state *after* it."""
+        return stmt
+
+    def condition_transfer(self, cond: Expr, state: State) -> State:
+        """Backward effect of a condition evaluation (identity default)."""
+        return state
+
+    def run(self, stmt: Stmt) -> Stmt:
+        rewritten, _ = self._go(stmt, self.initial(), rewriting=True)
+        return rewritten
+
+    def analyze(self, stmt: Stmt, state: State) -> State:
+        _, out = self._go(stmt, state, rewriting=False)
+        return out
+
+    def _go(self, stmt: Stmt, state: State,
+            rewriting: bool) -> tuple[Stmt, State]:
+        if isinstance(stmt, Seq):
+            parts = []
+            for sub in reversed(stmt.stmts):
+                new, state = self._go(sub, state, rewriting)
+                parts.append(new)
+            parts.reverse()
+            return (Seq(tuple(parts)) if rewriting else stmt), state
+        if isinstance(stmt, If):
+            then_new, then_out = self._go(stmt.then_branch, state, rewriting)
+            else_new, else_out = self._go(stmt.else_branch, state, rewriting)
+            joined = self.condition_transfer(stmt.cond,
+                                             self.join(then_out, else_out))
+            if rewriting:
+                return If(stmt.cond, then_new, else_new), joined
+            return stmt, joined
+        if isinstance(stmt, While):
+            head = self._loop_invariant(stmt, state)
+            body_new, _ = self._go(stmt.body, head, rewriting)
+            if rewriting:
+                return While(stmt.cond, body_new), head
+            return stmt, head
+        if isinstance(stmt, Return):
+            # Execution ends here: the state flowing in from "after" is
+            # irrelevant; restart from the exit state.
+            return stmt, self.transfer(stmt, self.initial())
+        out = self.transfer(stmt, state)
+        if rewriting:
+            return self.rewrite(stmt, state), out
+        return stmt, out
+
+    def _loop_invariant(self, loop: While, state: State) -> State:
+        # ``head`` is the abstract state at the loop head, *before* the
+        # condition is evaluated in the backward direction.
+        head = self.condition_transfer(loop.cond, state)
+        iterations = 0
+        for _ in range(self.max_loop_rounds):
+            iterations += 1
+            body_pre = self.analyze(loop.body, head)
+            joined = self.condition_transfer(
+                loop.cond, self.join(state, body_pre))
+            joined = self.join(head, joined)
+            if joined == head:
+                break
+            head = joined
+        else:  # pragma: no cover
+            raise RuntimeError("loop fixpoint did not converge")
+        self.stats.loop_iterations.append(iterations)
+        return head

@@ -1,0 +1,114 @@
+"""Loop invariant code motion (LICM), §4 / Appendix D.
+
+Implemented, as in the paper, in two stages:
+
+1. **Load introduction** — for each loop, find the non-atomic locations
+   read in the body such that the body contains no write to them and no
+   acquire access (nor an RMW / SC fence, which synchronize too); insert
+   a fresh load ``_licmN := x^na`` before the loop.  Introducing an
+   irrelevant load is *unconditionally* sound in SEQ — this is exactly
+   the transformation catch-fire models forbid (Example 1.3).
+2. **Forwarding** — run the LLF pass, which replaces the in-loop loads of
+   ``x`` with the fresh register.
+
+Only stage 1 lives here; :func:`licm_pass` composes both.  The hoisting
+analysis affects performance only, never correctness — even a wrong
+candidate set yields a sound program (validated by translation
+validation in :mod:`repro.opt.validate`).
+"""
+
+from __future__ import annotations
+
+from ..lang.ast import (
+    Fence,
+    If,
+    Load,
+    Rmw,
+    Seq,
+    Stmt,
+    Store,
+    While,
+    walk,
+)
+from ..lang.events import ACQ, NA, FenceKind
+from .llf import llf_pass
+
+
+def hoistable_locations(loop: While) -> frozenset[str]:
+    """Non-atomic locations whose loads can be hoisted out of ``loop``."""
+    reads: set[str] = set()
+    writes: set[str] = set()
+    acquires = False
+    for node in walk(loop.body):
+        if isinstance(node, Load):
+            if node.mode is NA:
+                reads.add(node.loc)
+            elif node.mode is ACQ:
+                acquires = True
+        elif isinstance(node, Store):
+            writes.add(node.loc)
+        elif isinstance(node, Rmw):
+            acquires = True  # conservatively a synchronization point
+            writes.add(node.loc)
+        elif isinstance(node, Fence) and node.kind in (FenceKind.ACQ,
+                                                       FenceKind.SC):
+            acquires = True
+    if acquires:
+        return frozenset()
+    return frozenset(reads - writes)
+
+
+def _used_registers(stmt: Stmt) -> set[str]:
+    regs: set[str] = set()
+    for node in walk(stmt):
+        for attr in ("reg",):
+            name = getattr(node, attr, None)
+            if isinstance(name, str):
+                regs.add(name)
+        for attr in ("expr", "cond"):
+            expr = getattr(node, attr, None)
+            if expr is not None and hasattr(expr, "registers"):
+                regs.update(expr.registers())
+    return regs
+
+
+class _FreshRegisters:
+    def __init__(self, taken: set[str]) -> None:
+        self.taken = set(taken)
+        self.counter = 0
+
+    def fresh(self) -> str:
+        while True:
+            name = f"_licm{self.counter}"
+            self.counter += 1
+            if name not in self.taken:
+                self.taken.add(name)
+                return name
+
+
+def introduce_loop_loads(stmt: Stmt) -> Stmt:
+    """Stage 1: insert irrelevant loads before loops (bottom-up)."""
+    fresh = _FreshRegisters(_used_registers(stmt))
+
+    def go(node: Stmt) -> Stmt:
+        if isinstance(node, Seq):
+            return Seq(tuple(go(sub) for sub in node.stmts))
+        if isinstance(node, If):
+            return If(node.cond, go(node.then_branch), go(node.else_branch))
+        if isinstance(node, While):
+            body = go(node.body)
+            loop = While(node.cond, body)
+            hoisted = sorted(hoistable_locations(loop))
+            if not hoisted:
+                return loop
+            loads: list[Stmt] = [Load(fresh.fresh(), loc, NA)
+                                 for loc in hoisted]
+            return Seq.of(*loads, loop)
+        return node
+
+    return go(stmt)
+
+
+def licm_pass(stmt: Stmt) -> Stmt:
+    """Loop invariant code motion: load introduction + LLF."""
+    return llf_pass(introduce_loop_loads(stmt))

@@ -1,0 +1,113 @@
+"""Load-to-load forwarding (LLF), Appendix D / Fig 8a.
+
+The abstract state maps each location ``x`` to the set of registers that
+hold a value loaded from ``x`` since the last acquire access.  The
+ordering is reverse inclusion (``D1 ⊑ D2 ⇔ ∀x. D1(x) ⊇ D2(x)``), so the
+join at merge points is the intersection.
+
+Transitions (Fig 8a): a store to ``x`` empties ``x``'s set; a load
+``a := x^na`` adds ``a``; any acquire access empties every set.  As with
+SLF we additionally kill a register from all sets when it is reassigned
+(the paper's Coq development does the same; Fig 8a leaves it to the
+"otherwise" case).
+
+A load ``b := x^na`` is rewritten to ``b := a`` for any ``a`` in the set
+of ``x``.  This is sound across release writes: if the permission on
+``x`` was lost, the load would return undef, and any value refines undef.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..lang.ast import Assign, Fence, Freeze, Load, Reg, Rmw, Stmt, Store
+from ..lang.events import ACQ, NA, FenceKind
+from ..util.fmap import FrozenMap
+from .framework import ForwardPass
+
+
+class LlfState:
+    """Per-location register sets; absent locations map to ∅."""
+
+    __slots__ = ("regs",)
+
+    def __init__(self, regs: Optional[FrozenMap] = None) -> None:
+        self.regs = regs if regs is not None else FrozenMap()
+
+    def get(self, loc: str) -> frozenset[str]:
+        return self.regs.get(loc, frozenset())
+
+    def set(self, loc: str, regs: frozenset[str]) -> "LlfState":
+        if not regs:
+            trimmed = {k: v for k, v in self.regs.as_dict().items()
+                       if k != loc}
+            return LlfState(FrozenMap.of(trimmed))
+        return LlfState(self.regs.set(loc, regs))
+
+    def kill_register(self, reg: str) -> "LlfState":
+        updated = {loc: regs - {reg}
+                   for loc, regs in self.regs.as_dict().items()}
+        return LlfState(FrozenMap.of(
+            {loc: regs for loc, regs in updated.items() if regs}))
+
+    def clear(self) -> "LlfState":
+        return LlfState()
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, LlfState) and self.regs == other.regs
+
+    def __hash__(self) -> int:
+        return hash(self.regs)
+
+    def __repr__(self) -> str:
+        if not len(self.regs):
+            return "{all ∅}"
+        body = ", ".join(f"{loc} ↦ {set(regs)}"
+                         for loc, regs in self.regs.items)
+        return "{" + body + "}"
+
+
+class LlfPass(ForwardPass[LlfState]):
+    """The load-to-load forwarding pass."""
+
+    def initial(self) -> LlfState:
+        return LlfState()
+
+    def join(self, left: LlfState, right: LlfState) -> LlfState:
+        locs = set(left.regs.keys()) & set(right.regs.keys())
+        return LlfState(FrozenMap.of(
+            {loc: left.get(loc) & right.get(loc) for loc in locs
+             if left.get(loc) & right.get(loc)}))
+
+    def transfer(self, stmt: Stmt, state: LlfState) -> LlfState:
+        if isinstance(stmt, Store):
+            return state.set(stmt.loc, frozenset())
+        if isinstance(stmt, Load):
+            state = state.kill_register(stmt.reg)
+            if stmt.mode is ACQ:
+                return state.clear()
+            if stmt.mode is NA:
+                return state.set(stmt.loc, state.get(stmt.loc) | {stmt.reg})
+            return state
+        if isinstance(stmt, (Assign, Freeze)):
+            return state.kill_register(stmt.reg)
+        if isinstance(stmt, Rmw):
+            return state.kill_register(stmt.reg).clear()
+        if isinstance(stmt, Fence):
+            if stmt.kind is FenceKind.REL:
+                return state
+            return state.clear()  # acquire and SC fences
+        return state
+
+    def rewrite(self, stmt: Stmt, state: LlfState) -> Stmt:
+        if isinstance(stmt, Load) and stmt.mode is NA:
+            regs = state.get(stmt.loc)
+            if regs:
+                source = min(regs)  # deterministic choice
+                return Assign(stmt.reg, Reg(source))
+        return stmt
+
+
+def llf_pass(stmt: Stmt) -> Stmt:
+    """Run load-to-load forwarding over a program."""
+    return LlfPass().run(stmt)

@@ -1,0 +1,136 @@
+"""The optimizer pipeline (§4) with optional translation validation.
+
+The paper's optimizer is *certified*: each pass carries a Coq proof via
+simulation in SEQ.  The Python analogue is *translation validation*: each
+pass output can be checked against its input by the SEQ refinement
+checker, giving a per-run soundness certificate (exact for the derived
+finite universe).  §7 itself points at SMT-based translation validation
+(Alive2) as the application this sequential model enables.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Optional, Sequence
+
+from ..lang.ast import Stmt
+from ..seq.machine import SeqUniverse, universe_for
+from ..seq.refinement import (
+    Limits,
+    TransformationVerdict,
+    check_transformation,
+)
+from .constfold import constfold_pass
+from .copyprop import copyprop_pass
+from .dce import dce_pass
+from .dse import dse_pass
+from .licm import licm_pass
+from .llf import llf_pass
+from .slf import slf_pass
+
+Pass = Callable[[Stmt], Stmt]
+
+#: The paper's four passes (§4).
+DEFAULT_PASSES: tuple[tuple[str, Pass], ...] = (
+    ("slf", slf_pass),
+    ("llf", llf_pass),
+    ("dse", dse_pass),
+    ("licm", licm_pass),
+)
+
+#: The paper's passes plus the sequential extension passes — the "larger
+#: optimizer" configuration used by the CLI's -O2.
+EXTENDED_PASSES: tuple[tuple[str, Pass], ...] = (
+    ("constfold", constfold_pass),
+    ("copyprop", copyprop_pass),
+    ("slf", slf_pass),
+    ("llf", llf_pass),
+    ("copyprop2", copyprop_pass),
+    ("constfold2", constfold_pass),
+    ("dse", dse_pass),
+    ("licm", licm_pass),
+    ("dce", dce_pass),
+)
+
+
+class ValidationError(Exception):
+    """A pass produced a program that does not refine its input."""
+
+
+@dataclass
+class PassRecord:
+    """One pass application: before/after programs and its certificate."""
+
+    name: str
+    before: Stmt
+    after: Stmt
+    verdict: Optional[TransformationVerdict] = None
+
+    @property
+    def changed(self) -> bool:
+        return self.before != self.after
+
+
+@dataclass
+class OptimizationResult:
+    source: Stmt
+    optimized: Stmt
+    records: list[PassRecord] = field(default_factory=list)
+
+    @property
+    def validated(self) -> bool:
+        return all(record.verdict is not None and record.verdict.valid
+                   for record in self.records if record.changed)
+
+    def summary(self) -> str:
+        lines = []
+        for record in self.records:
+            status = "unchanged" if not record.changed else (
+                "unvalidated" if record.verdict is None else
+                f"validated ({record.verdict.notion})"
+                if record.verdict.valid else "REJECTED")
+            lines.append(f"{record.name}: {status}")
+        return "\n".join(lines)
+
+
+class Optimizer:
+    """The four-pass optimizer of §4 (SLF, LLF, DSE, LICM)."""
+
+    def __init__(self, passes: Sequence[tuple[str, Pass]] = DEFAULT_PASSES,
+                 validate: bool = False,
+                 universe: Optional[SeqUniverse] = None,
+                 limits: Limits = Limits()) -> None:
+        self.passes = tuple(passes)
+        self.validate = validate
+        self.universe = universe
+        self.limits = limits
+
+    def optimize(self, program: Stmt) -> OptimizationResult:
+        result = OptimizationResult(program, program)
+        current = program
+        for name, pass_fn in self.passes:
+            candidate = pass_fn(current)
+            record = PassRecord(name, current, candidate)
+            if self.validate and candidate != current:
+                universe = self.universe or universe_for(current, candidate)
+                record.verdict = check_transformation(
+                    current, candidate, universe, self.limits)
+                if not record.verdict.valid:
+                    # A certified optimizer never ships an unsound pass:
+                    # keep the input program and surface the rejection.
+                    record.after = current
+                    result.records.append(record)
+                    raise ValidationError(
+                        f"pass {name!r} rejected by the SEQ refinement "
+                        f"checker: {record.verdict.simple!r}")
+            current = record.after
+            result.records.append(record)
+        result.optimized = current
+        return result
+
+
+def optimize(program: Stmt, validate: bool = False,
+             universe: Optional[SeqUniverse] = None) -> Stmt:
+    """Convenience wrapper: run all four passes, return the program."""
+    return Optimizer(validate=validate,
+                     universe=universe).optimize(program).optimized

@@ -1,0 +1,144 @@
+"""Speculation-based passes motivated by §1 (Example 1.3 and footnote 2).
+
+The paper's central practical point is that *(irrelevant) load
+introduction* is sound in its model — unlike in catch-fire models — and
+that compilers rely on it for "loop invariant code motion, loop
+unswitching, load-widening or when loading a vector while only a subset
+of elements is needed".  LICM lives in :mod:`repro.opt.licm`; this module
+adds two more of those patterns:
+
+* **speculative load hoisting** — a non-atomic load performed in only one
+  branch of a conditional is hoisted above it:
+  ``if c { a := x^na } else { … }``  becomes
+  ``t := x^na; if c { a := t } else { … }``.
+  The hoisted load may be racy on the path that did not perform it —
+  precisely the load introduction that is unsound under catch-fire
+  semantics and validated here by SEQ.
+* **loop unswitching** — a conditional with a loop-invariant condition is
+  pulled out of the loop:
+  ``while c { if b { A } else { B } }`` becomes
+  ``if b { while c { A } } else { while c { B } }``.
+
+Both passes are translation-validated like every other pass.
+"""
+
+from __future__ import annotations
+
+from ..lang.ast import (
+    Assign,
+    Expr,
+    If,
+    Load,
+    Reg,
+    Seq,
+    Skip,
+    Stmt,
+    Store,
+    While,
+    walk,
+)
+from ..lang.events import ACQ, NA
+from .licm import _FreshRegisters, _used_registers
+
+
+def _assigned_registers(stmt: Stmt) -> set[str]:
+    regs: set[str] = set()
+    for node in walk(stmt):
+        name = getattr(node, "reg", None)
+        if isinstance(name, str):
+            regs.add(name)
+    return regs
+
+
+def _first_branch_load(branch: Stmt) -> Load | None:
+    """The leading non-atomic load of a branch, if any."""
+    head = branch
+    while isinstance(head, Seq) and head.stmts:
+        head = head.stmts[0]
+    if isinstance(head, Load) and head.mode is NA:
+        return head
+    return None
+
+
+def _replace_head(branch: Stmt, replacement: Stmt) -> Stmt:
+    if isinstance(branch, Seq) and branch.stmts:
+        return Seq((_replace_head(branch.stmts[0], replacement),)
+                   + branch.stmts[1:])
+    return replacement
+
+
+def speculative_load_hoist_pass(stmt: Stmt) -> Stmt:
+    """Hoist branch-leading non-atomic loads above the conditional."""
+    fresh = _FreshRegisters(_used_registers(stmt))
+
+    def go(node: Stmt) -> Stmt:
+        if isinstance(node, Seq):
+            return Seq.of(*[go(sub) for sub in node.stmts])
+        if isinstance(node, While):
+            return While(node.cond, go(node.body))
+        if isinstance(node, If):
+            then_branch = go(node.then_branch)
+            else_branch = go(node.else_branch)
+            load = _first_branch_load(then_branch)
+            if load is None:
+                load = _first_branch_load(else_branch)
+            if load is None or load.reg in node.cond.registers():
+                return If(node.cond, then_branch, else_branch)
+            temp = fresh.fresh()
+            rewrite = Assign(load.reg, Reg(temp))
+
+            def patch(branch: Stmt) -> Stmt:
+                if _first_branch_load(branch) == load:
+                    return _replace_head(branch, rewrite)
+                return branch
+
+            return Seq.of(Load(temp, load.loc, NA),
+                          If(node.cond, patch(then_branch),
+                             patch(else_branch)))
+        return node
+
+    return go(stmt)
+
+
+def _loop_invariant_condition(loop: While, cond: Expr) -> bool:
+    """Is ``cond`` unchanged by the loop body (registers only)?"""
+    return not (cond.registers() & _assigned_registers(loop.body))
+
+
+def unswitch_pass(stmt: Stmt) -> Stmt:
+    """Pull loop-invariant conditionals out of loops."""
+
+    def go(node: Stmt) -> Stmt:
+        if isinstance(node, Seq):
+            return Seq.of(*[go(sub) for sub in node.stmts])
+        if isinstance(node, If):
+            return If(node.cond, go(node.then_branch), go(node.else_branch))
+        if isinstance(node, While):
+            body = go(node.body)
+            branch = _sole_branch(body)
+            if branch is not None and _loop_invariant_condition(
+                    While(node.cond, body), branch.cond) \
+                    and not (branch.cond.registers()
+                             & node.cond.registers()):
+                return If(branch.cond,
+                          While(node.cond, branch.then_branch),
+                          While(node.cond, branch.else_branch))
+            return While(node.cond, body)
+        return node
+
+    def _sole_branch(body: Stmt) -> If | None:
+        if isinstance(body, If):
+            return body
+        if isinstance(body, Seq) and len(body.stmts) == 1 \
+                and isinstance(body.stmts[0], If):
+            return body.stmts[0]
+        return None
+
+    return go(stmt)
+
+
+#: Both speculation passes, in hoist-then-unswitch order.
+SPECULATIVE_PASSES = (
+    ("spec-load-hoist", speculative_load_hoist_pass),
+    ("unswitch", unswitch_pass),
+)

@@ -1,0 +1,42 @@
+"""PS^na — the promising semantics with non-atomics (§5) and baselines."""
+
+from .view import BOT, Time, View, ZERO, fresh_between, join_opt, view_leq_opt
+from .memory import AnyMessage, Memory, Message, NAMessage
+from .thread import (
+    PsConfig,
+    ThreadLts,
+    ThreadStep,
+    is_racy,
+    thread_steps,
+)
+from .machine import (
+    MachineState,
+    canonical_key,
+    certifiable,
+    initial_state,
+    machine_steps,
+    written_locations,
+)
+from .explore import (
+    Exploration,
+    PsBehavior,
+    PsBottom,
+    PsResult,
+    behavior_leq,
+    explore,
+)
+from .refinement import PsVerdict, check_psna_refinement
+from .drf import ScExploration, explore_sc, promise_free_config
+
+__all__ = [
+    "BOT", "Time", "View", "ZERO", "fresh_between", "join_opt",
+    "view_leq_opt",
+    "AnyMessage", "Memory", "Message", "NAMessage",
+    "PsConfig", "ThreadLts", "ThreadStep", "is_racy", "thread_steps",
+    "MachineState", "canonical_key", "certifiable", "initial_state",
+    "machine_steps", "written_locations",
+    "Exploration", "PsBehavior", "PsBottom", "PsResult", "behavior_leq",
+    "explore",
+    "PsVerdict", "check_psna_refinement",
+    "ScExploration", "explore_sc", "promise_free_config",
+]

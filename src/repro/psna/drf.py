@@ -1,0 +1,185 @@
+"""Baseline machines and empirical DRF guarantees (§5, "Results").
+
+The paper ports the data-race-freedom guarantees of PS2.1 [8] to PS^na.
+We provide the two baselines those guarantees relate PS^na to:
+
+* :func:`explore_sc` — a sequentially consistent interleaving machine
+  over a flat memory (the strongest model), which also detects races as
+  co-enabled conflicting accesses with at least one non-atomic;
+* promise-free PS^na — :func:`promise_free_config` disables promise steps
+  (the ``PF`` machine used in local-DRF guarantees).
+
+The empirical guarantee checked by the tests: if no SC execution has a
+race, the PS^na return-value behaviors coincide with the SC behaviors.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, replace
+from typing import Optional
+
+from ..lang.ast import Stmt, shared_locations
+from ..lang.events import NA, AccessMode
+from ..lang.interp import WhileThread
+from ..lang.itree import (
+    ChooseAction,
+    ErrAction,
+    FailAction,
+    ReadAction,
+    RetAction,
+    RmwAction,
+    SyscallAction,
+    ThreadState,
+    WriteAction,
+)
+from ..lang.values import Value
+from .explore import PsBehavior, PsBottom, PsResult
+from .thread import PsConfig
+
+
+def promise_free_config(config: Optional[PsConfig] = None) -> PsConfig:
+    """The PF machine: PS^na with promise steps disabled."""
+    base = config or PsConfig()
+    return replace(base, allow_promises=False, promise_budget=0)
+
+
+@dataclass(frozen=True)
+class _ScState:
+    threads: tuple[ThreadState, ...]
+    memory: tuple[tuple[str, Value], ...]
+    syscalls: tuple[tuple[str, Value], ...] = ()
+
+    def read(self, loc: str) -> Value:
+        for key, value in self.memory:
+            if key == loc:
+                return value
+        return 0
+
+    def write(self, loc: str, value: Value) -> "_ScState":
+        updated = dict(self.memory)
+        updated[loc] = value
+        return replace(self, memory=tuple(sorted(updated.items())))
+
+
+@dataclass
+class ScExploration:
+    behaviors: set[PsResult]
+    racy: bool
+    complete: bool
+    states: int
+
+    def returns(self) -> set[tuple[Value, ...]]:
+        return {b.returns for b in self.behaviors
+                if isinstance(b, PsBehavior)}
+
+    def has_bottom(self) -> bool:
+        return any(isinstance(b, PsBottom) for b in self.behaviors)
+
+
+def _conflicting(a, b) -> bool:
+    """Co-enabled conflicting accesses, at least one non-atomic write-ish."""
+    accesses = []
+    for action in (a, b):
+        if isinstance(action, (ReadAction, WriteAction, RmwAction)):
+            accesses.append(action)
+    if len(accesses) != 2 or accesses[0].loc != accesses[1].loc:
+        return False
+    writes = [x for x in accesses
+              if isinstance(x, (WriteAction, RmwAction))]
+    if not writes:
+        return False
+    nonatomic = [x for x in accesses
+                 if getattr(x, "mode", None) is NA]
+    return bool(nonatomic)
+
+
+def explore_sc(programs: list[Stmt | ThreadState],
+               values: tuple[int, ...] = (0, 1),
+               max_states: int = 200_000,
+               max_depth: int = 600) -> ScExploration:
+    """Exhaustively explore the SC interleaving semantics.
+
+    Also reports whether any reachable state has a pair of co-enabled
+    conflicting accesses involving a non-atomic (the SC race detector
+    used by the DRF guarantee tests).
+    """
+    threads = tuple(
+        WhileThread.start(p) if isinstance(p, Stmt) else p for p in programs)
+    start = _ScState(threads, ())
+    behaviors: set[PsResult] = set()
+    racy = False
+    seen = {start}
+    stack = [(start, max_depth)]
+    states = 0
+    complete = True
+    while stack:
+        state, depth = stack.pop()
+        states += 1
+        if states > max_states:
+            complete = False
+            break
+        actions = [thread.peek() for thread in state.threads]
+        for a, b in itertools.combinations(actions, 2):
+            if _conflicting(a, b):
+                racy = True
+        if all(isinstance(action, RetAction) for action in actions):
+            behaviors.add(PsBehavior(
+                tuple(action.value for action in actions), state.syscalls))
+            continue
+        if depth == 0:
+            complete = False
+            continue
+        for index, action in enumerate(actions):
+            for successor in _sc_thread_steps(state, index, action, values):
+                if successor is BOTTOM:
+                    behaviors.add(PsBottom(state.syscalls))
+                elif successor not in seen:
+                    seen.add(successor)
+                    stack.append((successor, depth - 1))
+    return ScExploration(behaviors, racy, complete, states)
+
+
+BOTTOM = object()
+
+
+def _sc_thread_steps(state: _ScState, index: int, action, values):
+    thread = state.threads[index]
+
+    def with_thread(new_thread: ThreadState, new_state=None):
+        base = new_state if new_state is not None else state
+        return replace(base, threads=base.threads[:index] + (new_thread,)
+                       + base.threads[index + 1:])
+
+    if isinstance(action, (RetAction, ErrAction)):
+        return
+    if isinstance(action, FailAction):
+        yield BOTTOM
+        return
+    if isinstance(action, ChooseAction):
+        for value in values:
+            yield with_thread(thread.resume(value))
+        return
+    if isinstance(action, ReadAction):
+        yield with_thread(thread.resume(state.read(action.loc)))
+        return
+    if isinstance(action, WriteAction):
+        yield with_thread(thread.resume(None),
+                          state.write(action.loc, action.value))
+        return
+    if isinstance(action, RmwAction):
+        read = state.read(action.loc)
+        from ..lang.itree import CasOp
+
+        if isinstance(action.op, CasOp) and read != action.op.expected:
+            return
+        yield with_thread(thread.resume(read),
+                          state.write(action.loc, action.op.apply(read)))
+        return
+    if isinstance(action, SyscallAction):
+        recorded = replace(state, syscalls=state.syscalls
+                           + ((action.name, action.value),))
+        yield with_thread(thread.resume(None), recorded)
+        return
+    # fences are no-ops under SC
+    yield with_thread(thread.resume(None))

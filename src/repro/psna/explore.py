@@ -1,0 +1,129 @@
+"""Bounded exhaustive exploration of PS^na machine behaviors (Def 5.2).
+
+A behavior is the tuple of return values of all threads (plus, following
+the Coq development, the sequence of system calls invoked along the way),
+or ⊥ for erroneous termination.  Exploration enumerates all certified
+interleavings up to the configured bounds, deduplicating canonicalized
+states.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Optional
+
+from ..lang.ast import Stmt
+from ..lang.itree import ThreadState
+from ..lang.values import Value, value_leq
+from .machine import MachineState, canonical_key, initial_state, machine_steps
+from .thread import PsConfig
+
+
+@dataclass(frozen=True)
+class PsBehavior:
+    """Normal termination: per-thread return values + syscall trace."""
+
+    returns: tuple[Value, ...]
+    syscalls: tuple[tuple[str, Value], ...] = ()
+
+    def __repr__(self) -> str:
+        calls = "".join(f"{name}({value}); " for name, value in self.syscalls)
+        return f"⟨{calls}ret {self.returns}⟩"
+
+
+@dataclass(frozen=True)
+class PsBottom:
+    """Erroneous termination; carries the observable prefix."""
+
+    syscalls: tuple[tuple[str, Value], ...] = ()
+
+    def __repr__(self) -> str:
+        calls = "".join(f"{name}({value}); " for name, value in self.syscalls)
+        return f"⟨{calls}⊥⟩"
+
+
+PsResult = PsBehavior | PsBottom
+
+
+@dataclass
+class Exploration:
+    """Result of an exploration run."""
+
+    behaviors: set[PsResult]
+    complete: bool
+    states: int
+
+    def returns(self) -> set[tuple[Value, ...]]:
+        return {b.returns for b in self.behaviors
+                if isinstance(b, PsBehavior)}
+
+    def has_bottom(self) -> bool:
+        return any(isinstance(b, PsBottom) for b in self.behaviors)
+
+    def syscall_traces(self) -> set[tuple[tuple[str, Value], ...]]:
+        return {b.syscalls for b in self.behaviors}
+
+
+def explore(programs: list[Stmt | ThreadState],
+            config: Optional[PsConfig] = None,
+            locations: Optional[set[str]] = None) -> Exploration:
+    """Explore all behaviors of the parallel composition of ``programs``."""
+    if config is None:
+        config = PsConfig()
+    start = initial_state(programs, config, locations)
+    behaviors: set[PsResult] = set()
+    seen = {canonical_key(start)}
+    stack: list[tuple[MachineState, int]] = [(start, config.max_depth)]
+    complete = True
+    states = 0
+
+    while stack:
+        state, depth = stack.pop()
+        states += 1
+        if states > config.max_states:
+            complete = False
+            break
+        if state.bottom:
+            behaviors.add(PsBottom(state.syscalls))
+            continue
+        if state.all_terminated():
+            behaviors.add(PsBehavior(state.return_values(), state.syscalls))
+            continue
+        if depth == 0:
+            complete = False
+            continue
+        progressed = False
+        for successor in machine_steps(state, config):
+            progressed = True
+            key = canonical_key(successor)
+            if key not in seen:
+                seen.add(key)
+                stack.append((successor, depth - 1))
+        if not progressed:
+            # Stuck non-terminal state (e.g. unfulfillable promises):
+            # contributes no behavior, matching the inductive Def 5.2.
+            continue
+    return Exploration(behaviors, complete, states)
+
+
+def behavior_leq(target: PsResult, source: PsResult) -> bool:
+    """``r_tgt ⊑ r_src`` (Def 5.3, extended with syscall traces)."""
+    if isinstance(source, PsBottom):
+        prefix = target.syscalls[: len(source.syscalls)]
+        return _calls_leq(prefix, source.syscalls)
+    if isinstance(target, PsBottom):
+        return False
+    if len(target.returns) != len(source.returns):
+        return False
+    if not _calls_leq(target.syscalls, source.syscalls):
+        return False
+    return all(value_leq(t, s)
+               for t, s in zip(target.returns, source.returns))
+
+
+def _calls_leq(target: tuple[tuple[str, Value], ...],
+               source: tuple[tuple[str, Value], ...]) -> bool:
+    if len(target) != len(source):
+        return False
+    return all(tn == sn and value_leq(tv, sv)
+               for (tn, tv), (sn, sv) in zip(target, source))

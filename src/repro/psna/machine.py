@@ -1,0 +1,203 @@
+"""Machine states and machine steps of PS^na (Fig 5, bottom right).
+
+A machine state maps thread identifiers to thread states and holds the
+shared memory.  ``machine: normal`` steps require *certification*: after
+taking its steps, the thread must be able to fulfill all its outstanding
+promises by running alone.  ``machine: failure`` propagates a thread's ⊥.
+
+This implementation takes machine steps at single-thread-step granularity
+with certification after each step, which generates the same reachable
+configurations as the paper's multi-step rule: any multi-step sequence
+splits into single steps, and the certification run of an intermediate
+state can replay the remaining steps of the sequence.
+
+States are canonicalized (per-location timestamp renaming) before being
+memoized, so exploration is insensitive to the concrete rationals chosen
+for fresh messages.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Iterator, Optional
+
+from ..lang.ast import Stmt, walk
+from ..lang.ast import Rmw as RmwStmt
+from ..lang.ast import Store as StoreStmt
+from ..lang.interp import WhileThread
+from ..lang.itree import FenceAction, SyscallAction, ThreadState
+from ..lang.events import FenceKind
+from ..lang.values import Value
+from .memory import AnyMessage, Memory, Message, NAMessage
+from .thread import PsConfig, ThreadLts, ThreadStep, thread_steps
+from .view import View
+
+
+@dataclass(frozen=True)
+class MachineState:
+    """``⟨T, M⟩`` plus the SC-fence view and the observable syscall trace."""
+
+    threads: tuple[ThreadLts, ...]
+    memory: Memory
+    sc_view: View = View()
+    syscalls: tuple[tuple[str, Value], ...] = ()
+    bottom: bool = False
+
+    def all_terminated(self) -> bool:
+        return all(thread.is_terminated() for thread in self.threads)
+
+    def return_values(self) -> tuple[Value, ...]:
+        return tuple(thread.return_value() for thread in self.threads)
+
+
+def written_locations(program: Stmt) -> tuple[str, ...]:
+    """Locations a program may write — the promise candidates for it."""
+    locs = set()
+    for node in walk(program):
+        if isinstance(node, (StoreStmt, RmwStmt)):
+            locs.add(node.loc)
+    return tuple(sorted(locs))
+
+
+def initial_state(programs: list[Stmt | ThreadState],
+                  config: PsConfig,
+                  locations: Optional[set[str]] = None) -> MachineState:
+    """The initial machine state: zero views, initialization messages."""
+    threads = []
+    locs: set[str] = set(locations or set())
+    for program in programs:
+        if isinstance(program, Stmt):
+            from ..lang.ast import shared_locations
+
+            locs |= shared_locations(program)
+            promise_locs = written_locations(program)
+            state: ThreadState = WhileThread.start(program)
+        else:
+            promise_locs = ()
+            state = program
+        threads.append(ThreadLts(
+            program=state,
+            promise_budget=config.promise_budget,
+            promise_locs=promise_locs if config.allow_promises else ()))
+    return MachineState(tuple(threads), Memory.initial(locs))
+
+
+# ---------------------------------------------------------------------------
+# Certification
+# ---------------------------------------------------------------------------
+
+
+def certifiable(thread: ThreadLts, memory: Memory, config: PsConfig,
+                _cache: Optional[dict] = None) -> bool:
+    """Can the thread, running alone, fulfill all its promises?
+
+    Searches thread-local runs for a state with an empty promise set.
+    Promise steps during certification follow ``config.cert_promises``
+    (off by default; see DESIGN.md).
+    """
+    if not thread.promises:
+        return True
+    cert_config = replace(config, certifying=True,
+                          allow_promises=config.cert_promises
+                          and config.allow_promises)
+    seen: set = set()
+    stack: list[tuple[ThreadLts, Memory, int]] = [
+        (thread, memory, config.cert_depth)]
+    while stack:
+        current, mem, depth = stack.pop()
+        if not current.promises:
+            return True
+        if depth == 0 or current.is_bottom() or current.is_terminated():
+            continue
+        key = (current, frozenset(mem.messages))
+        if key in seen:
+            continue
+        seen.add(key)
+        for step in thread_steps(current, mem, cert_config):
+            if step.thread.is_bottom():
+                continue  # UB does not certify
+            stack.append((step.thread, step.memory, depth - 1))
+    return False
+
+
+# ---------------------------------------------------------------------------
+# Machine steps
+# ---------------------------------------------------------------------------
+
+
+def machine_steps(state: MachineState,
+                  config: PsConfig) -> Iterator[MachineState]:
+    """Enumerate certified machine steps and failure steps."""
+    if state.bottom:
+        return
+    for index, thread in enumerate(state.threads):
+        action = thread.program.peek()
+        if isinstance(action, FenceAction) and action.kind is FenceKind.SC:
+            # SC fences need the machine's global view.
+            view = thread.view.join(state.sc_view)
+            updated = replace(thread, program=thread.program.resume(None),
+                              view=view)
+            yield replace(state,
+                          threads=_set(state.threads, index, updated),
+                          sc_view=view)
+            continue
+        for step in thread_steps(thread, state.memory, config):
+            if step.thread.is_bottom():
+                yield replace(state, bottom=True)  # machine: failure
+                continue
+            if not certifiable(step.thread, step.memory, config):
+                continue  # machine: normal requires certification
+            syscalls = state.syscalls
+            if isinstance(action, SyscallAction) and step.tag == "syscall":
+                syscalls = syscalls + ((action.name, action.value),)
+            yield replace(state,
+                          threads=_set(state.threads, index, step.thread),
+                          memory=step.memory,
+                          syscalls=syscalls)
+
+
+def _set(threads: tuple[ThreadLts, ...], index: int,
+         thread: ThreadLts) -> tuple[ThreadLts, ...]:
+    return threads[:index] + (thread,) + threads[index + 1:]
+
+
+# ---------------------------------------------------------------------------
+# Canonicalization
+# ---------------------------------------------------------------------------
+
+
+def canonical_key(state: MachineState):
+    """A hashable key invariant under per-location timestamp renaming."""
+    if state.bottom:
+        return ("⊥", state.syscalls)
+    rank: dict[tuple[str, object], int] = {}
+    for loc in sorted(state.memory.locations()):
+        for index, ts in enumerate(sorted(state.memory.timestamps(loc))):
+            rank[(loc, ts)] = index
+
+    def view_key(view: Optional[View]):
+        if view is None:
+            return ("bot",)
+        return ("view",) + tuple((loc, rank.get((loc, ts), -1))
+                                 for loc, ts in view.items)
+
+    def message_key(message: AnyMessage):
+        if isinstance(message, NAMessage):
+            return ("na", message.loc, rank[(message.loc, message.ts)],
+                    "", ("bot",))
+        attach = (-1 if message.attach is None
+                  else rank.get((message.loc, message.attach), -2))
+        return ("msg", message.loc, rank[(message.loc, message.ts)],
+                repr(message.value), view_key(message.view), attach)
+
+    memory_key = tuple(sorted(message_key(m) for m in state.memory.messages))
+    threads_key = tuple(
+        (thread.program, view_key(thread.view),
+         tuple(sorted(message_key(m) for m in thread.promises)),
+         view_key(thread.acq_pending), view_key(thread.rel_view),
+         tuple((loc, view_key(view))
+               for loc, view in thread.rel_views.items),
+         thread.promise_budget)
+        for thread in state.threads)
+    return (threads_key, memory_key, view_key(state.sc_view),
+            state.syscalls)

@@ -1,0 +1,62 @@
+"""Behavioral refinement in PS^na (Def 5.3).
+
+``σ¹_tgt ∥ … ∥ σⁿ_tgt ⊑_PS^na σ¹_src ∥ … ∥ σⁿ_src`` iff every behavior of
+the target machine is matched (up to ``⊑`` on values, with source UB
+matching anything) by a behavior of the source machine.
+
+This checker explores both machines exhaustively within bounds and
+compares the behavior sets.  It is the oracle against which the adequacy
+harness (Theorem 6.2) validates SEQ verdicts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..lang.ast import Stmt
+from .explore import Exploration, PsResult, behavior_leq, explore
+from .thread import PsConfig
+
+
+@dataclass
+class PsVerdict:
+    refines: bool
+    complete: bool
+    unmatched: Optional[PsResult] = None
+    target: Optional[Exploration] = None
+    source: Optional[Exploration] = None
+
+    def __bool__(self) -> bool:
+        return self.refines
+
+    def __repr__(self) -> str:
+        status = "REFINES" if self.refines else "VIOLATES"
+        suffix = "" if self.complete else " (bounds hit; incomplete)"
+        extra = (f": unmatched target behavior {self.unmatched!r}"
+                 if self.unmatched is not None else "")
+        return f"{status}[psna]{suffix}{extra}"
+
+
+def check_psna_refinement(sources: list[Stmt], targets: list[Stmt],
+                          config: Optional[PsConfig] = None,
+                          locations: Optional[set[str]] = None) -> PsVerdict:
+    """Check Def 5.3 between two whole concurrent programs."""
+    if len(sources) != len(targets):
+        raise ValueError("source and target must have the same thread count")
+    if config is None:
+        config = PsConfig()
+    locs = set(locations or set())
+    for program in (*sources, *targets):
+        from ..lang.ast import shared_locations
+
+        locs |= shared_locations(program)
+    target_exp = explore(targets, config, locs)
+    source_exp = explore(sources, config, locs)
+    complete = target_exp.complete and source_exp.complete
+    for behavior in sorted(target_exp.behaviors, key=repr):
+        if not any(behavior_leq(behavior, candidate)
+                   for candidate in source_exp.behaviors):
+            return PsVerdict(False, complete, behavior, target_exp,
+                             source_exp)
+    return PsVerdict(True, complete, None, target_exp, source_exp)

@@ -1,0 +1,95 @@
+"""Timestamps and views for PS^na (Fig 5).
+
+``Time = {0} ∪ Q+`` — we use :class:`fractions.Fraction` so fresh
+timestamps can always be inserted between existing ones.  A *view* maps
+locations to timestamps (default 0); the *bottom view* ⊥ (smaller than
+every view) annotates non-atomic messages and is represented by ``None``
+in message fields, with :data:`BOT` as a convenience alias.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import Iterable, Mapping, Optional
+
+Time = Fraction
+
+ZERO = Fraction(0)
+
+#: The bottom view ⊥ (as stored in message view fields).
+BOT: Optional["View"] = None
+
+
+@dataclass(frozen=True)
+class View:
+    """A view ``Loc → Time``; absent locations map to timestamp 0."""
+
+    items: tuple[tuple[str, Time], ...] = ()
+
+    @staticmethod
+    def of(mapping: Mapping[str, Time]) -> "View":
+        trimmed = {loc: ts for loc, ts in mapping.items() if ts != ZERO}
+        return View(tuple(sorted(trimmed.items())))
+
+    @staticmethod
+    def singleton(loc: str, ts: Time) -> "View":
+        return View.of({loc: ts})
+
+    def get(self, loc: str) -> Time:
+        for key, ts in self.items:
+            if key == loc:
+                return ts
+        return ZERO
+
+    def set(self, loc: str, ts: Time) -> "View":
+        updated = dict(self.items)
+        updated[loc] = ts
+        return View.of(updated)
+
+    def join(self, other: Optional["View"]) -> "View":
+        """``V ⊔ V'``; joining with ⊥ (None) is the identity."""
+        if other is None:
+            return self
+        merged = dict(self.items)
+        for loc, ts in other.items:
+            if ts > merged.get(loc, ZERO):
+                merged[loc] = ts
+        return View.of(merged)
+
+    def leq(self, other: "View") -> bool:
+        return all(ts <= other.get(loc) for loc, ts in self.items)
+
+    def locations(self) -> tuple[str, ...]:
+        return tuple(loc for loc, _ in self.items)
+
+    def as_dict(self) -> dict[str, Time]:
+        return dict(self.items)
+
+    def __repr__(self) -> str:
+        if not self.items:
+            return "⟨⟩"
+        return "⟨" + ", ".join(f"{loc}@{ts}" for loc, ts in self.items) + "⟩"
+
+
+def view_leq_opt(a: Optional[View], b: Optional[View]) -> bool:
+    """``⊑`` on ``View ∪ {⊥}``: ⊥ is below everything."""
+    if a is None:
+        return True
+    if b is None:
+        return not a.items
+    return a.leq(b)
+
+
+def join_opt(a: Optional[View], b: Optional[View]) -> Optional[View]:
+    if a is None:
+        return b
+    return a.join(b)
+
+
+def fresh_between(low: Time, high: Optional[Time]) -> Time:
+    """A timestamp strictly between ``low`` and ``high`` (or above ``low``)."""
+    if high is None:
+        return low + 1
+    assert low < high
+    return (low + high) / 2

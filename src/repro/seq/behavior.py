@@ -1,0 +1,149 @@
+"""SEQ behaviors (Def 2.1) and bounded behavior enumeration.
+
+A behavior is a pair ⟨tr, r⟩ of a finite trace of transition labels and a
+result, where the result is:
+
+* ``trm(v, F, M)`` — normal termination with value ``v``, written set ``F``
+  and final memory ``M``;
+* ``prt(F)`` — a partial (ongoing) execution with current written set;
+* ``⊥`` — erroneous termination (UB).
+
+Every reachable configuration contributes a partial behavior, so the
+behavior set of a program is prefix-closed in the trace component.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+from ..lang.values import UNDEF, Value, value_leq
+from ..util.fmap import FrozenMap
+from .labels import SeqLabel, fmap_leq, trace_leq
+from .machine import SeqConfig, SeqUniverse, seq_steps
+
+
+@dataclass(frozen=True)
+class Trm:
+    """Normal termination: ``trm(v, F, M)``."""
+
+    value: Value
+    written: frozenset[str]
+    memory: FrozenMap
+
+    def __repr__(self) -> str:
+        return f"trm({self.value},{set(self.written) or '{}'},{self.memory})"
+
+
+@dataclass(frozen=True)
+class Prt:
+    """A partial execution: ``prt(F)``."""
+
+    written: frozenset[str]
+
+    def __repr__(self) -> str:
+        return f"prt({set(self.written) or '{}'})"
+
+
+@dataclass(frozen=True)
+class Bot:
+    """Erroneous termination (UB)."""
+
+    def __repr__(self) -> str:
+        return "⊥"
+
+
+BehaviorResult = Trm | Prt | Bot
+
+
+@dataclass(frozen=True)
+class Behavior:
+    """A SEQ behavior ⟨tr, r⟩."""
+
+    trace: tuple[SeqLabel, ...]
+    result: BehaviorResult
+
+    def __repr__(self) -> str:
+        return f"⟨{list(self.trace)}, {self.result!r}⟩"
+
+
+def result_of(cfg: SeqConfig) -> BehaviorResult:
+    """The zero-step behavior result of a configuration (Def 2.1)."""
+    if cfg.is_terminated():
+        return Trm(cfg.thread.return_value(), cfg.written, cfg.memory)
+    if cfg.is_bottom():
+        return Bot()
+    return Prt(cfg.written)
+
+
+def behavior_leq(target: Behavior, source: Behavior) -> bool:
+    """The order ⟨tr_tgt, r_tgt⟩ ⊑ ⟨tr_src, r_src⟩ on behaviors (Def 2.3).
+
+    Terminal and partial results require equal-length, pointwise-related
+    traces; source UB matches any target behavior whose trace extends a
+    related prefix.
+    """
+    if isinstance(source.result, Bot):
+        prefix = target.trace[: len(source.trace)]
+        return trace_leq(prefix, source.trace)
+    if not trace_leq(target.trace, source.trace):
+        return False
+    if isinstance(target.result, Trm) and isinstance(source.result, Trm):
+        return (value_leq(target.result.value, source.result.value)
+                and target.result.written <= source.result.written
+                and fmap_leq(target.result.memory, source.result.memory))
+    if isinstance(target.result, Prt) and isinstance(source.result, Prt):
+        return target.result.written <= source.result.written
+    return False
+
+
+def enumerate_behaviors(cfg: SeqConfig, universe: SeqUniverse,
+                        max_steps: int = 32,
+                        max_behaviors: int = 200_000) -> set[Behavior]:
+    """All behaviors of ``cfg`` up to ``max_steps`` transitions.
+
+    Intended for inspection and for small differential tests; the
+    refinement checkers use a directed search instead of enumerating both
+    sides.
+    """
+    behaviors: set[Behavior] = set()
+
+    def visit(current: SeqConfig, trace: tuple[SeqLabel, ...],
+              budget: int) -> None:
+        if len(behaviors) >= max_behaviors:
+            return
+        behaviors.add(Behavior(trace, result_of(current)))
+        if budget == 0:
+            return
+        for label, successor in seq_steps(current, universe):
+            next_trace = trace if label is None else trace + (label,)
+            visit(successor, next_trace, budget - 1)
+
+    visit(cfg, (), max_steps)
+    return behaviors
+
+
+def iter_initial_configs(program, universe: SeqUniverse, *,
+                         written_choices: tuple[frozenset[str], ...] = (
+                             frozenset(),),
+                         include_undef_memory: bool = False,
+                         ) -> Iterator[SeqConfig]:
+    """Enumerate initial configurations ⟨σ, P, F, M⟩ over the universe.
+
+    Def 2.4 quantifies refinement over every P, F and M; this enumerates
+    all permission sets and memory valuations (and, optionally, written
+    sets and undef-valued memories).
+    """
+    import itertools
+
+    locs = universe.na_locs
+    mem_values: tuple[Value, ...] = universe.values
+    if include_undef_memory:
+        mem_values = mem_values + (UNDEF,)
+    for perm_size in range(len(locs) + 1):
+        for perms in itertools.combinations(locs, perm_size):
+            for assignment in itertools.product(mem_values, repeat=len(locs)):
+                memory = FrozenMap.of(dict(zip(locs, assignment)))
+                for written in written_choices:
+                    yield SeqConfig.initial(program, frozenset(perms), memory,
+                                            written)

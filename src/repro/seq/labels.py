@@ -1,0 +1,268 @@
+"""SEQ transition labels, the order ``⊑`` on labels, and label stripping.
+
+Labeled SEQ transitions (Fig 1) record:
+
+* ``choose(v)`` and relaxed accesses ``Rrlx(x,v)`` / ``Wrlx(x,v)``;
+* acquire reads ``Racq(x, v, P, P', F, V)`` — permission set before/after,
+  the written-locations set, and the values gained for ``P' \\ P``;
+* release writes ``Wrel(x, v, P, P', F, V)`` — with ``V = M|P`` the
+  "(potentially) released" memory.
+
+Non-atomic accesses and silent steps are unlabeled.
+
+As an extension mirroring the Coq development we also support acquire and
+release *fences*, which behave like an acquire read / release write without
+the location-value component.
+
+The order ``⊑`` on labels (Def 2.3) lets the source be "less committed":
+equal labels, or relaxed/release writes whose source value refines the
+target's, acquire/release labels whose written-set is larger on the source,
+and release labels whose recorded memory refines pointwise.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..lang.values import Value, value_leq
+from ..util.fmap import FrozenMap
+
+Perm = frozenset
+
+
+@dataclass(frozen=True)
+class ChooseLabel:
+    value: Value
+
+    def __repr__(self) -> str:
+        return f"choose({self.value})"
+
+
+@dataclass(frozen=True)
+class RlxReadLabel:
+    loc: str
+    value: Value
+
+    def __repr__(self) -> str:
+        return f"Rrlx({self.loc},{self.value})"
+
+
+@dataclass(frozen=True)
+class RlxWriteLabel:
+    loc: str
+    value: Value
+
+    def __repr__(self) -> str:
+        return f"Wrlx({self.loc},{self.value})"
+
+
+@dataclass(frozen=True)
+class AcqReadLabel:
+    """``Racq(x, v, P, P', F, V)`` — Fig 1 (acq-read)."""
+
+    loc: str
+    value: Value
+    perms_before: frozenset[str]
+    perms_after: frozenset[str]
+    written: frozenset[str]
+    gained: FrozenMap  # dom(V) = perms_after \ perms_before
+
+    def __repr__(self) -> str:
+        return (
+            f"Racq({self.loc},{self.value},P={set(self.perms_before) or '{}'}"
+            f"->{set(self.perms_after) or '{}'},F={set(self.written) or '{}'},"
+            f"V={self.gained})"
+        )
+
+
+@dataclass(frozen=True)
+class RelWriteLabel:
+    """``Wrel(x, v, P, P', F, V)`` — Fig 1 (rel-write)."""
+
+    loc: str
+    value: Value
+    perms_before: frozenset[str]
+    perms_after: frozenset[str]
+    written: frozenset[str]
+    released: FrozenMap  # V = M | P
+
+    def __repr__(self) -> str:
+        return (
+            f"Wrel({self.loc},{self.value},P={set(self.perms_before) or '{}'}"
+            f"->{set(self.perms_after) or '{}'},F={set(self.written) or '{}'},"
+            f"V={self.released})"
+        )
+
+
+@dataclass(frozen=True)
+class AcqFenceLabel:
+    """An acquire fence (extension): gains permissions like an acq read."""
+
+    perms_before: frozenset[str]
+    perms_after: frozenset[str]
+    written: frozenset[str]
+    gained: FrozenMap
+
+    def __repr__(self) -> str:
+        return (
+            f"Facq(P={set(self.perms_before) or '{}'}"
+            f"->{set(self.perms_after) or '{}'},F={set(self.written) or '{}'},"
+            f"V={self.gained})"
+        )
+
+
+@dataclass(frozen=True)
+class RelFenceLabel:
+    """A release fence (extension): releases permissions like a rel write."""
+
+    perms_before: frozenset[str]
+    perms_after: frozenset[str]
+    written: frozenset[str]
+    released: FrozenMap
+
+    def __repr__(self) -> str:
+        return (
+            f"Frel(P={set(self.perms_before) or '{}'}"
+            f"->{set(self.perms_after) or '{}'},F={set(self.written) or '{}'},"
+            f"V={self.released})"
+        )
+
+
+@dataclass(frozen=True)
+class SyscallLabel:
+    """An observable system call (extension); must match exactly."""
+
+    name: str
+    value: Value
+
+    def __repr__(self) -> str:
+        return f"{self.name}({self.value})"
+
+
+SeqLabel = (
+    ChooseLabel
+    | RlxReadLabel
+    | RlxWriteLabel
+    | AcqReadLabel
+    | RelWriteLabel
+    | AcqFenceLabel
+    | RelFenceLabel
+    | SyscallLabel
+)
+
+
+def is_acquire(label: SeqLabel) -> bool:
+    """Acquire labels block late-UB and partial-fulfillment suffixes."""
+    return isinstance(label, (AcqReadLabel, AcqFenceLabel))
+
+
+def fmap_leq(target: FrozenMap, source: FrozenMap) -> bool:
+    """Pointwise ``⊑`` on maps with equal domains."""
+    if set(target.keys()) != set(source.keys()):
+        return False
+    return all(value_leq(target[key], source[key]) for key in target)
+
+
+def label_leq(target: SeqLabel, source: SeqLabel) -> bool:
+    """The order ``e_tgt ⊑ e_src`` on transition labels (Def 2.3)."""
+    if target == source:
+        return True
+    if isinstance(target, RlxWriteLabel) and isinstance(source, RlxWriteLabel):
+        return (target.loc == source.loc
+                and value_leq(target.value, source.value))
+    if isinstance(target, AcqReadLabel) and isinstance(source, AcqReadLabel):
+        return (target.loc == source.loc
+                and target.value == source.value
+                and target.perms_before == source.perms_before
+                and target.perms_after == source.perms_after
+                and target.gained == source.gained
+                and target.written <= source.written)
+    if isinstance(target, RelWriteLabel) and isinstance(source, RelWriteLabel):
+        return (target.loc == source.loc
+                and value_leq(target.value, source.value)
+                and target.perms_before == source.perms_before
+                and target.perms_after == source.perms_after
+                and target.written <= source.written
+                and fmap_leq(target.released, source.released))
+    if isinstance(target, AcqFenceLabel) and isinstance(source, AcqFenceLabel):
+        return (target.perms_before == source.perms_before
+                and target.perms_after == source.perms_after
+                and target.gained == source.gained
+                and target.written <= source.written)
+    if isinstance(target, RelFenceLabel) and isinstance(source, RelFenceLabel):
+        return (target.perms_before == source.perms_before
+                and target.perms_after == source.perms_after
+                and target.written <= source.written
+                and fmap_leq(target.released, source.released))
+    return False
+
+
+def trace_leq(target: tuple[SeqLabel, ...],
+              source: tuple[SeqLabel, ...]) -> bool:
+    """Pointwise ``⊑`` on equal-length traces (Def 2.3, item 2)."""
+    if len(target) != len(source):
+        return False
+    return all(label_leq(t, s) for t, s in zip(target, source))
+
+
+# ---------------------------------------------------------------------------
+# Stripped labels (§3): the part of a label visible to an oracle.
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class StrippedAcq:
+    loc: str
+    value: Value
+    perms_before: frozenset[str]
+    perms_after: frozenset[str]
+    gained: FrozenMap
+
+
+@dataclass(frozen=True)
+class StrippedRel:
+    loc: str
+    value: Value
+    perms_before: frozenset[str]
+    perms_after: frozenset[str]
+
+
+@dataclass(frozen=True)
+class StrippedAcqFence:
+    perms_before: frozenset[str]
+    perms_after: frozenset[str]
+    gained: FrozenMap
+
+
+@dataclass(frozen=True)
+class StrippedRelFence:
+    perms_before: frozenset[str]
+    perms_after: frozenset[str]
+
+
+StrippedLabel = (
+    ChooseLabel
+    | RlxReadLabel
+    | RlxWriteLabel
+    | StrippedAcq
+    | StrippedRel
+    | StrippedAcqFence
+    | StrippedRelFence
+    | SyscallLabel
+)
+
+
+def strip(label: SeqLabel) -> StrippedLabel:
+    """``|e|`` — remove the written-set (and released memory) from ``e``."""
+    if isinstance(label, AcqReadLabel):
+        return StrippedAcq(label.loc, label.value, label.perms_before,
+                           label.perms_after, label.gained)
+    if isinstance(label, RelWriteLabel):
+        return StrippedRel(label.loc, label.value, label.perms_before,
+                           label.perms_after)
+    if isinstance(label, AcqFenceLabel):
+        return StrippedAcqFence(label.perms_before, label.perms_after,
+                                label.gained)
+    if isinstance(label, RelFenceLabel):
+        return StrippedRelFence(label.perms_before, label.perms_after)
+    return label

@@ -1,0 +1,201 @@
+"""Oracles for advanced behavioral refinement (Def 3.2).
+
+An oracle is an LTS over *stripped* transition labels representing a
+possible concurrent environment.  It must satisfy:
+
+* **Progress** — in every state, for every atomic location ``x``, value
+  ``v`` and permission set ``P``, transitions ``choose(_)``,
+  ``Rrlx(x,_)``, ``Wrlx(x,v)``, ``Racq(x,_,P,_,_)`` and ``Wrel(x,v,P,_)``
+  are enabled for some instantiation of the ``_`` components.  In other
+  words: the environment never blocks the thread's own writes, and always
+  offers *some* read result / permission transfer.
+* **Monotonicity** — if the oracle accepts ``e`` and ``e ⊑ e'``, it
+  accepts ``e'`` into the same state.
+
+Advanced refinement (Def 3.3) quantifies over *all* oracles.  The checker
+uses a finite adversarial family: for each target behavior, the
+:class:`TraceOracle` that follows the target's stripped trace on-script
+and, off-script (the source's late-UB / commitment-fulfillment suffixes),
+answers environment-controlled components by a fixed
+:class:`OracleDefaults` policy.  Every member of the family is a genuine
+oracle, so a violation found against any member is a real violation; a
+pass means "not falsified by the family" (the adversarial defaults cover
+the paper's counterexamples, e.g. forcing the §3 source to read ``x ≠ 1``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Sequence
+
+from ..lang.values import UNDEF, Value, is_undef, value_leq
+from .labels import (
+    ChooseLabel,
+    RlxReadLabel,
+    RlxWriteLabel,
+    SeqLabel,
+    StrippedAcq,
+    StrippedAcqFence,
+    StrippedLabel,
+    StrippedRel,
+    StrippedRelFence,
+    SyscallLabel,
+    strip,
+)
+
+
+@dataclass(frozen=True)
+class OracleDefaults:
+    """Off-script environment policy of a :class:`TraceOracle`.
+
+    ``read_value`` answers relaxed (and hypothetical acquire) reads;
+    ``choose_value`` answers freeze resolutions; ``rel_drop_all`` decides
+    whether off-script release writes drop all permissions or keep them.
+    """
+
+    read_value: Value = 0
+    choose_value: int = 0
+    rel_drop_all: bool = False
+
+    def __repr__(self) -> str:
+        return (f"defaults(read={self.read_value}, "
+                f"choose={self.choose_value}, "
+                f"rel={'drop' if self.rel_drop_all else 'keep'})")
+
+
+def default_oracle_family(values: Sequence[int],
+                          include_undef_reads: bool = True,
+                          ) -> tuple[OracleDefaults, ...]:
+    """A small adversarial family of off-script policies.
+
+    One policy per (read value × drop policy); choose values follow the
+    read value when defined.  Covering each constant read value suffices
+    to invalidate reorderings whose source must *assume* a specific read
+    result to reach UB (§3's second late-UB example).
+    """
+    family: list[OracleDefaults] = []
+    read_options: list[Value] = list(values)
+    if include_undef_reads:
+        read_options.append(UNDEF)
+    for read_value in read_options:
+        choose_value = read_value if isinstance(read_value, int) else (
+            values[0] if values else 0)
+        for rel_drop_all in (False, True):
+            family.append(OracleDefaults(read_value, choose_value,
+                                         rel_drop_all))
+    return tuple(family)
+
+
+@dataclass(frozen=True)
+class TraceOracle:
+    """The oracle following a fixed stripped target trace.
+
+    States are indices into the script.  On-script: from state ``n`` the
+    oracle accepts any label ``e`` with ``script[n] ⊑ e`` (monotonicity by
+    construction) and moves to ``n + 1``.  Off-script: self-loop
+    transitions accept thread-controlled labels unconditionally and
+    environment-controlled components according to ``defaults``
+    (progress by construction).
+    """
+
+    script: tuple[StrippedLabel, ...]
+    defaults: OracleDefaults = OracleDefaults()
+
+    @staticmethod
+    def for_target_trace(trace: Sequence[SeqLabel],
+                         defaults: OracleDefaults = OracleDefaults(),
+                         ) -> "TraceOracle":
+        return TraceOracle(tuple(strip(label) for label in trace), defaults)
+
+    # -- LTS interface -------------------------------------------------
+
+    def initial_state(self) -> int:
+        return 0
+
+    def successors(self, state: int, label: SeqLabel) -> Iterator[int]:
+        stripped = strip(label)
+        if state < len(self.script) and _stripped_leq(self.script[state],
+                                                      stripped):
+            yield state + 1
+        if self.allows_offscript(stripped):
+            yield state
+
+    def allows_offscript(self, stripped: StrippedLabel) -> bool:
+        """Self-loop transitions providing the progress condition."""
+        defaults = self.defaults
+        if isinstance(stripped, ChooseLabel):
+            return stripped.value == defaults.choose_value
+        if isinstance(stripped, RlxReadLabel):
+            # Exactly the default answer: an adversarial environment may
+            # pin read results, which is what invalidates §3's second
+            # late-UB example (the source cannot assume it reads 1).
+            return stripped.value == defaults.read_value
+        if isinstance(stripped, RlxWriteLabel):
+            return True  # writes are thread-controlled; never blocked
+        if isinstance(stripped, StrippedAcq):
+            # Not used by the checker (suffixes exclude acquires) but
+            # required for progress: gain nothing, read the default.
+            return (stripped.perms_after == stripped.perms_before
+                    and len(stripped.gained) == 0
+                    and stripped.value == defaults.read_value)
+        if isinstance(stripped, StrippedAcqFence):
+            return (stripped.perms_after == stripped.perms_before
+                    and len(stripped.gained) == 0)
+        if isinstance(stripped, (StrippedRel, StrippedRelFence)):
+            expected = (frozenset() if defaults.rel_drop_all
+                        else stripped.perms_before)
+            return stripped.perms_after == expected
+        if isinstance(stripped, SyscallLabel):
+            return True
+        return False
+
+    def allows_trace(self, trace: Sequence[SeqLabel]) -> bool:
+        """``tr ∈ Tr(Ω)`` — membership by breadth-first state tracking."""
+        states = {self.initial_state()}
+        for label in trace:
+            states = {succ for state in states
+                      for succ in self.successors(state, label)}
+            if not states:
+                return False
+        return True
+
+
+def _stripped_leq(expected: StrippedLabel, actual: StrippedLabel) -> bool:
+    """``expected ⊑ actual`` on stripped labels (for monotone acceptance)."""
+    if expected == actual:
+        return True
+    if isinstance(expected, RlxWriteLabel) and isinstance(actual,
+                                                          RlxWriteLabel):
+        return (expected.loc == actual.loc
+                and value_leq(expected.value, actual.value))
+    if isinstance(expected, StrippedRel) and isinstance(actual, StrippedRel):
+        return (expected.loc == actual.loc
+                and value_leq(expected.value, actual.value)
+                and expected.perms_before == actual.perms_before
+                and expected.perms_after == actual.perms_after)
+    return False
+
+
+def check_progress(oracle: TraceOracle, states: Sequence[int],
+                   locs: Sequence[str], values: Sequence[int],
+                   perm_choices: Sequence[frozenset[str]]) -> bool:
+    """Test harness: verify Def 3.2's progress condition on given states.
+
+    For every state, location, value and permission set, some instance of
+    each label family must be accepted.
+    """
+    for state in states:
+        if not any(next(oracle.successors(state, ChooseLabel(value)), None)
+                   is not None for value in values):
+            return False
+        for loc in locs:
+            if not any(
+                    next(oracle.successors(state, RlxReadLabel(loc, value)),
+                         None) is not None
+                    for value in list(values) + [UNDEF]):
+                return False
+            for value in values:
+                if next(oracle.successors(state, RlxWriteLabel(loc, value)),
+                        None) is None:
+                    return False
+    return True

@@ -1,0 +1,507 @@
+"""Behavioral refinement checking in SEQ (Defs 2.3/2.4 and Fig 2/Def 3.3).
+
+The checker plays a refinement game between a *target* configuration and a
+*frontier* of source configurations that have matched the target's trace so
+far.  At every game state it discharges the local obligations of the
+refinement definitions:
+
+* every partial target behavior ``⟨tr, prt(F_tgt)⟩`` needs a source match;
+* a terminated target needs a terminated source with related value,
+  written set and memory;
+* a target that reached ⊥ needs a source that reaches ⊥;
+* every labeled target step needs ⊑-related source steps (keeping *all*
+  matches in the frontier).
+
+Simple mode implements Def 2.3/2.4 exactly: source traces pair with target
+traces pointwise and the source may only take *unlabeled* extra steps.
+
+Advanced mode implements Fig 2/Def 3.3: the game additionally tracks a
+commitment set ``R`` per frontier element, release labels are matched up
+to ``R``, and the source may run *labeled* acquire-free suffixes — "late
+UB" and commitment fulfillment — constrained by an adversarial oracle
+family (:mod:`repro.seq.oracle`).
+
+Verdicts: ``VIOLATES`` always carries a concrete counterexample (initial
+state + target trace + failed obligation) and is exact for the given
+universe.  ``REFINES`` is exact for simple mode (within the step bounds)
+and family-relative for advanced mode.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Iterable, Optional
+
+from ..lang.ast import Stmt
+from ..lang.values import value_leq
+from ..util.fmap import FrozenMap
+from .behavior import iter_initial_configs
+from .labels import (
+    AcqFenceLabel,
+    AcqReadLabel,
+    ChooseLabel,
+    RelFenceLabel,
+    RelWriteLabel,
+    RlxReadLabel,
+    RlxWriteLabel,
+    SeqLabel,
+    StrippedLabel,
+    SyscallLabel,
+    fmap_leq,
+    is_acquire,
+    label_leq,
+    strip,
+)
+from .machine import SeqConfig, SeqUniverse, seq_steps, universe_for
+from .oracle import OracleDefaults, _stripped_leq, default_oracle_family
+
+
+@dataclass(frozen=True)
+class Limits:
+    """Exploration bounds; exceeding any bound clears ``complete``."""
+
+    max_game_states: int = 60_000
+    max_closure_states: int = 6_000
+    max_escape_states: int = 6_000
+    max_frontier: int = 4_000
+
+
+@dataclass(frozen=True)
+class Counterexample:
+    """A concrete witness that refinement fails."""
+
+    initial: SeqConfig
+    trace: tuple[SeqLabel, ...]
+    reason: str
+    defaults: Optional[OracleDefaults] = None
+
+    def __repr__(self) -> str:
+        oracle = f" (oracle {self.defaults})" if self.defaults else ""
+        return (f"counterexample at init {self.initial!r}: after trace "
+                f"{list(self.trace)}: {self.reason}{oracle}")
+
+
+@dataclass
+class Verdict:
+    """Result of a refinement check."""
+
+    refines: bool
+    complete: bool
+    mode: str
+    counterexample: Optional[Counterexample] = None
+    game_states: int = 0
+
+    def __bool__(self) -> bool:
+        return self.refines
+
+    def __repr__(self) -> str:
+        status = "REFINES" if self.refines else "VIOLATES"
+        suffix = "" if self.complete else " (bounds hit; incomplete)"
+        extra = (f": {self.counterexample!r}"
+                 if self.counterexample is not None else "")
+        return f"{status}[{self.mode}]{suffix}{extra}"
+
+
+@dataclass(frozen=True)
+class _Item:
+    """A frontier element: a source configuration plus its commitments."""
+
+    cfg: SeqConfig
+    commitments: frozenset[str]
+
+
+@dataclass
+class _Escape:
+    """Result of a source suffix search from one frontier element."""
+
+    bottom: bool
+    coverages: frozenset[frozenset[str]]
+    complete: bool
+
+
+class _Game:
+    """One refinement game for a fixed initial configuration pair."""
+
+    def __init__(self, universe: SeqUniverse, advanced: bool,
+                 defaults: Optional[OracleDefaults], limits: Limits) -> None:
+        self.universe = universe
+        self.advanced = advanced
+        self.defaults = defaults or OracleDefaults()
+        self.limits = limits
+        self.complete = True
+        self._escape_cache: dict[tuple[SeqConfig, frozenset[StrippedLabel]],
+                                 _Escape] = {}
+        self.game_states = 0
+
+    # -- source closures -------------------------------------------------
+
+    def _close(self, items: Iterable[_Item]) -> frozenset[_Item]:
+        """Unlabeled closure of frontier items (silent + non-atomic steps)."""
+        seen: set[_Item] = set(items)
+        stack = list(seen)
+        while stack:
+            if len(seen) > self.limits.max_closure_states:
+                self.complete = False
+                break
+            item = stack.pop()
+            cfg = item.cfg
+            if cfg.is_bottom() or cfg.is_terminated():
+                continue
+            for label, successor in seq_steps(cfg, self.universe):
+                if label is None:
+                    candidate = _Item(successor, item.commitments)
+                    if candidate not in seen:
+                        seen.add(candidate)
+                        stack.append(candidate)
+        return frozenset(seen)
+
+    def _suffix_allowed(self, label: SeqLabel,
+                        script: frozenset[StrippedLabel]) -> bool:
+        """May the source take ``label`` in an acquire-free suffix?
+
+        Off-script transitions follow the oracle defaults; additionally,
+        any stripped label from the matched prefix is allowed — a sound
+        over-approximation of trace membership for the constructed
+        oracle (which can only make the checker *accept* more, keeping
+        VIOLATES verdicts exact).
+        """
+        if is_acquire(label):
+            return False
+        from .oracle import TraceOracle  # local: avoid import cycle
+
+        oracle = TraceOracle((), self.defaults)
+        stripped = strip(label)
+        if oracle.allows_offscript(stripped):
+            return True
+        return any(_stripped_leq(entry, stripped) for entry in script)
+
+    def _escape(self, item: _Item,
+                script: frozenset[StrippedLabel]) -> _Escape:
+        """Search acquire-free, oracle-allowed suffixes from ``item``.
+
+        Returns whether ⊥ is reachable (beh-failure) and the set of
+        "coverage" sets ``F_src ∪ ⋃{F | Wrel(..,F,..) ∈ suffix}``
+        reachable (beh-partial).  In simple mode suffixes are unlabeled
+        only, so this reduces to inspecting the already-closed frontier.
+        """
+        key = (item.cfg, script if self.advanced else frozenset())
+        cached = self._escape_cache.get(key)
+        if cached is not None:
+            return cached
+        bottom = False
+        coverages: set[frozenset[str]] = set()
+        complete = True
+        seen: set[tuple[SeqConfig, frozenset[str]]] = set()
+        stack: list[tuple[SeqConfig, frozenset[str]]] = [
+            (item.cfg, frozenset())]
+        while stack:
+            if len(seen) > self.limits.max_escape_states:
+                complete = False
+                break
+            cfg, rel_written = stack.pop()
+            if (cfg, rel_written) in seen:
+                continue
+            seen.add((cfg, rel_written))
+            coverages.add(cfg.written | rel_written)
+            if cfg.is_bottom():
+                bottom = True
+                continue
+            if cfg.is_terminated():
+                continue
+            for label, successor in seq_steps(cfg, self.universe):
+                if label is None:
+                    stack.append((successor, rel_written))
+                    continue
+                if not self.advanced:
+                    continue  # simple mode: unlabeled suffixes only
+                if not self._suffix_allowed(label, script):
+                    continue
+                next_rel = rel_written
+                if isinstance(label, (RelWriteLabel, RelFenceLabel)):
+                    next_rel = rel_written | label.written
+                stack.append((successor, next_rel))
+        result = _Escape(bottom, frozenset(coverages), complete)
+        self._escape_cache[key] = result
+        return result
+
+    # -- label matching ----------------------------------------------------
+
+    def _match_label(self, tgt_label: SeqLabel, src_label: SeqLabel,
+                     commitments: frozenset[str],
+                     ) -> Optional[frozenset[str]]:
+        """Match one label pair; return the new commitment set or None.
+
+        Simple mode uses the plain order ``e_tgt ⊑ e_src`` (Def 2.3) and
+        keeps the commitment set empty.  Advanced mode implements the
+        per-rule premises of Fig 2.
+        """
+        if not self.advanced:
+            return frozenset() if label_leq(tgt_label, src_label) else None
+
+        if isinstance(tgt_label, (ChooseLabel, RlxReadLabel, SyscallLabel)):
+            return commitments if tgt_label == src_label else None
+        if isinstance(tgt_label, RlxWriteLabel):
+            if (isinstance(src_label, RlxWriteLabel)
+                    and tgt_label.loc == src_label.loc
+                    and value_leq(tgt_label.value, src_label.value)):
+                return commitments
+            return None
+        if isinstance(tgt_label, AcqReadLabel):
+            if (isinstance(src_label, AcqReadLabel)
+                    and tgt_label.loc == src_label.loc
+                    and tgt_label.value == src_label.value
+                    and tgt_label.perms_before == src_label.perms_before
+                    and tgt_label.perms_after == src_label.perms_after
+                    and tgt_label.gained == src_label.gained
+                    and tgt_label.written | commitments
+                    <= src_label.written):
+                return frozenset()
+            return None
+        if isinstance(tgt_label, AcqFenceLabel):
+            if (isinstance(src_label, AcqFenceLabel)
+                    and tgt_label.perms_before == src_label.perms_before
+                    and tgt_label.perms_after == src_label.perms_after
+                    and tgt_label.gained == src_label.gained
+                    and tgt_label.written | commitments
+                    <= src_label.written):
+                return frozenset()
+            return None
+        if isinstance(tgt_label, (RelWriteLabel, RelFenceLabel)):
+            if isinstance(tgt_label, RelWriteLabel):
+                if not (isinstance(src_label, RelWriteLabel)
+                        and tgt_label.loc == src_label.loc
+                        and value_leq(tgt_label.value, src_label.value)):
+                    return None
+            else:
+                if not isinstance(src_label, RelFenceLabel):
+                    return None
+            if (tgt_label.perms_before != src_label.perms_before
+                    or tgt_label.perms_after != src_label.perms_after):
+                return None
+            # R' = (R \ F_src) ∪ (F_tgt \ F_src) ∪ {y | V_tgt(y) ⋢ V_src(y)}
+            src_written = src_label.written
+            mismatched = frozenset(
+                loc for loc in tgt_label.released
+                if not value_leq(tgt_label.released[loc],
+                                 src_label.released.get(loc)))
+            return ((commitments - src_written)
+                    | (tgt_label.written - src_written)
+                    | mismatched)
+        return None
+
+    # -- the game ----------------------------------------------------------
+
+    def run(self, tgt0: SeqConfig, src0: SeqConfig,
+            record: Optional[set] = None) -> Optional[Counterexample]:
+        """Play the game; return a counterexample or None (refines).
+
+        When ``record`` is given, every visited game state (a target
+        configuration with its matched source frontier) is added to it —
+        the raw material of a refinement certificate
+        (:mod:`repro.seq.certificate`).
+        """
+        frontier0 = self._close([_Item(src0, frozenset())])
+        stack: list[tuple[SeqConfig, frozenset[_Item],
+                          tuple[SeqLabel, ...]]] = [(tgt0, frontier0, ())]
+        seen: set[tuple[SeqConfig, frozenset[_Item]]] = set()
+        if record is not None:
+            record.add((tgt0, frontier0))
+        initial = tgt0
+
+        while stack:
+            tgt, frontier, trace = stack.pop()
+            key = (tgt, frontier)
+            if key in seen:
+                continue
+            seen.add(key)
+            if record is not None:
+                record.add(key)
+            self.game_states += 1
+            if self.game_states > self.limits.max_game_states:
+                self.complete = False
+                return None
+
+            script = frozenset(strip(label) for label in trace)
+            escapes = {item: self._escape(item, script) for item in frontier}
+
+            # beh-failure prune: a source that reaches ⊥ matches anything.
+            if any(escape.bottom for escape in escapes.values()):
+                continue
+
+            if tgt.is_bottom():
+                return Counterexample(
+                    initial, trace,
+                    "target reaches UB but the source cannot", self.defaults
+                    if self.advanced else None)
+
+            if tgt.is_terminated():
+                if not any(self._terminal_match(tgt, item)
+                           for item in frontier):
+                    return Counterexample(
+                        initial, trace,
+                        f"no source termination matches "
+                        f"trm({tgt.thread.return_value()},"
+                        f"{set(tgt.written) or '{}'},{tgt.memory})",
+                        self.defaults if self.advanced else None)
+                continue
+
+            # beh-partial obligation for ⟨trace, prt(F_tgt)⟩.
+            if not self._partial_match(tgt, frontier, escapes):
+                return Counterexample(
+                    initial, trace,
+                    f"no source matches partial behavior "
+                    f"prt({set(tgt.written) or '{}'})",
+                    self.defaults if self.advanced else None)
+
+            for label, tgt_next in seq_steps(tgt, self.universe):
+                if label is None:
+                    stack.append((tgt_next, frontier, trace))
+                    continue
+                next_items: set[_Item] = set()
+                for item in frontier:
+                    cfg = item.cfg
+                    if cfg.is_bottom() or cfg.is_terminated():
+                        continue
+                    for src_label, src_next in seq_steps(cfg, self.universe):
+                        if src_label is None:
+                            continue
+                        updated = self._match_label(label, src_label,
+                                                    item.commitments)
+                        if updated is not None:
+                            next_items.add(_Item(src_next, updated))
+                if len(next_items) > self.limits.max_frontier:
+                    self.complete = False
+                    continue
+                next_frontier = self._close(next_items)
+                if not next_frontier:
+                    return Counterexample(
+                        initial, trace + (label,),
+                        f"no source step matches target label {label!r}",
+                        self.defaults if self.advanced else None)
+                stack.append((tgt_next, next_frontier, trace + (label,)))
+        return None
+
+    def _terminal_match(self, tgt: SeqConfig, item: _Item) -> bool:
+        cfg = item.cfg
+        if not cfg.is_terminated():
+            return False
+        required = tgt.written | item.commitments
+        return (value_leq(tgt.thread.return_value(),
+                          cfg.thread.return_value())
+                and required <= cfg.written
+                and fmap_leq(tgt.memory, cfg.memory))
+
+    def _partial_match(self, tgt: SeqConfig, frontier: frozenset[_Item],
+                       escapes: dict[_Item, _Escape]) -> bool:
+        for item in frontier:
+            required = tgt.written | item.commitments
+            if self.advanced:
+                if any(required <= coverage
+                       for coverage in escapes[item].coverages):
+                    return True
+            else:
+                if required <= item.cfg.written:
+                    return True
+        return False
+
+
+def _as_config(program: Stmt | SeqConfig,
+               template: SeqConfig) -> SeqConfig:
+    if isinstance(program, SeqConfig):
+        return program
+    return SeqConfig.initial(program, template.perms, template.memory,
+                             template.written)
+
+
+def check_simple_refinement(source: Stmt, target: Stmt,
+                            universe: Optional[SeqUniverse] = None,
+                            limits: Limits = Limits()) -> Verdict:
+    """Check ``σ_tgt ⊑ σ_src`` (Def 2.4) over all initial ⟨P, F, M⟩.
+
+    ``source {~> target`` is a valid transformation iff this returns
+    REFINES.
+    """
+    if universe is None:
+        universe = universe_for(source, target)
+    game = _Game(universe, advanced=False, defaults=None, limits=limits)
+    states = 0
+    for tgt0 in iter_initial_configs(target, universe):
+        src0 = SeqConfig.initial(source, tgt0.perms, tgt0.memory,
+                                 tgt0.written)
+        cex = game.run(tgt0, src0)
+        states = game.game_states
+        if cex is not None:
+            return Verdict(False, True, "simple", cex, states)
+    return Verdict(True, game.complete, "simple", None, states)
+
+
+def check_advanced_refinement(source: Stmt, target: Stmt,
+                              universe: Optional[SeqUniverse] = None,
+                              limits: Limits = Limits(),
+                              family: Optional[tuple[OracleDefaults, ...]]
+                              = None) -> Verdict:
+    """Check ``σ_tgt ⊑w σ_src`` (Def 3.3) against an oracle family.
+
+    A VIOLATES verdict exhibits a genuine oracle + behavior witness; a
+    REFINES verdict means no family member falsifies refinement.
+    """
+    if universe is None:
+        universe = universe_for(source, target)
+    if family is None:
+        family = default_oracle_family(universe.values)
+    states = 0
+    complete = True
+    for defaults in family:
+        game = _Game(universe, advanced=True, defaults=defaults,
+                     limits=limits)
+        for tgt0 in iter_initial_configs(target, universe):
+            src0 = SeqConfig.initial(source, tgt0.perms, tgt0.memory,
+                                     tgt0.written)
+            cex = game.run(tgt0, src0)
+            states += game.game_states
+            if cex is not None:
+                return Verdict(False, True, "advanced", cex, states)
+        complete = complete and game.complete
+    return Verdict(True, complete, "advanced", None, states)
+
+
+@dataclass
+class TransformationVerdict:
+    """Combined verdict: which refinement notion validates ``src {~> tgt``."""
+
+    simple: Verdict
+    advanced: Optional[Verdict]
+
+    @property
+    def valid(self) -> bool:
+        if self.simple.refines:
+            return True
+        return self.advanced is not None and self.advanced.refines
+
+    @property
+    def notion(self) -> str:
+        if self.simple.refines:
+            return "simple"
+        if self.advanced is not None and self.advanced.refines:
+            return "advanced"
+        return "none"
+
+    def __repr__(self) -> str:
+        return f"transformation {'VALID' if self.valid else 'INVALID'} " \
+               f"(notion: {self.notion})"
+
+
+def check_transformation(source: Stmt, target: Stmt,
+                         universe: Optional[SeqUniverse] = None,
+                         limits: Limits = Limits()) -> TransformationVerdict:
+    """Validate ``source {~> target``: try simple, then advanced.
+
+    By Prop 3.4 simple refinement implies advanced refinement, so the
+    advanced check only runs when the simple one fails.
+    """
+    simple = check_simple_refinement(source, target, universe, limits)
+    if simple.refines:
+        return TransformationVerdict(simple, None)
+    advanced = check_advanced_refinement(source, target, universe, limits)
+    return TransformationVerdict(simple, advanced)

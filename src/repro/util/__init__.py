@@ -1,0 +1,5 @@
+"""Shared utilities."""
+
+from .fmap import FrozenMap
+
+__all__ = ["FrozenMap"]

@@ -1,0 +1,75 @@
+"""An immutable, hashable finite map used for memories and views."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterator, Mapping, TypeVar
+
+K = TypeVar("K")
+V = TypeVar("V")
+
+
+@dataclass(frozen=True)
+class FrozenMap:
+    """A total map over a finite key set, stored as sorted pairs.
+
+    Unlike ``dict``, instances are hashable and comparable, which the
+    machines rely on for memoizing explored configurations.
+    """
+
+    items: tuple[tuple[object, object], ...] = ()
+
+    @staticmethod
+    def of(mapping: Mapping) -> "FrozenMap":
+        return FrozenMap(tuple(sorted(mapping.items(), key=lambda kv: repr(kv[0]))))
+
+    def __contains__(self, key: object) -> bool:
+        return any(k == key for k, _ in self.items)
+
+    def __getitem__(self, key: object):
+        for k, value in self.items:
+            if k == key:
+                return value
+        raise KeyError(key)
+
+    def get(self, key: object, default=None):
+        for k, value in self.items:
+            if k == key:
+                return value
+        return default
+
+    def set(self, key: object, value: object) -> "FrozenMap":
+        updated = dict(self.items)
+        updated[key] = value
+        return FrozenMap.of(updated)
+
+    def update(self, mapping: Mapping) -> "FrozenMap":
+        updated = dict(self.items)
+        updated.update(mapping)
+        return FrozenMap.of(updated)
+
+    def restrict(self, keys) -> "FrozenMap":
+        """The partial map ``self | keys`` (restriction to ``keys``)."""
+        return FrozenMap(tuple((k, v) for k, v in self.items if k in keys))
+
+    def map_values(self, fn: Callable) -> "FrozenMap":
+        return FrozenMap(tuple((k, fn(v)) for k, v in self.items))
+
+    def keys(self) -> tuple:
+        return tuple(k for k, _ in self.items)
+
+    def values(self) -> tuple:
+        return tuple(v for _, v in self.items)
+
+    def as_dict(self) -> dict:
+        return dict(self.items)
+
+    def __iter__(self) -> Iterator:
+        return iter(self.keys())
+
+    def __len__(self) -> int:
+        return len(self.items)
+
+    def __repr__(self) -> str:
+        body = ", ".join(f"{k}↦{v}" for k, v in self.items)
+        return "{" + body + "}"

@@ -1,0 +1,98 @@
+"""Tests for refinement certificates (proof-object analogue)."""
+
+import pytest
+
+from repro.lang import parse
+from repro.litmus import SEC2_CASES, case_by_name
+from repro.seq.certificate import (
+    Certificate,
+    CertificateError,
+    produce_certificate,
+    verify_certificate,
+)
+
+
+def roundtrip(name):
+    case = case_by_name(name)
+    certificate = produce_certificate(case.source, case.target)
+    assert certificate is not None, f"{name} should certify"
+    assert verify_certificate(certificate, case.source, case.target)
+    return certificate
+
+
+class TestProduceAndVerify:
+    @pytest.mark.parametrize("name", [
+        "slf-basic", "na-reorder-diff-loc", "overwritten-store-elim",
+        "unused-load-intro", "slf-across-acq-read", "slf-across-rel-write",
+        "na-write-then-acq", "read-across-infinite-loop",
+    ])
+    def test_simple_valid_cases_certify(self, name):
+        certificate = roundtrip(name)
+        assert len(certificate) > 0
+
+    def test_invalid_case_has_no_certificate(self):
+        case = case_by_name("na-reorder-same-loc")
+        assert produce_certificate(case.source, case.target) is None
+
+    def test_advanced_only_case_has_no_simple_certificate(self):
+        case = case_by_name("rel-then-na-write")
+        assert produce_certificate(case.source, case.target) is None
+
+
+class TestTamperDetection:
+    def certificate_for(self, name):
+        case = case_by_name(name)
+        cert = produce_certificate(case.source, case.target)
+        assert cert is not None
+        return case, cert
+
+    def test_dropping_a_pair_is_detected(self):
+        case, cert = self.certificate_for("slf-basic")
+        # drop a non-initial pair: the relation is no longer step-closed
+        for victim in sorted(cert.pairs, key=repr):
+            pruned = Certificate(cert.universe,
+                                 cert.pairs - {victim})
+            try:
+                verify_certificate(pruned, case.source, case.target)
+            except CertificateError:
+                return  # detected
+        pytest.fail("no pruning was detected")
+
+    def test_empty_certificate_rejected(self):
+        case, cert = self.certificate_for("slf-basic")
+        empty = Certificate(cert.universe, frozenset())
+        with pytest.raises(CertificateError, match="initial pair"):
+            verify_certificate(empty, case.source, case.target)
+
+    def test_certificate_for_wrong_program_rejected(self):
+        case, cert = self.certificate_for("slf-basic")
+        other = parse("x_na := 2; b := x_na; return b;")
+        with pytest.raises(CertificateError):
+            verify_certificate(cert, other, case.target)
+
+    def test_frontier_swap_detected(self):
+        """Replacing a frontier with an unrelated one breaks closure."""
+        case, cert = self.certificate_for("slf-basic")
+        pairs = sorted(cert.pairs, key=repr)
+        tampered = set(cert.pairs)
+        # give the first pair the (wrong) frontier of the last one
+        (tgt_a, _front_a), (_tgt_b, front_b) = pairs[0], pairs[-1]
+        if _front_a == front_b:
+            pytest.skip("frontiers happen to coincide")
+        tampered.discard(pairs[0])
+        tampered.add((tgt_a, front_b))
+        with pytest.raises(CertificateError):
+            verify_certificate(Certificate(cert.universe,
+                                           frozenset(tampered)),
+                               case.source, case.target)
+
+
+def test_certificates_for_all_simple_sec2_cases():
+    """Every §2 case the simple notion validates also certifies."""
+    for case in SEC2_CASES:
+        if case.expected != "simple":
+            continue
+        certificate = produce_certificate(case.source, case.target)
+        assert certificate is not None, case.name
+        assert verify_certificate(certificate, case.source, case.target), \
+            case.name

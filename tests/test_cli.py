@@ -1,0 +1,125 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+SLF_SRC = "x_na := 1; b := x_na; return b;"
+SLF_TGT = "x_na := 1; b := 1; return b;"
+BAD_TGT = "x_na := 1; a := x_na; return a;"
+BAD_SRC = "a := x_na; x_na := 1; return a;"
+
+
+class TestValidate:
+    def test_valid_transformation(self, capsys):
+        assert main(["validate", SLF_SRC, SLF_TGT]) == 0
+        out = capsys.readouterr().out
+        assert "VALID" in out and "simple" in out
+
+    def test_invalid_transformation(self, capsys):
+        assert main(["validate", BAD_SRC, BAD_TGT]) == 1
+        out = capsys.readouterr().out
+        assert "INVALID" in out
+        assert "target trace" in out
+
+    def test_advanced_notion_reported(self, capsys):
+        assert main(["validate", "x_rel := 1; y_na := 2; return 0;",
+                     "y_na := 2; x_rel := 1; return 0;"]) == 0
+        assert "advanced" in capsys.readouterr().out
+
+    def test_oracle_reported_for_late_ub(self, capsys):
+        source = ("a := x_rlx; if a == 1 { b := 1 / 0; } "
+                  "while 1 { skip; } return 0;")
+        target = "b := 1 / 0; a := x_rlx; while 1 { skip; } return 0;"
+        assert main(["validate", source, target]) == 1
+        assert "refuting oracle" in capsys.readouterr().out
+
+    def test_file_arguments(self, tmp_path, capsys):
+        src = tmp_path / "src.whl"
+        tgt = tmp_path / "tgt.whl"
+        src.write_text(SLF_SRC)
+        tgt.write_text(SLF_TGT)
+        assert main(["validate", str(src), str(tgt)]) == 0
+
+
+class TestOptimize:
+    def test_prints_optimized_source(self, capsys):
+        assert main(["optimize", SLF_SRC]) == 0
+        out = capsys.readouterr().out
+        assert "b := 1;" in out
+
+    def test_validate_flag_reports_certificates(self, capsys):
+        assert main(["optimize", SLF_SRC, "--validate"]) == 0
+        captured = capsys.readouterr()
+        assert "certified" in captured.err
+
+    def test_extended_pipeline(self, capsys):
+        program = "k := 2; x_na := k; a := x_na; unused := w_na; return a;"
+        assert main(["optimize", program, "-O2"]) == 0
+        out = capsys.readouterr().out
+        assert "w_na" not in out
+
+    def test_output_reparses(self, capsys):
+        from repro.lang import parse
+
+        assert main(["optimize", SLF_SRC]) == 0
+        parse(capsys.readouterr().out)
+
+
+class TestExplore:
+    SB = ["x_rlx := 1; a := y_rlx; return a;",
+          "y_rlx := 1; b := x_rlx; return b;"]
+
+    def test_sc_machine(self, capsys):
+        assert main(["explore", "--machine", "sc", *self.SB]) == 0
+        out = capsys.readouterr().out
+        assert "machine: sc" in out
+        assert "(0, 0)" not in out
+
+    def test_pf_machine(self, capsys):
+        assert main(["explore", "--machine", "pf", *self.SB]) == 0
+        out = capsys.readouterr().out
+        assert "(0, 0)" in out
+
+    def test_full_machine_promises(self, capsys):
+        lb = ["a := x_rlx; y_rlx := a; return a;",
+              "b := y_rlx; x_rlx := 1; return b;"]
+        assert main(["explore", "--machine", "full", "--promises", "1",
+                     *lb]) == 0
+        out = capsys.readouterr().out
+        assert "(1, 1)" in out
+
+
+def test_litmus_table(capsys):
+    assert main(["litmus"]) == 0
+    out = capsys.readouterr().out
+    assert "54/54 verdicts match" in out
+
+
+def test_litmus_table_extended(capsys):
+    assert main(["litmus", "--extended"]) == 0
+    out = capsys.readouterr().out
+    assert "64/64 verdicts match" in out
+    assert "slf-across-rel-fence" in out
+
+
+class TestAdequacy:
+    def test_adequate_pair(self, capsys):
+        assert main(["adequacy", SLF_SRC, SLF_TGT]) == 0
+        out = capsys.readouterr().out
+        assert "adequate" in out
+        assert "refines" in out
+
+    def test_invalid_pair_reports_contexts(self, capsys):
+        # invalid in SEQ; adequacy still holds (theorem predicts nothing)
+        assert main(["adequacy", BAD_SRC, BAD_TGT]) == 0
+        out = capsys.readouterr().out
+        assert "VIOLATES" in out  # the empty context separates them
+
+
+def test_help_lists_subcommands(capsys):
+    with pytest.raises(SystemExit):
+        main(["--help"])
+    out = capsys.readouterr().out
+    for command in ("validate", "optimize", "explore", "litmus", "adequacy"):
+        assert command in out

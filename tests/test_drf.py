@@ -1,0 +1,104 @@
+"""Empirical DRF guarantees (§5) and the SC / promise-free baselines."""
+
+import pytest
+
+from repro.lang import UNDEF, parse
+from repro.psna import (
+    PsConfig,
+    explore,
+    explore_sc,
+    promise_free_config,
+)
+
+FULL = PsConfig(promise_budget=1)
+
+
+def programs(*sources):
+    return [parse(source) for source in sources]
+
+
+class TestScMachine:
+    def test_sequential_program(self):
+        result = explore_sc(programs("a := x_na; x_na := a + 1; return a;"))
+        assert result.returns() == {(0,)}
+        assert not result.racy
+
+    def test_interleavings(self):
+        result = explore_sc(programs(
+            "x_rlx := 1; a := y_rlx; return a;",
+            "y_rlx := 1; b := x_rlx; return b;"))
+        # SC forbids the (0,0) outcome of store buffering
+        assert (0, 0) not in result.returns()
+        assert {(0, 1), (1, 0), (1, 1)} <= result.returns()
+
+    def test_race_detection(self):
+        racy = explore_sc(programs("x_na := 1; return 0;",
+                                   "a := x_na; return a;"))
+        assert racy.racy
+        quiet = explore_sc(programs(
+            "x_na := 1; y_rel := 1; return 0;",
+            "a := y_acq; if a == 1 { b := x_na; return b; } return 9;"))
+        assert not quiet.racy
+
+    def test_ub_propagates(self):
+        result = explore_sc(programs("abort;"))
+        assert result.has_bottom()
+
+    def test_syscalls_recorded(self):
+        result = explore_sc(programs("print(2); return 0;"))
+        behaviors = {b.syscalls for b in result.behaviors}
+        assert (("print", 2),) in behaviors
+
+
+class TestDrfGuarantee:
+    """Race-free programs get SC semantics in PS^na (empirically)."""
+
+    RACE_FREE = [
+        ("x_na := 1; y_rel := 1; return 0;",
+         "a := y_acq; if a == 1 { b := x_na; return b; } return 9;"),
+        ("a := cas_acq_rel(l_rlx, 0, 1); if a == 0 { x_na := 1; } return a;",
+         "b := cas_acq_rel(l_rlx, 0, 1); if b == 0 { x_na := 2; } return b;"),
+        ("x_rel := 1; return 0;", "a := x_acq; return a;"),
+    ]
+
+    @pytest.mark.parametrize("pair", RACE_FREE,
+                             ids=["mp", "cas-lock", "rel-acq"])
+    def test_race_free_matches_sc(self, pair):
+        threads = programs(*pair)
+        sc = explore_sc(threads)
+        assert not sc.racy, "test premise: SC-race-free"
+        ps = explore(threads, FULL)
+        assert ps.complete and sc.complete
+        assert ps.returns() == sc.returns()
+        assert not ps.has_bottom()
+
+    def test_racy_program_may_differ_from_sc(self):
+        threads = programs("x_na := 1; return 0;", "a := x_na; return a;")
+        sc = explore_sc(threads)
+        assert sc.racy
+        ps = explore(threads, FULL)
+        assert (0, UNDEF) in ps.returns()
+        assert (0, UNDEF) not in sc.returns()
+
+
+class TestPromiseFree:
+    def test_promise_free_config(self):
+        config = promise_free_config()
+        assert not config.allow_promises
+        assert config.promise_budget == 0
+
+    def test_promise_free_subsumed_by_full(self):
+        threads = programs("a := x_rlx; y_rlx := a; return a;",
+                           "b := y_rlx; x_rlx := 1; return b;")
+        pf = explore(threads, promise_free_config())
+        full = explore(threads, FULL)
+        assert pf.returns() <= full.returns()
+        assert (1, 1) in full.returns() - pf.returns()
+
+    def test_promise_free_equals_full_without_rlx_cycles(self):
+        threads = programs(
+            "x_na := 1; y_rel := 1; return 0;",
+            "a := y_acq; if a == 1 { b := x_na; return b; } return 9;")
+        pf = explore(threads, promise_free_config())
+        full = explore(threads, FULL)
+        assert pf.returns() == full.returns()

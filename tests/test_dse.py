@@ -1,0 +1,112 @@
+"""Tests for dead store elimination (Appendix D, Fig 8b)."""
+
+from repro.lang import parse
+from repro.opt import DsePass, DseToken, dse_pass
+from repro.opt.dse import DseState, token_join
+
+
+class TestDseTokens:
+    def test_order(self):
+        assert token_join(DseToken.BEFORE, DseToken.AFTER) == DseToken.AFTER
+        assert token_join(DseToken.AFTER, DseToken.TOP) == DseToken.TOP
+        assert token_join(DseToken.BEFORE, DseToken.BEFORE) == \
+            DseToken.BEFORE
+
+
+class TestBackwardAnalysis:
+    def pre_state(self, source):
+        pass_ = DsePass()
+        return pass_.analyze(parse(source), pass_.initial())
+
+    def test_store_marks_overwritten(self):
+        assert self.pre_state("x_na := 1;").get("x") == DseToken.BEFORE
+
+    def test_read_resets(self):
+        assert self.pre_state("a := x_na; x_na := 1;").get("x") == \
+            DseToken.TOP
+
+    def test_acquire_moves_before_to_after(self):
+        assert self.pre_state("l := y_acq; x_na := 1;").get("x") == \
+            DseToken.AFTER
+
+    def test_release_after_acquire_is_top(self):
+        assert self.pre_state(
+            "y_rel := 1; l := z_acq; x_na := 1;").get("x") == DseToken.TOP
+
+    def test_release_alone_preserves_before(self):
+        assert self.pre_state("y_rel := 1; x_na := 1;").get("x") == \
+            DseToken.BEFORE
+
+    def test_exit_state_is_top(self):
+        assert self.pre_state("skip;").get("x") == DseToken.TOP
+
+
+class TestDseRewrites:
+    def test_basic_overwritten_store(self):
+        """Example 2.6(i): x := v; x := v' {~> x := v'."""
+        optimized = dse_pass(parse("x_na := 1; x_na := 2; return 0;"))
+        assert repr(optimized) == "skip; x_na := 2; return 0"
+
+    def test_last_store_kept(self):
+        """The final memory is observable: never remove the last store."""
+        optimized = dse_pass(parse("x_na := 1; return 0;"))
+        assert "x_na := 1" in repr(optimized)
+
+    def test_across_relaxed_accesses(self):
+        optimized = dse_pass(parse(
+            "x_na := 1; a := y_rlx; y_rlx := 2; x_na := 3; return 0;"))
+        assert "skip" in repr(optimized)
+
+    def test_across_acquire(self):
+        """Example 3.5 with α an acquire read (token •)."""
+        optimized = dse_pass(parse(
+            "x_na := 1; a := y_acq; x_na := 2; return 0;"))
+        assert "skip" in repr(optimized)
+
+    def test_across_release(self):
+        """Example 3.5's release case — sound via advanced refinement."""
+        optimized = dse_pass(parse(
+            "x_na := 1; y_rel := 1; x_na := 2; return 0;"))
+        assert "skip" in repr(optimized)
+
+    def test_blocked_by_release_acquire_pair(self):
+        optimized = dse_pass(parse(
+            "x_na := 1; y_rel := 1; a := z_acq; x_na := 2; return 0;"))
+        assert "skip" not in repr(optimized)
+
+    def test_blocked_by_intervening_read(self):
+        optimized = dse_pass(parse(
+            "x_na := 1; a := x_na; x_na := 2; return a;"))
+        assert "skip" not in repr(optimized)
+
+    def test_branches_must_both_overwrite(self):
+        kept = dse_pass(parse(
+            "x_na := 1; if c { x_na := 2; } return 0;"))
+        assert "x_na := 1" in repr(kept)
+        removed = dse_pass(parse(
+            "x_na := 1; if c { x_na := 2; } else { x_na := 3; } return 0;"))
+        assert "skip" in repr(removed)
+
+    def test_store_with_possible_ub_kept(self):
+        optimized = dse_pass(parse(
+            "x_na := a / b; x_na := 2; return 0;"))
+        assert "skip" not in repr(optimized)
+
+    def test_loop_store_overwritten_by_next_iteration(self):
+        # Every iteration's store is overwritten by the next one, but the
+        # *last* iteration's store survives to the end: token must be ⊤.
+        optimized = dse_pass(parse(
+            "while c < 3 { x_na := c; c := c + 1; } return 0;"))
+        assert "x_na := c" in repr(optimized)
+
+    def test_return_value_not_affected(self):
+        # store feeding a later read through a branch must stay
+        optimized = dse_pass(parse(
+            "x_na := 1; if c { a := x_na; } x_na := 2; return a;"))
+        assert "x_na := 1" in repr(optimized)
+
+    def test_fixpoint_fast(self):
+        pass_ = DsePass()
+        pass_.run(parse(
+            "while c < 3 { x_na := c; c := c + 1; } return 0;"))
+        assert pass_.stats.max_iterations <= 3

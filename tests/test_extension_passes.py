@@ -1,0 +1,209 @@
+"""Tests for the extension passes: constfold, copyprop, DCE."""
+
+import pytest
+
+from repro.lang import parse
+from repro.opt import (
+    EXTENDED_PASSES,
+    Optimizer,
+    constfold_pass,
+    copyprop_pass,
+    dce_pass,
+)
+from repro.seq import Limits, check_transformation
+
+FAST = Limits(max_game_states=10_000)
+
+
+def validated(source_text, pass_fn):
+    source = parse(source_text)
+    target = pass_fn(source)
+    verdict = check_transformation(source, target, limits=FAST)
+    assert verdict.valid, f"{pass_fn.__name__} unsound on {source_text!r}"
+    return target
+
+
+class TestConstFold:
+    def test_basic_fold(self):
+        target = validated("a := 2; b := a + 3; return b;", constfold_pass)
+        assert "b := 5" in repr(target)
+
+    def test_fold_into_store(self):
+        target = validated("a := 2; x_na := a; return 0;", constfold_pass)
+        assert "x_na := 2" in repr(target)
+
+    def test_branch_simplification(self):
+        target = validated("a := 1; if a { b := 2; } else { b := 3; } "
+                           "return b;", constfold_pass)
+        assert "if" not in repr(target)
+        assert "b := 2" in repr(target)
+
+    def test_dead_loop_removed(self):
+        target = validated("while 0 { x_na := 1; } return 7;",
+                           constfold_pass)
+        assert "while" not in repr(target)
+
+    def test_infinite_loop_not_removed(self):
+        target = constfold_pass(parse("while 1 { skip; } return 0;"))
+        assert "while" in repr(target)
+
+    def test_division_by_zero_preserved(self):
+        target = constfold_pass(parse("a := 1 / 0; return 0;"))
+        assert "/" in repr(target)
+
+    def test_division_by_nonzero_folds(self):
+        target = validated("a := 6 / 2; return a;", constfold_pass)
+        assert "a := 3" in repr(target)
+
+    def test_load_kills_constness(self):
+        target = constfold_pass(parse(
+            "a := 1; a := x_na; b := a + 1; return b;"))
+        assert "b := (a + 1)" in repr(target)
+
+    def test_join_at_merge(self):
+        target = constfold_pass(parse(
+            "if c { a := 1; } else { a := 2; } b := a; return b;"))
+        assert "b := a" in repr(target)
+
+    def test_same_constant_on_both_branches(self):
+        target = validated(
+            "if c { a := 1; } else { a := 1; } b := a; return b;",
+            constfold_pass)
+        assert "b := 1" in repr(target)
+
+    def test_freeze_of_constant_becomes_assign(self):
+        target = validated("a := 1; b := freeze(a); return b;",
+                           constfold_pass)
+        assert "freeze" not in repr(target)
+
+    def test_freeze_of_load_kept(self):
+        target = constfold_pass(parse(
+            "a := x_na; b := freeze(a); return b;"))
+        assert "freeze" in repr(target)
+
+    def test_loop_invariant_constant(self):
+        target = validated(
+            "a := 3; i := 0; while i < 2 { b := a; i := i + 1; } return b;",
+            constfold_pass)
+        assert "b := 3" in repr(target)
+
+
+class TestCopyProp:
+    def test_basic_propagation(self):
+        target = validated("b := a; c := b + 1; return c;", copyprop_pass)
+        assert "c := (a + 1)" in repr(target)
+
+    def test_kill_on_source_reassign(self):
+        target = copyprop_pass(parse(
+            "b := a; a := 5; c := b; return c;"))
+        assert "c := b" in repr(target)
+
+    def test_kill_on_target_reassign(self):
+        target = copyprop_pass(parse(
+            "b := a; b := x_na; c := b; return c;"))
+        assert "c := b" in repr(target)
+
+    def test_transitive_copies(self):
+        target = validated("b := a; c := b; d := c; return d;",
+                           copyprop_pass)
+        assert "d := a" in repr(target)
+
+    def test_into_condition(self):
+        target = validated("b := a; if b { skip; } return 0;",
+                           copyprop_pass)
+        assert "if a" in repr(target).replace("(", "").replace(")", "")
+
+    def test_into_store(self):
+        target = validated("b := a; x_na := b; return 0;", copyprop_pass)
+        assert "x_na := a" in repr(target)
+
+
+class TestDce:
+    def test_dead_assignment_removed(self):
+        target = validated("a := 1; b := 2; return b;", dce_pass)
+        assert "a := 1" not in repr(target)
+
+    def test_live_assignment_kept(self):
+        target = dce_pass(parse("a := 1; return a;"))
+        assert "a := 1" in repr(target)
+
+    def test_unused_na_load_removed(self):
+        """Example 2.8: unused load elimination."""
+        target = validated("a := x_na; return 0;", dce_pass)
+        assert "x_na" not in repr(target)
+
+    def test_unused_atomic_load_kept(self):
+        target = dce_pass(parse("a := y_acq; return 0;"))
+        assert "y_acq" in repr(target)
+
+    def test_freeze_kept(self):
+        """Dropping a choose transition would change SEQ traces (Rem 3)."""
+        target = dce_pass(parse("a := x_na; b := freeze(a); return 0;"))
+        assert "freeze" in repr(target)
+
+    def test_ub_expression_kept(self):
+        target = dce_pass(parse("a := 1 / c; return 0;"))
+        assert "/" in repr(target)
+
+    def test_liveness_through_condition(self):
+        target = dce_pass(parse("a := 1; if a { skip; } return 0;"))
+        assert "a := 1" in repr(target)
+
+    def test_liveness_through_loop(self):
+        target = dce_pass(parse(
+            "a := 1; i := 0; while i < a { i := i + 1; } return i;"))
+        assert "a := 1" in repr(target)
+
+    def test_loop_carried_liveness(self):
+        target = dce_pass(parse(
+            "a := 1; i := 0; while i < 3 { b := a; a := b + 1; "
+            "i := i + 1; } return a;"))
+        assert "b := a" in repr(target)
+
+    def test_dead_chain_removed(self):
+        target = validated("a := 1; b := a + 1; c := b * 2; return 0;",
+                           dce_pass)
+        text = repr(target)
+        assert "b :=" not in text and "c :=" not in text
+
+    def test_store_operand_live(self):
+        target = dce_pass(parse("a := 1; x_na := a; return 0;"))
+        assert "a := 1" in repr(target)
+
+
+class TestExtendedPipeline:
+    def test_extended_passes_compose_and_validate(self):
+        source = parse("""
+        k := 2;
+        t := k;
+        x_na := t;
+        a := x_na;
+        b := a;
+        unused := w_na;
+        return b;
+        """)
+        result = Optimizer(passes=EXTENDED_PASSES,
+                           validate=True, limits=FAST).optimize(source)
+        assert result.validated
+        text = repr(result.optimized)
+        assert "return 2" in text or "b := 2" in text
+        assert "w_na" not in text  # dead load eliminated
+
+    def test_extended_pipeline_idempotent(self):
+        source = parse("k := 2; x_na := k; a := x_na; return a;")
+        optimizer = Optimizer(passes=EXTENDED_PASSES)
+        once = optimizer.optimize(source).optimized
+        twice = optimizer.optimize(once).optimized
+        assert once == twice
+
+
+@pytest.mark.parametrize("seed", range(12))
+def test_extended_pipeline_sound_on_random_programs(seed):
+    from repro.litmus.generator import GeneratorConfig, ProgramGenerator
+
+    config = GeneratorConfig(na_locs=("x",), atomic_locs=("y",),
+                             registers=("a", "b", "c"), values=(0, 1))
+    program = ProgramGenerator(config, seed).straightline(length=7)
+    result = Optimizer(passes=EXTENDED_PASSES, validate=True,
+                       limits=FAST).optimize(program)
+    assert result.validated

@@ -1,0 +1,61 @@
+"""Fence extension cases: SEQ fences mirror acquire reads / release
+writes, matching the Coq development's broader feature set."""
+
+import pytest
+
+from repro.litmus import FENCE_CASES, case_by_name
+from repro.psna import PsConfig, check_psna_refinement
+from repro.seq import check_simple_refinement, check_transformation
+
+
+@pytest.mark.parametrize("case", FENCE_CASES, ids=lambda c: c.name)
+def test_fence_case_verdict(case):
+    verdict = check_transformation(case.source, case.target)
+    assert verdict.valid == case.expected_valid, f"{case.name}: {verdict!r}"
+    assert verdict.notion == (case.expected if case.expected_valid
+                              else "none")
+
+
+def test_fence_pair_matches_access_pair():
+    """A rel-acq fence pair blocks SLF exactly like a rel-acq access pair."""
+    fence = case_by_name("slf-across-fence-pair")
+    access = case_by_name("slf-across-rel-acq-pair")
+    assert not check_transformation(fence.source, fence.target).valid
+    assert not check_transformation(access.source, access.target).valid
+
+
+def test_rel_fence_needs_advanced_like_rel_write(seq_limits=None):
+    fence = case_by_name("write-into-rel-fence")
+    assert not check_simple_refinement(fence.source, fence.target).refines
+    verdict = check_transformation(fence.source, fence.target)
+    assert verdict.notion == "advanced"
+
+
+class TestFencesInPsna:
+    """The fence cases are consistent with PS^na under contexts."""
+
+    @pytest.mark.parametrize(
+        "name", [c.name for c in FENCE_CASES if c.expected_valid])
+    def test_valid_fence_cases_refine_in_psna(self, name):
+        from repro.adequacy import check_adequacy
+
+        case = case_by_name(name)
+        report = check_adequacy(case.source, case.target,
+                                config=PsConfig(allow_promises=False))
+        assert report.adequate, (name, report)
+
+    def test_fence_message_passing_end_to_end(self):
+        """rel/acq fences synchronize like rel/acq accesses in PS^na."""
+        from repro.lang import parse
+        from repro.psna import explore
+
+        result = explore([
+            parse("x_na := 1; fence_rel; y_rlx := 1; return 0;"),
+            parse("a := y_rlx; fence_acq; if a == 1 { b := x_na; "
+                  "return b; } return 9;")],
+            PsConfig(allow_promises=False))
+        from repro.lang import UNDEF
+
+        assert (0, 1) in result.returns()
+        assert (0, UNDEF) not in result.returns()
+        assert not result.has_bottom()

@@ -1,0 +1,164 @@
+"""Tests for the WHILE interpreter (program-as-LTS reading)."""
+
+import pytest
+
+from repro.lang import (
+    ACQ,
+    NA,
+    RLX,
+    UNDEF,
+    ChooseAction,
+    Crashed,
+    Done,
+    FailAction,
+    FenceAction,
+    FenceKind,
+    ReadAction,
+    RetAction,
+    RmwAction,
+    SyscallAction,
+    TauAction,
+    WhileThread,
+    WriteAction,
+    parse,
+)
+from repro.lang.itree import FetchAddOp, locations_of
+
+
+def drive(source, answers=()):
+    """Run a program feeding ``answers`` to read/choose actions."""
+    thread = WhileThread.start(parse(source))
+    answers = list(answers)
+    for _ in range(10_000):
+        action = thread.peek()
+        if isinstance(action, (RetAction,)):
+            return action.value
+        if thread.is_error():
+            return "UB"
+        if isinstance(action, (ReadAction, ChooseAction, RmwAction)):
+            thread = thread.resume(answers.pop(0))
+        else:
+            thread = thread.resume(None)
+    raise AssertionError("did not terminate")
+
+
+def test_empty_program_returns_zero():
+    assert drive("skip;") == 0
+
+
+def test_return_expression():
+    assert drive("a := 2; b := a * 3; return b + 1;") == 7
+
+
+def test_load_gets_answer():
+    assert drive("a := x_na; return a;", [42]) == 42
+
+
+def test_store_presents_value():
+    thread = WhileThread.start(parse("a := 5; x_rel := a + 1;"))
+    thread = thread.resume(None)  # assign
+    action = thread.peek()
+    assert action == WriteAction("x", __import__(
+        "repro.lang", fromlist=["REL"]).REL, 6)
+
+
+def test_if_branches():
+    assert drive("if a == 0 { return 1; } else { return 2; }") == 1
+    assert drive("a := 3; if a == 0 { return 1; } else { return 2; }") == 2
+
+
+def test_while_loops():
+    assert drive("a := 0; while a < 5 { a := a + 1; } return a;") == 5
+
+
+def test_nested_loops():
+    src = """
+    total := 0; i := 0;
+    while i < 3 { j := 0; while j < 4 { total := total + 1; j := j + 1; }
+                  i := i + 1; }
+    return total;
+    """
+    assert drive(src) == 12
+
+
+def test_division_by_zero_fails():
+    assert drive("a := 1 / 0; return a;") == "UB"
+
+
+def test_branch_on_undef_fails():
+    assert drive("a := x_na; if a { skip; } return 0;", [UNDEF]) == "UB"
+
+
+def test_abort_is_fail_action():
+    thread = WhileThread.start(parse("abort;"))
+    assert isinstance(thread.peek(), FailAction)
+    assert isinstance(thread.resume(None), Crashed)
+
+
+def test_freeze_defined_is_silent():
+    thread = WhileThread.start(parse("a := 1; b := freeze(a); return b;"))
+    thread = thread.resume(None)
+    assert isinstance(thread.peek(), TauAction)
+    thread = thread.resume(None)
+    thread = thread.resume(None)
+    assert thread.return_value() == 1
+
+
+def test_freeze_undef_chooses():
+    assert drive("a := x_na; b := freeze(a); return b;", [UNDEF, 7]) == 7
+
+
+def test_freeze_result_branches_safely():
+    assert drive("a := x_na; b := freeze(a); if b { return 1; } return 0;",
+                 [UNDEF, 1]) == 1
+
+
+def test_fence_action():
+    thread = WhileThread.start(parse("fence_acq;"))
+    assert thread.peek() == FenceAction(FenceKind.ACQ)
+
+
+def test_rmw_action_and_result():
+    thread = WhileThread.start(parse("a := fadd_rlx_rlx(x_rlx, 2); return a;"))
+    action = thread.peek()
+    assert isinstance(action, RmwAction)
+    assert action.op == FetchAddOp(2)
+    assert action.op.apply(5) == 7
+    assert drive("a := fadd_rlx_rlx(x_rlx, 2); return a;", [5]) == 5
+
+
+def test_print_is_syscall():
+    thread = WhileThread.start(parse("print(3);"))
+    assert thread.peek() == SyscallAction("print", 3)
+
+
+def test_store_of_undef_value_allowed():
+    # Storing a (possibly racy) read result is legal; only *branching*
+    # on undef is UB.
+    assert drive("a := x_na; y_na := a; return 0;", [UNDEF]) == 0
+
+
+def test_states_are_hashable_and_memoizable():
+    thread1 = WhileThread.start(parse("a := 1; return a;"))
+    thread2 = WhileThread.start(parse("a := 1; return a;"))
+    assert thread1 == thread2
+    assert hash(thread1) == hash(thread2)
+    assert thread1.resume(None) == thread2.resume(None)
+
+
+def test_resume_after_return_raises():
+    thread = Done(3)
+    with pytest.raises(ValueError):
+        thread.resume(None)
+
+
+def test_locations_of_probe():
+    thread = WhileThread.start(parse(
+        "a := x_na; if a == 0 { y_na := 1; } else { z_rlx := 2; } return 0;"))
+    locs = locations_of(thread, value_probe=(0, 1))
+    assert locs == frozenset({"x", "y", "z"})
+
+
+def test_undef_arith_then_branch_is_ub():
+    assert drive("a := x_na; b := a + 1; if b == 2 { skip; } return 0;",
+                 [UNDEF]) == "UB"

@@ -1,0 +1,131 @@
+"""Tests for WHILE expressions, register files and AST traversals."""
+
+import pytest
+
+from repro.lang import (
+    NA,
+    RLX,
+    UNDEF,
+    Assign,
+    BinOp,
+    Const,
+    Load,
+    Reg,
+    RegFile,
+    Seq,
+    Skip,
+    Store,
+    While,
+    atomic_locations,
+    check_no_mixed_accesses,
+    constant_values,
+    nonatomic_locations,
+    parse,
+    shared_locations,
+    walk,
+)
+from repro.lang.ast import UBError, UnOp
+
+
+class TestExprEval:
+    def test_const(self):
+        assert Const(5).eval(RegFile()) == 5
+
+    def test_reg_default_zero(self):
+        assert Reg("a").eval(RegFile()) == 0
+
+    def test_reg_value(self):
+        regs = RegFile.of({"a": 7})
+        assert Reg("a").eval(regs) == 7
+
+    @pytest.mark.parametrize("op,l,r,expected", [
+        ("+", 2, 3, 5), ("-", 2, 3, -1), ("*", 2, 3, 6),
+        ("==", 2, 2, 1), ("==", 2, 3, 0), ("!=", 2, 3, 1),
+        ("<", 2, 3, 1), ("<=", 3, 3, 1), (">", 3, 2, 1), (">=", 2, 3, 0),
+        ("&&", 1, 0, 0), ("&&", 2, 3, 1), ("||", 0, 0, 0), ("||", 0, 5, 1),
+        ("/", 7, 2, 3), ("%", 7, 2, 1),
+    ])
+    def test_binops(self, op, l, r, expected):
+        assert BinOp(op, Const(l), Const(r)).eval(RegFile()) == expected
+
+    def test_division_by_zero_is_ub(self):
+        with pytest.raises(UBError):
+            BinOp("/", Const(1), Const(0)).eval(RegFile())
+
+    def test_modulo_by_zero_is_ub(self):
+        with pytest.raises(UBError):
+            BinOp("%", Const(1), Const(0)).eval(RegFile())
+
+    def test_division_by_undef_is_ub(self):
+        with pytest.raises(UBError):
+            BinOp("/", Const(1), Const(UNDEF)).eval(RegFile())
+
+    def test_undef_propagates_through_arith(self):
+        assert BinOp("+", Const(UNDEF), Const(1)).eval(RegFile()) is UNDEF
+        assert BinOp("==", Const(1), Const(UNDEF)).eval(RegFile()) is UNDEF
+
+    def test_undef_dividend_defined_divisor(self):
+        assert BinOp("/", Const(UNDEF), Const(2)).eval(RegFile()) is UNDEF
+
+    def test_unops(self):
+        assert UnOp("-", Const(3)).eval(RegFile()) == -3
+        assert UnOp("!", Const(0)).eval(RegFile()) == 1
+        assert UnOp("!", Const(5)).eval(RegFile()) == 0
+        assert UnOp("-", Const(UNDEF)).eval(RegFile()) is UNDEF
+
+    def test_registers_collected(self):
+        expr = BinOp("+", Reg("a"), BinOp("*", Reg("b"), Const(2)))
+        assert expr.registers() == frozenset({"a", "b"})
+
+
+class TestRegFile:
+    def test_set_get(self):
+        regs = RegFile().set("a", 1).set("b", 2).set("a", 3)
+        assert regs.get("a") == 3
+        assert regs.get("b") == 2
+
+    def test_immutable_and_hashable(self):
+        regs = RegFile.of({"a": 1})
+        updated = regs.set("a", 2)
+        assert regs.get("a") == 1
+        assert hash(regs) != hash(updated)
+        assert RegFile.of({"a": 1, "b": 2}) == RegFile.of({"b": 2, "a": 1})
+
+    def test_as_dict(self):
+        assert RegFile.of({"a": 1}).as_dict() == {"a": 1}
+
+
+class TestTraversals:
+    def test_walk_covers_nesting(self):
+        program = parse("while a < 3 { if a { x_na := 1; } a := a + 1; }")
+        kinds = [type(node).__name__ for node in walk(program)]
+        assert "While" in kinds and "If" in kinds and "Store" in kinds
+
+    def test_shared_locations(self):
+        program = parse("x_na := 1; a := y_rlx; b := z_acq;")
+        assert shared_locations(program) == frozenset({"x", "y", "z"})
+
+    def test_nonatomic_vs_atomic_locations(self):
+        program = parse("x_na := 1; a := y_rlx; z_rel := 2;")
+        assert nonatomic_locations(program) == frozenset({"x"})
+        assert atomic_locations(program) == frozenset({"y", "z"})
+
+    def test_constant_values(self):
+        program = parse("a := 3 + 4; if a == 7 { x_na := 9; }")
+        assert constant_values(program) == frozenset({3, 4, 7, 9})
+
+    def test_mixed_access_check(self):
+        ok = parse("x_na := 1; a := y_acq;")
+        check_no_mixed_accesses(ok)
+        bad = parse("x_na := 1; a := x_acq;")
+        with pytest.raises(ValueError, match="mixing"):
+            check_no_mixed_accesses(bad)
+
+    def test_seq_of_flattens(self):
+        inner = Seq.of(Skip(), Skip())
+        outer = Seq.of(inner, Skip())
+        assert len(outer.stmts) == 3
+
+    def test_rmw_counts_as_atomic(self):
+        program = parse("a := fadd_rlx_rlx(x_rlx, 1);")
+        assert atomic_locations(program) == frozenset({"x"})

@@ -1,0 +1,106 @@
+"""Tests for load-to-load forwarding (Appendix D, Fig 8a)."""
+
+from repro.lang import parse
+from repro.opt import LlfPass, llf_pass
+from repro.opt.llf import LlfState
+
+
+class TestLlfState:
+    def test_default_empty(self):
+        assert LlfState().get("x") == frozenset()
+
+    def test_kill_register(self):
+        state = LlfState().set("x", frozenset({"a", "b"}))
+        killed = state.kill_register("a")
+        assert killed.get("x") == frozenset({"b"})
+
+    def test_join_is_intersection(self):
+        pass_ = LlfPass()
+        left = LlfState().set("x", frozenset({"a", "b"}))
+        right = LlfState().set("x", frozenset({"b", "c"}))
+        assert pass_.join(left, right).get("x") == frozenset({"b"})
+
+    def test_join_with_empty_is_empty(self):
+        pass_ = LlfPass()
+        left = LlfState().set("x", frozenset({"a"}))
+        assert pass_.join(left, LlfState()).get("x") == frozenset()
+
+
+class TestFig8aTransitions:
+    def out_state(self, source):
+        pass_ = LlfPass()
+        return pass_.analyze(parse(source), pass_.initial())
+
+    def test_load_adds_register(self):
+        assert self.out_state("a := x_na;").get("x") == frozenset({"a"})
+
+    def test_store_clears_location(self):
+        state = self.out_state("a := x_na; x_na := 1;")
+        assert state.get("x") == frozenset()
+
+    def test_acquire_clears_everything(self):
+        state = self.out_state("a := x_na; b := y_acq;")
+        assert state.get("x") == frozenset()
+
+    def test_relaxed_and_release_preserved(self):
+        state = self.out_state("a := x_na; y_rel := 1; b := y_rlx;")
+        assert state.get("x") == frozenset({"a"})
+
+    def test_reassignment_kills(self):
+        state = self.out_state("a := x_na; a := 5;")
+        assert state.get("x") == frozenset()
+
+    def test_freeze_kills(self):
+        state = self.out_state("a := x_na; a := freeze(a);")
+        assert state.get("x") == frozenset()
+
+
+class TestLlfRewrites:
+    def test_basic_forwarding(self):
+        optimized = llf_pass(parse("a := x_na; b := x_na; return a + b;"))
+        assert "b := a" in repr(optimized)
+
+    def test_forwarding_across_release(self):
+        optimized = llf_pass(parse(
+            "a := x_na; y_rel := 1; b := x_na; return a + b;"))
+        assert "b := a" in repr(optimized)
+
+    def test_blocked_by_acquire(self):
+        optimized = llf_pass(parse(
+            "a := x_na; l := y_acq; b := x_na; return a + b;"))
+        assert "b := x_na" in repr(optimized)
+
+    def test_blocked_by_intervening_store(self):
+        optimized = llf_pass(parse(
+            "a := x_na; x_na := 9; b := x_na; return a + b;"))
+        assert "b := x_na" in repr(optimized)
+
+    def test_chained_forwarding(self):
+        optimized = llf_pass(parse(
+            "a := x_na; b := x_na; c := x_na; return c;"))
+        text = repr(optimized)
+        assert "b := a" in text and "c := a" in text
+
+    def test_branch_join(self):
+        optimized = llf_pass(parse(
+            "a := x_na; if c { d := x_na; } else { skip; } b := x_na; "
+            "return b;"))
+        text = repr(optimized)
+        assert "d := a" in text and "b := a" in text
+
+    def test_loop_invariant_register_survives(self):
+        optimized = llf_pass(parse(
+            "a := x_na; while c < 2 { b := x_na; c := c + 1; } return 0;"))
+        assert "b := a" in repr(optimized)
+
+    def test_loop_with_store_kills(self):
+        optimized = llf_pass(parse(
+            "a := x_na; while c < 2 { b := x_na; x_na := c; c := c + 1; }"
+            " return 0;"))
+        assert "b := x_na" in repr(optimized)
+
+    def test_fixpoint_fast(self):
+        pass_ = LlfPass()
+        pass_.run(parse(
+            "a := x_na; while c < 2 { b := x_na; c := c + 1; } return 0;"))
+        assert pass_.stats.max_iterations <= 3

@@ -1,0 +1,115 @@
+"""Tests for oracles (Def 3.2): progress, monotonicity, trace membership."""
+
+from repro.lang import UNDEF
+from repro.seq import (
+    ChooseLabel,
+    OracleDefaults,
+    RlxReadLabel,
+    RlxWriteLabel,
+    TraceOracle,
+    default_oracle_family,
+)
+from repro.seq.labels import (
+    AcqReadLabel,
+    RelWriteLabel,
+    strip,
+)
+from repro.seq.oracle import check_progress
+from repro.util.fmap import FrozenMap
+
+
+def acq(loc="x", value=0, before=frozenset(), after=frozenset(),
+        written=frozenset(), gained=None):
+    return AcqReadLabel(loc, value, before, after, written,
+                        gained if gained is not None else FrozenMap())
+
+
+def rel(loc="x", value=0, before=frozenset(), after=frozenset(),
+        written=frozenset(), released=None):
+    return RelWriteLabel(loc, value, before, after, written,
+                         released if released is not None else FrozenMap())
+
+
+class TestTraceOracle:
+    def test_allows_its_own_script(self):
+        trace = (RlxReadLabel("x", 1), RlxWriteLabel("y", 2))
+        oracle = TraceOracle.for_target_trace(trace)
+        assert oracle.allows_trace(trace)
+
+    def test_allows_monotone_weakening_of_script(self):
+        """If the script accepts Wrlx(x,1), it accepts Wrlx(x,undef)."""
+        trace = (RlxWriteLabel("x", 1),)
+        oracle = TraceOracle.for_target_trace(trace)
+        assert oracle.allows_trace((RlxWriteLabel("x", UNDEF),))
+
+    def test_rejects_offscript_pinned_read(self):
+        oracle = TraceOracle((), OracleDefaults(read_value=0))
+        assert oracle.allows_trace((RlxReadLabel("x", 0),))
+        assert not oracle.allows_trace((RlxReadLabel("x", 1),))
+
+    def test_never_blocks_writes(self):
+        oracle = TraceOracle((), OracleDefaults())
+        for value in (0, 1, 7, UNDEF):
+            assert oracle.allows_trace((RlxWriteLabel("x", value),))
+
+    def test_choose_pinned_offscript(self):
+        oracle = TraceOracle((), OracleDefaults(choose_value=3))
+        assert oracle.allows_trace((ChooseLabel(3),))
+        assert not oracle.allows_trace((ChooseLabel(4),))
+
+    def test_rel_drop_policy(self):
+        perms = frozenset({"a"})
+        keep = TraceOracle((), OracleDefaults(rel_drop_all=False))
+        drop = TraceOracle((), OracleDefaults(rel_drop_all=True))
+        keeping = rel(before=perms, after=perms)
+        dropping = rel(before=perms, after=frozenset())
+        assert keep.allows_trace((keeping,))
+        assert not keep.allows_trace((dropping,))
+        assert drop.allows_trace((dropping,))
+        assert not drop.allows_trace((keeping,))
+
+    def test_script_then_offscript(self):
+        trace = (RlxReadLabel("x", 1),)
+        oracle = TraceOracle.for_target_trace(
+            trace, OracleDefaults(read_value=0))
+        assert oracle.allows_trace((RlxReadLabel("x", 1),
+                                    RlxReadLabel("x", 0)))
+        assert not oracle.allows_trace((RlxReadLabel("x", 1),
+                                        RlxReadLabel("x", 1)))
+
+    def test_progress_condition_holds(self):
+        oracle = TraceOracle((RlxReadLabel("x", 1),),
+                             OracleDefaults(read_value=0, choose_value=0))
+        assert check_progress(oracle, states=[0, 1], locs=["x", "y"],
+                              values=[0, 1],
+                              perm_choices=[frozenset(), frozenset({"z"})])
+
+    def test_acquire_offscript_gains_nothing(self):
+        oracle = TraceOracle((), OracleDefaults(read_value=0))
+        neutral = acq(value=0)
+        gaining = acq(value=0, after=frozenset({"y"}),
+                      gained=FrozenMap.of({"y": 1}))
+        assert oracle.allows_trace((neutral,))
+        assert not oracle.allows_trace((gaining,))
+
+    def test_written_sets_are_stripped(self):
+        """The oracle sees |e|: written sets do not affect acceptance."""
+        base = acq(written=frozenset())
+        flagged = acq(written=frozenset({"y"}))
+        assert strip(base) == strip(flagged)
+        oracle = TraceOracle.for_target_trace((base,))
+        assert oracle.allows_trace((flagged,))
+
+
+def test_default_family_covers_each_value_and_policy():
+    family = default_oracle_family((0, 1))
+    reads = {defaults.read_value for defaults in family}
+    assert reads == {0, 1, UNDEF}
+    assert {defaults.rel_drop_all for defaults in family} == {True, False}
+    # pinning oracles for every value are what refute §3's second example
+    assert OracleDefaults(0, 0, False) in family
+
+
+def test_family_without_undef_reads():
+    family = default_oracle_family((0, 1), include_undef_reads=False)
+    assert all(isinstance(defaults.read_value, int) for defaults in family)

@@ -1,0 +1,50 @@
+"""Paper examples of §2 checked against simple behavioral refinement.
+
+Each case in the catalog records the paper's verdict; `expected`
+distinguishes transformations validated by the simple notion from those
+the paper marks unsound (``{̸``).
+"""
+
+import pytest
+
+from repro.litmus import SEC2_CASES, case_by_name
+from repro.seq import check_simple_refinement, check_transformation
+
+
+@pytest.mark.parametrize("case", SEC2_CASES, ids=lambda c: c.name)
+def test_sec2_case(case):
+    verdict = check_transformation(case.source, case.target)
+    assert verdict.valid == case.expected_valid, (
+        f"{case.name} ({case.paper_ref}): expected "
+        f"{case.expected}, got {verdict!r}")
+    assert verdict.notion == (case.expected if case.expected_valid
+                              else "none")
+
+
+@pytest.mark.parametrize("case", SEC2_CASES, ids=lambda c: c.name)
+def test_sec2_simple_notion_agrees(case):
+    """The simple notion alone gives the expected yes/no for §2 cases."""
+    verdict = check_simple_refinement(case.source, case.target)
+    assert verdict.refines == (case.expected == "simple")
+
+
+def test_counterexample_reported_for_same_loc_reorder():
+    case = case_by_name("na-reorder-same-loc")
+    verdict = check_simple_refinement(case.source, case.target)
+    assert not verdict.refines
+    assert verdict.counterexample is not None
+    assert "source" in verdict.counterexample.reason
+
+
+def test_refinement_is_directional():
+    """slf-basic validates src {~> tgt but not the converse with undef."""
+    case = case_by_name("na-reorder-diff-loc")
+    forward = check_simple_refinement(case.source, case.target)
+    assert forward.refines
+
+
+def test_verdicts_are_complete():
+    """Litmus-scale checks should not hit exploration bounds."""
+    for case in SEC2_CASES:
+        verdict = check_simple_refinement(case.source, case.target)
+        assert verdict.complete, case.name

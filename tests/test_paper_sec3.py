@@ -1,0 +1,64 @@
+"""Paper examples of §3: advanced refinement, late UB, commitments."""
+
+import pytest
+
+from repro.litmus import SEC3_CASES, case_by_name
+from repro.seq import (
+    check_advanced_refinement,
+    check_simple_refinement,
+    check_transformation,
+)
+
+
+@pytest.mark.parametrize("case", SEC3_CASES, ids=lambda c: c.name)
+def test_sec3_case(case):
+    verdict = check_transformation(case.source, case.target)
+    assert verdict.valid == case.expected_valid, (
+        f"{case.name} ({case.paper_ref}): expected {case.expected}, "
+        f"got {verdict!r}")
+    assert verdict.notion == (case.expected if case.expected_valid
+                              else "none")
+
+
+@pytest.mark.parametrize(
+    "name", [c.name for c in SEC3_CASES if c.expected == "advanced"])
+def test_advanced_cases_fail_simple(name):
+    """Proposition 3.4 is strict: these need the refined notion."""
+    case = case_by_name(name)
+    assert not check_simple_refinement(case.source, case.target).refines
+    assert check_advanced_refinement(case.source, case.target).refines
+
+
+def test_proposition_3_4_simple_implies_advanced():
+    """σ_tgt ⊑ σ_src ⇒ σ_tgt ⊑w σ_src, checked on all simple-valid cases."""
+    from repro.litmus import SEC2_CASES
+
+    for case in SEC2_CASES:
+        if case.expected != "simple":
+            continue
+        assert check_advanced_refinement(case.source, case.target).refines, \
+            case.name
+
+
+def test_example_3_1_first_step_blocked_by_acquire_condition():
+    """Reordering acquire with UB is what breaks the Ex 3.1 chain."""
+    case = case_by_name("acq-then-div-by-zero")
+    verdict = check_advanced_refinement(case.source, case.target)
+    assert not verdict.refines
+    assert verdict.counterexample is not None
+
+
+def test_late_ub_oracle_counterexample_mentions_defaults():
+    """The §3 second example is only refuted by a pinning oracle."""
+    case = case_by_name("late-ub-needs-oracle")
+    verdict = check_advanced_refinement(case.source, case.target)
+    assert not verdict.refines
+    assert verdict.counterexample.defaults is not None
+    # the refuting oracle forces the source to read a value != 1
+    assert verdict.counterexample.defaults.read_value != 1
+
+
+def test_example_3_5_release_case_has_commitments():
+    case = case_by_name("dse-across-rel-write")
+    assert not check_simple_refinement(case.source, case.target).refines
+    assert check_advanced_refinement(case.source, case.target).refines

@@ -1,0 +1,155 @@
+"""Tests for the WHILE concrete syntax."""
+
+import pytest
+
+from repro.lang import (
+    ACQ,
+    NA,
+    REL,
+    RLX,
+    Abort,
+    Assign,
+    Fence,
+    FenceKind,
+    Freeze,
+    If,
+    Load,
+    ParseError,
+    Print,
+    Return,
+    Rmw,
+    Seq,
+    Skip,
+    Store,
+    While,
+    parse,
+)
+from repro.lang.ast import BinOp, Const, Reg, UnOp
+from repro.lang.itree import CasOp, ExchangeOp, FetchAddOp
+from repro.lang.parser import split_location
+
+
+def test_split_location():
+    assert split_location("x_na") == ("x", NA)
+    assert split_location("counter_rel") == ("counter", REL)
+    assert split_location("foo") is None
+    assert split_location("_na") is None
+    assert split_location("x_bar") is None
+
+
+def test_store_and_load():
+    program = parse("x_na := 1; a := y_acq;")
+    assert isinstance(program, Seq)
+    store, load = program.stmts
+    assert store == Store("x", Const(1), NA)
+    assert load == Load("a", "y", ACQ)
+
+
+def test_modes():
+    program = parse("x_na := 0; x2_rlx := 0; x3_rel := 0;")
+    modes = [stmt.mode for stmt in program.stmts]
+    assert modes == [NA, RLX, REL]
+
+
+def test_register_assign():
+    program = parse("a := b + 1;")
+    assert program == Assign("a", BinOp("+", Reg("b"), Const(1)))
+
+
+def test_freeze():
+    program = parse("a := freeze(b);")
+    assert program == Freeze("a", Reg("b"))
+
+
+def test_rmws():
+    program = parse(
+        "a := fadd_rlx_rlx(x_rlx, 1);"
+        "b := cas_acq_rel(x_rlx, 0, 1);"
+        "c := xchg_rlx_rel(x_rlx, -2);")
+    fadd, cas, xchg = program.stmts
+    assert fadd == Rmw("a", "x", FetchAddOp(1), RLX, RLX)
+    assert cas == Rmw("b", "x", CasOp(0, 1), ACQ, REL)
+    assert xchg == Rmw("c", "x", ExchangeOp(-2), RLX, REL)
+
+
+def test_if_else_and_while():
+    program = parse("while a < 3 { if a == 0 { skip; } else { abort; } }")
+    assert isinstance(program, While)
+    assert isinstance(program.body, If)
+    assert program.body.else_branch == Abort()
+
+
+def test_if_without_else():
+    program = parse("if a { skip; }")
+    assert program == If(Reg("a"), Skip(), Skip())
+
+
+def test_empty_block_is_skip():
+    assert parse("if a { }") == If(Reg("a"), Skip(), Skip())
+
+
+def test_fences():
+    program = parse("fence_acq; fence_rel; fence_sc;")
+    assert [stmt.kind for stmt in program.stmts] == [
+        FenceKind.ACQ, FenceKind.REL, FenceKind.SC]
+
+
+def test_return_print():
+    program = parse("print(a); return a + 1;")
+    assert isinstance(program.stmts[0], Print)
+    assert isinstance(program.stmts[1], Return)
+
+
+def test_operator_precedence():
+    program = parse("a := 1 + 2 * 3 == 7;")
+    expr = program.expr
+    assert expr == BinOp("==", BinOp("+", Const(1),
+                                     BinOp("*", Const(2), Const(3))),
+                         Const(7))
+
+
+def test_unary_and_parens():
+    program = parse("a := -(1 + 2); b := !c;")
+    neg, bang = program.stmts
+    assert neg.expr == UnOp("-", BinOp("+", Const(1), Const(2)))
+    assert bang.expr == UnOp("!", Reg("c"))
+
+
+def test_comments():
+    program = parse("""
+    // a line comment
+    a := 1;  # another comment
+    """)
+    assert program == Assign("a", Const(1))
+
+
+def test_location_in_expression_rejected():
+    with pytest.raises(ParseError, match="load statement"):
+        parse("a := x_na + 1;")
+
+
+def test_keyword_as_register_rejected():
+    with pytest.raises(ParseError):
+        parse("while := 1;")
+
+
+def test_missing_semicolon_rejected():
+    with pytest.raises(ParseError):
+        parse("a := 1")
+
+
+def test_unbalanced_brace_rejected():
+    with pytest.raises(ParseError):
+        parse("if a { skip;")
+
+
+def test_rmw_args_must_be_literals():
+    with pytest.raises(ParseError, match="integer literals"):
+        parse("a := fadd_rlx_rlx(x_rlx, b);")
+
+
+def test_roundtrip_repr_parses_like_source():
+    source = "x_na := 1; a := x_na; if a { y_rel := a; } return a;"
+    program = parse(source)
+    assert isinstance(program, Seq)
+    assert len(program.stmts) == 4

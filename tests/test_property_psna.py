@@ -1,0 +1,104 @@
+"""Property-based tests of PS^na machine invariants (Fig 5)."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.lang.ast import shared_locations
+from repro.litmus.generator import GeneratorConfig, ProgramGenerator
+from repro.psna import (
+    Memory,
+    Message,
+    PsConfig,
+    canonical_key,
+    initial_state,
+    machine_steps,
+)
+
+CONFIG = GeneratorConfig(na_locs=("x",), atomic_locs=("y",),
+                         registers=("a", "b"), values=(0, 1),
+                         loop_probability=0.0)
+PS = PsConfig(values=(0, 1), promise_budget=1)
+
+
+def machine_states(seed, steps=300):
+    """Walk reachable machine states of a 2-thread random composition."""
+    gen1 = ProgramGenerator(CONFIG, seed)
+    gen2 = ProgramGenerator(CONFIG, seed + 77)
+    programs = [gen1.program(length=3), gen2.program(length=3)]
+    state = initial_state(programs, PS)
+    seen = {canonical_key(state)}
+    stack = [state]
+    count = 0
+    while stack and count < steps:
+        current = stack.pop()
+        yield current
+        count += 1
+        if current.bottom:
+            continue
+        for successor in machine_steps(current, PS):
+            key = canonical_key(successor)
+            if key not in seen:
+                seen.add(key)
+                stack.append(successor)
+
+
+@settings(max_examples=10, deadline=None)
+@given(st.integers(0, 10_000))
+def test_timestamps_unique_per_location(seed):
+    for state in machine_states(seed):
+        if state.bottom:
+            continue
+        for loc in state.memory.locations():
+            stamps = state.memory.timestamps(loc)
+            assert len(stamps) == len(set(stamps))
+
+
+@settings(max_examples=10, deadline=None)
+@given(st.integers(0, 10_000))
+def test_promises_are_in_memory(seed):
+    for state in machine_states(seed):
+        if state.bottom:
+            continue
+        for thread in state.threads:
+            for promise in thread.promises:
+                assert promise in state.memory
+
+
+@settings(max_examples=10, deadline=None)
+@given(st.integers(0, 10_000))
+def test_views_point_at_existing_timestamps(seed):
+    for state in machine_states(seed):
+        if state.bottom:
+            continue
+        for thread in state.threads:
+            for loc, ts in thread.view.items:
+                assert ts in state.memory.timestamps(loc), (loc, ts)
+
+
+@settings(max_examples=10, deadline=None)
+@given(st.integers(0, 10_000))
+def test_message_views_leq_memory_max(seed):
+    for state in machine_states(seed):
+        if state.bottom:
+            continue
+        for message in state.memory:
+            if isinstance(message, Message) and message.view is not None:
+                for loc, ts in message.view.items:
+                    assert ts <= state.memory.max_ts(loc)
+
+
+@settings(max_examples=10, deadline=None)
+@given(st.integers(0, 10_000))
+def test_canonical_key_stable(seed):
+    for state in machine_states(seed, steps=50):
+        assert canonical_key(state) == canonical_key(state)
+
+
+@settings(max_examples=10, deadline=None)
+@given(st.integers(0, 10_000))
+def test_promise_budget_never_negative(seed):
+    for state in machine_states(seed):
+        if state.bottom:
+            continue
+        for thread in state.threads:
+            assert thread.promise_budget >= 0

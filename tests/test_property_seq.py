@@ -1,0 +1,114 @@
+"""Property-based tests of SEQ machine invariants (Fig 1).
+
+Random programs are driven through ``seq_steps`` and the structural
+invariants of the permission machine are checked on every transition.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.lang import UNDEF
+from repro.litmus.generator import GeneratorConfig, ProgramGenerator
+from repro.seq import SeqConfig, SeqUniverse, seq_steps
+from repro.seq.labels import (
+    AcqFenceLabel,
+    AcqReadLabel,
+    RelFenceLabel,
+    RelWriteLabel,
+)
+
+CONFIG = GeneratorConfig(na_locs=("x", "w"), atomic_locs=("y",),
+                         registers=("a", "b"), values=(0, 1))
+UNIVERSE = SeqUniverse(("x", "w"), (0, 1))
+
+
+def explore_transitions(seed, max_transitions=600):
+    """Yield (config, label, successor) triples for a random program."""
+    program = ProgramGenerator(CONFIG, seed).program(length=5)
+    initial = SeqConfig.initial(program, {"x"}, {"x": 0, "w": 0})
+    seen = {initial}
+    stack = [initial]
+    count = 0
+    while stack and count < max_transitions:
+        cfg = stack.pop()
+        if cfg.is_bottom() or cfg.is_terminated():
+            continue
+        for label, successor in seq_steps(cfg, UNIVERSE):
+            count += 1
+            yield cfg, label, successor
+            if successor not in seen:
+                seen.add(successor)
+                stack.append(successor)
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.integers(0, 10_000))
+def test_permissions_change_only_on_sync_labels(seed):
+    for cfg, label, successor in explore_transitions(seed):
+        if cfg.perms != successor.perms:
+            assert isinstance(label, (AcqReadLabel, RelWriteLabel,
+                                      AcqFenceLabel, RelFenceLabel)), label
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.integers(0, 10_000))
+def test_written_set_resets_only_on_release(seed):
+    for cfg, label, successor in explore_transitions(seed):
+        if not (successor.written >= cfg.written):
+            assert isinstance(label, (RelWriteLabel, RelFenceLabel))
+            assert successor.written == frozenset()
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.integers(0, 10_000))
+def test_written_set_grows_only_unlabeled(seed):
+    # F grows exactly on (unlabeled) non-atomic writes
+    for cfg, label, successor in explore_transitions(seed):
+        if successor.written > cfg.written:
+            assert label is None
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.integers(0, 10_000))
+def test_memory_changes_imply_na_write_or_acquire(seed):
+    for cfg, label, successor in explore_transitions(seed):
+        if cfg.memory != successor.memory:
+            if label is None:
+                # a non-atomic write: exactly one location changed, to a
+                # location in the permission set, and F gained it
+                changed = [loc for loc in cfg.memory
+                           if cfg.memory[loc] != successor.memory[loc]]
+                assert len(changed) == 1
+                assert changed[0] in cfg.perms
+                assert changed[0] in successor.written
+            else:
+                assert isinstance(label, (AcqReadLabel, AcqFenceLabel))
+                for loc in cfg.memory:
+                    if cfg.memory[loc] != successor.memory[loc]:
+                        assert loc in label.perms_after - label.perms_before
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.integers(0, 10_000))
+def test_acquire_labels_wellformed(seed):
+    for cfg, label, successor in explore_transitions(seed):
+        if isinstance(label, (AcqReadLabel, AcqFenceLabel)):
+            assert label.perms_before <= label.perms_after
+            assert set(label.gained.keys()) == set(
+                label.perms_after - label.perms_before)
+            assert label.written == cfg.written == successor.written
+        if isinstance(label, (RelWriteLabel, RelFenceLabel)):
+            assert label.perms_after <= label.perms_before
+            assert label.written == cfg.written
+            assert set(label.released.keys()) == set(cfg.perms)
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.integers(0, 10_000))
+def test_racy_na_write_goes_to_bottom(seed):
+    for cfg, label, successor in explore_transitions(seed):
+        if successor.is_bottom() and label is None:
+            # either program-level UB or a racy na write; in both cases
+            # the memory and flags are untouched
+            assert successor.memory == cfg.memory
+            assert successor.written == cfg.written

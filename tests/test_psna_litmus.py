@@ -1,0 +1,218 @@
+"""PS^na litmus tests: classic shapes plus the paper's Ex 5.1, App B, App C."""
+
+import pytest
+
+from repro.lang import Const, Freeze, Seq, UNDEF, parse
+from repro.psna import PsConfig, explore
+
+PF = PsConfig(allow_promises=False)
+FULL = PsConfig(promise_budget=1)
+
+
+def returns(programs, config=PF, **kwargs):
+    result = explore([parse(p) if isinstance(p, str) else p
+                      for p in programs], config, **kwargs)
+    return result
+
+
+class TestClassicLitmus:
+    def test_message_passing_release_acquire(self):
+        """MP with rel/acq: the reader synchronizes; no stale x, no race."""
+        result = returns([
+            "x_na := 1; y_rel := 1; return 0;",
+            "a := y_acq; if a == 1 { b := x_na; return b; } return 9;"])
+        assert result.returns() == {(0, 1), (0, 9)}
+        assert not result.has_bottom()
+
+    def test_message_passing_relaxed_races(self):
+        """MP with rlx: no synchronization, the na read may race."""
+        result = returns([
+            "x_na := 1; y_rlx := 1; return 0;",
+            "a := y_rlx; if a == 1 { b := x_na; return b; } return 9;"])
+        assert (0, UNDEF) in result.returns()
+
+    def test_store_buffering_relaxed(self):
+        result = returns([
+            "x_rlx := 1; a := y_rlx; return a;",
+            "y_rlx := 1; b := x_rlx; return b;"])
+        assert result.returns() == {(0, 0), (0, 1), (1, 0), (1, 1)}
+
+    def test_load_buffering_needs_promises(self):
+        programs = ["a := x_rlx; y_rlx := a; return a;",
+                    "b := y_rlx; x_rlx := 1; return b;"]
+        assert (1, 1) not in returns(programs, PF).returns()
+        assert (1, 1) in returns(programs, FULL).returns()
+
+    def test_load_buffering_out_of_thin_air_excluded(self):
+        """LB with data dependence both ways: certification forbids 1."""
+        programs = ["a := x_rlx; y_rlx := a; return a;",
+                    "b := y_rlx; x_rlx := b; return b;"]
+        result = returns(programs, FULL)
+        assert (1, 1) not in result.returns()
+        assert (0, 0) in result.returns()
+
+    def test_coherence_read_read(self):
+        """CoRR: after reading the new value, cannot read the old one."""
+        result = returns([
+            "x_rlx := 1; return 0;",
+            "a := x_rlx; b := x_rlx; return a * 10 + b;"])
+        assert (0, 10) not in result.returns()
+        assert (0, 11) in result.returns()
+        assert (0, 1) in result.returns()  # a=0, b=1
+
+    def test_write_write_race_is_ub(self):
+        result = returns(["x_na := 1; return 0;", "x_na := 2; return 0;"])
+        assert result.has_bottom()
+
+    def test_write_read_race_gives_undef(self):
+        result = returns(["x_na := 1; return 0;", "a := x_na; return a;"])
+        assert (0, UNDEF) in result.returns()
+        assert not result.has_bottom()
+
+    def test_mixed_atomic_nonatomic_race(self):
+        """PS^na allows mixing; an rlx read races only with NA messages."""
+        result = returns(["x_na := 1; return 0;", "a := x_rlx; return a;"])
+        # the na write publishes a proper message; the atomic read may
+        # race with an NAMsg only when the writer emits one
+        assert (0, 0) in result.returns()
+        assert (0, 1) in result.returns()
+
+    def test_sc_fences_forbid_store_buffering(self):
+        result = returns([
+            "x_rlx := 1; fence_sc; a := y_rlx; return a;",
+            "y_rlx := 1; fence_sc; b := x_rlx; return b;"])
+        assert (0, 0) not in result.returns()
+
+    def test_rel_acq_fences_give_message_passing(self):
+        result = returns([
+            "x_na := 1; fence_rel; y_rlx := 1; return 0;",
+            "a := y_rlx; fence_acq; if a == 1 { b := x_na; return b; } "
+            "return 9;"])
+        assert (0, 1) in result.returns()
+        assert (0, UNDEF) not in result.returns()
+
+    def test_rmw_mutual_exclusion(self):
+        """Two CAS-based lock acquisitions cannot both succeed."""
+        result = returns([
+            "a := cas_acq_rel(l_rlx, 0, 1); return a;",
+            "b := cas_acq_rel(l_rlx, 0, 1); return b;"])
+        # a CAS returns the read value (0 on success); both reading 0
+        # would need both to write adjacently after ts 0 — impossible.
+        assert (0, 0) not in result.returns()
+
+    def test_fadd_counters_serialize(self):
+        result = returns([
+            "a := fadd_rlx_rlx(c_rlx, 1); return a;",
+            "b := fadd_rlx_rlx(c_rlx, 1); return b;"])
+        assert result.returns() == {(0, 1), (1, 0)}
+
+
+class TestExample51:
+    PROGRAMS = ["a := x_na; y_rlx := 1; return a;",
+                "b := y_rlx; if b == 1 { x_na := 1; } return b;"]
+
+    def test_racy_undef_requires_promises(self):
+        assert not any(r[0] is UNDEF
+                       for r in returns(self.PROGRAMS, PF).returns())
+
+    def test_promise_enables_racy_undef_read(self):
+        """Ex 5.1: promise y=1, read x racily (undef), fulfill."""
+        result = returns(self.PROGRAMS, FULL)
+        assert (UNDEF, 1) in result.returns()
+        assert result.complete
+
+
+def _freeze_undef(reg="c"):
+    return Freeze(reg, Const(UNDEF))
+
+
+class TestAppendixB:
+    """Multi-message na-writes justify splitting (Appendix B)."""
+
+    PI1 = "a := x_na; y_rlx := a; return 0;"
+    SRC = ("b := y_rlx; c := freeze(b); "
+           "if c == 1 { x_na := 1; print(1); } else { x_na := 2; } "
+           "return 0;")
+    TGT = ("b := y_rlx; c := freeze(b); x_na := 2; "
+           "if c == 1 { x_na := 1; print(1); } return 0;")
+    CFG = PsConfig(promise_budget=1, values=(0, 1, 2))
+    CFG_SINGLE = PsConfig(promise_budget=1, values=(0, 1, 2),
+                          allow_na_intermediates=False)
+
+    def test_source_prints_with_multi_message_na_writes(self):
+        result = returns([self.PI1, self.SRC], self.CFG)
+        assert (("print", 1),) in result.syscall_traces()
+
+    def test_target_prints(self):
+        result = returns([self.PI1, self.TGT], self.CFG)
+        assert (("print", 1),) in result.syscall_traces()
+
+    def test_source_cannot_print_with_single_message_na_writes(self):
+        """Without the multi-message rule the optimization is unsound."""
+        result = returns([self.PI1, self.SRC], self.CFG_SINGLE)
+        assert (("print", 1),) not in result.syscall_traces()
+        assert result.complete
+
+
+class TestAppendixC:
+    """PS^na disallows reordering a choice before a release write."""
+
+    PI1 = "a := x_rlx; y_rlx := a; return 0;"
+    REST = ("if b == 1 { c := y_rlx; if c == 1 { x_rlx := 1; print(1); } } "
+            "else { x_rlx := 1; } return 0;")
+
+    def _pi2(self, freeze_first):
+        freeze = Freeze("b", Const(UNDEF))
+        rel = parse("x_rel := 0;")
+        rest = parse(self.REST)
+        order = (freeze, rel, rest) if freeze_first else (rel, freeze, rest)
+        return Seq.of(*order)
+
+    def test_source_cannot_print(self):
+        result = returns([self.PI1, self._pi2(freeze_first=True)], FULL)
+        assert (("print", 1),) not in result.syscall_traces()
+        assert result.complete
+
+    def test_target_prints_after_reordering(self):
+        result = returns([self.PI1, self._pi2(freeze_first=False)], FULL)
+        assert (("print", 1),) in result.syscall_traces()
+
+
+class TestReleaseSequences:
+    """Same-thread release sequences (tview.rel in the full model)."""
+
+    def test_rlx_overwrite_continues_release_sequence(self):
+        result = returns([
+            "x_na := 1; y_rel := 1; y_rlx := 2; return 0;",
+            "a := y_acq; if a == 2 { b := x_na; return b; } return 9;"])
+        assert (0, 1) in result.returns()
+        assert (0, UNDEF) not in result.returns()
+
+    def test_no_release_no_synchronization(self):
+        result = returns([
+            "x_na := 1; y_rlx := 2; return 0;",
+            "a := y_acq; if a == 2 { b := x_na; return b; } return 9;"])
+        assert (0, UNDEF) in result.returns()
+
+    def test_release_fence_upgrades_relaxed_write(self):
+        result = returns([
+            "x_na := 1; fence_rel; y_rlx := 2; return 0;",
+            "a := y_acq; if a == 2 { b := x_na; return b; } return 9;"])
+        assert (0, 1) in result.returns()
+        assert (0, UNDEF) not in result.returns()
+
+    def test_release_sequence_is_per_location(self):
+        # the release was to z, not y: a relaxed write to y is unordered
+        result = returns([
+            "x_na := 1; z_rel := 1; y_rlx := 2; return 0;",
+            "a := y_acq; if a == 2 { b := x_na; return b; } return 9;"])
+        assert (0, UNDEF) in result.returns()
+
+    def test_rmw_continues_release_sequence(self):
+        result = returns([
+            "x_na := 1; y_rel := 1; return 0;",
+            "f := fadd_rlx_rlx(y_rlx, 1); return f;",
+            "a := y_acq; if a == 2 { b := x_na; return b; } return 9;"],
+            PsConfig(allow_promises=False, max_states=400_000))
+        assert (0, 1, 1) in result.returns()
+        assert all(r[2] is not UNDEF for r in result.returns())

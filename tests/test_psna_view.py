@@ -1,0 +1,90 @@
+"""Tests for timestamps and views (PS^na, Fig 5 preliminaries)."""
+
+from fractions import Fraction
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.psna import View, ZERO, fresh_between, join_opt, view_leq_opt
+
+times = st.fractions(min_value=0, max_value=8, max_denominator=8)
+view_maps = st.dictionaries(st.sampled_from(["x", "y", "z"]), times,
+                            max_size=3)
+views = view_maps.map(View.of)
+
+
+def test_default_timestamp_zero():
+    assert View().get("x") == ZERO
+
+
+def test_zero_entries_trimmed():
+    assert View.of({"x": ZERO}) == View()
+
+
+def test_set_get():
+    view = View().set("x", Fraction(2))
+    assert view.get("x") == 2
+    assert view.get("y") == 0
+
+
+def test_join_pointwise_max():
+    a = View.of({"x": Fraction(1), "y": Fraction(3)})
+    b = View.of({"x": Fraction(2)})
+    joined = a.join(b)
+    assert joined.get("x") == 2 and joined.get("y") == 3
+
+
+def test_join_with_bottom_is_identity():
+    view = View.of({"x": Fraction(1)})
+    assert view.join(None) == view
+    assert join_opt(None, view) == view
+    assert join_opt(None, None) is None
+
+
+@given(views)
+def test_join_idempotent(view):
+    assert view.join(view) == view
+
+
+@given(views, views)
+def test_join_commutative(a, b):
+    assert a.join(b) == b.join(a)
+
+
+@given(views, views, views)
+def test_join_associative(a, b, c):
+    assert a.join(b).join(c) == a.join(b.join(c))
+
+
+@given(views, views)
+def test_join_is_lub(a, b):
+    joined = a.join(b)
+    assert a.leq(joined) and b.leq(joined)
+
+
+@given(views, views)
+def test_leq_antisymmetric(a, b):
+    if a.leq(b) and b.leq(a):
+        assert a == b
+
+
+def test_view_leq_opt_bottom():
+    view = View.of({"x": Fraction(1)})
+    assert view_leq_opt(None, view)
+    assert view_leq_opt(None, None)
+    assert not view_leq_opt(view, None)
+    assert view_leq_opt(View(), None)  # the zero view has no entries
+
+
+def test_fresh_between_midpoint():
+    ts = fresh_between(Fraction(1), Fraction(2))
+    assert Fraction(1) < ts < Fraction(2)
+
+
+def test_fresh_between_open_end():
+    assert fresh_between(Fraction(3), None) == Fraction(4)
+
+
+@given(views)
+def test_views_hashable(view):
+    assert hash(view) == hash(View.of(view.as_dict()))

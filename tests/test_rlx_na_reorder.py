@@ -1,0 +1,71 @@
+"""§2's claim: reorderings of relaxed accesses and non-atomics validate.
+
+All eight rlx/na combinations hold (two via the advanced notion — the
+racy write's UB moves earlier), while reordering two relaxed (atomic)
+accesses is *not* validated: SEQ deliberately supports no optimizations
+on atomics (§2), since traces fix their order.
+"""
+
+import pytest
+
+from repro.litmus import RLX_NA_CASES
+from repro.seq import check_simple_refinement, check_transformation
+
+
+@pytest.mark.parametrize("case", RLX_NA_CASES, ids=lambda c: c.name)
+def test_rlx_na_reordering_verdict(case):
+    verdict = check_transformation(case.source, case.target)
+    assert verdict.valid == case.expected_valid, f"{case.name}: {verdict!r}"
+    assert verdict.notion == (case.expected if case.expected_valid
+                              else "none")
+
+
+def test_late_ub_cases_fail_simple():
+    for case in RLX_NA_CASES:
+        if case.expected == "advanced":
+            assert not check_simple_refinement(case.source,
+                                               case.target).refines
+
+
+# Moving a read *after* a later write is exactly the reordering that the
+# promising semantics introduces promises for: without promises, the
+# source cannot emulate the target's early write, and a context that
+# reacts to the write separates them.  The adequacy harness exhibits this
+# directly (see test_promises_needed below).
+PROMISE_NEEDING = {"reorder-na-read-rlx-write"}
+
+
+def test_rlx_na_cases_adequate_in_psna():
+    from repro.adequacy import check_adequacy
+    from repro.psna import PsConfig
+
+    config = PsConfig(allow_promises=False, values=(0, 1, 2))
+    for case in RLX_NA_CASES:
+        if not case.expected_valid or case.name in PROMISE_NEEDING:
+            continue
+        report = check_adequacy(case.source, case.target, config=config)
+        assert report.adequate, case.name
+
+
+def test_promises_needed_for_read_write_reordering():
+    """Empirical motivation for promises [18]: read-write reordering
+    soundness requires them.  The promise-free machine refutes the
+    adequacy of ``b := x_na; y_rlx := 1 {~> y_rlx := 1; b := x_na``
+    under an interfering context; the full machine restores it (the
+    source promises y=1, the context reacts, and the source's read
+    becomes racy -- matching the target's early-write behaviors)."""
+    from repro.adequacy import check_adequacy
+    from repro.litmus import case_by_name
+    from repro.psna import PsConfig
+
+    case = case_by_name("reorder-na-read-rlx-write")
+    promise_free = check_adequacy(
+        case.source, case.target,
+        config=PsConfig(allow_promises=False, values=(0, 1, 2)))
+    assert case.expected == "simple" and not promise_free.adequate
+    assert promise_free.witnessed is not None
+
+    full = check_adequacy(
+        case.source, case.target,
+        config=PsConfig(promise_budget=1, values=(0, 1, 2)))
+    assert full.adequate

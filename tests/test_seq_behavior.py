@@ -1,0 +1,126 @@
+"""Tests for SEQ behaviors (Def 2.1) including Example 2.2."""
+
+from repro.lang import UNDEF, parse
+from repro.seq import (
+    Behavior,
+    Bot,
+    Prt,
+    RlxWriteLabel,
+    SeqConfig,
+    SeqUniverse,
+    Trm,
+    behavior_leq,
+    enumerate_behaviors,
+    iter_initial_configs,
+)
+from repro.util.fmap import FrozenMap
+
+
+def behaviors(source, perms, memory, universe, **kwargs):
+    cfg = SeqConfig.initial(parse(source), frozenset(perms), memory)
+    return enumerate_behaviors(cfg, universe, **kwargs)
+
+
+def test_example_2_2_with_permission():
+    """Example 2.2: behaviors of  x_rlx := 1; y_na := 2; return 3."""
+    universe = SeqUniverse(("y",), (1, 2, 3))
+    memory = {"y": 0}
+    got = behaviors("x_rlx := 1; y_na := 2; return 3;", {"y"}, memory,
+                    universe)
+    wrlx = RlxWriteLabel("x", 1)
+    assert Behavior((), Prt(frozenset())) in got
+    assert Behavior((wrlx,), Prt(frozenset())) in got
+    assert Behavior((wrlx,), Prt(frozenset({"y"}))) in got
+    terminating = Behavior(
+        (wrlx,), Trm(3, frozenset({"y"}), FrozenMap.of({"y": 2})))
+    assert terminating in got
+    # exactly one terminating behavior
+    assert [b for b in got if isinstance(b.result, Trm)] == [terminating]
+
+
+def test_example_2_2_without_permission():
+    """Without permission on y, the only terminating behavior is ⊥."""
+    universe = SeqUniverse(("y",), (1, 2, 3))
+    got = behaviors("x_rlx := 1; y_na := 2; return 3;", set(), {"y": 0},
+                    universe)
+    wrlx = RlxWriteLabel("x", 1)
+    finishing = [b for b in got if not isinstance(b.result, Prt)]
+    assert finishing == [Behavior((wrlx,), Bot())]
+
+
+def test_behavior_sets_are_trace_prefix_closed():
+    universe = SeqUniverse(("x",), (0, 1))
+    got = behaviors("x_na := 1; a := y_rlx; x_na := 0; return a;", {"x"},
+                    {"x": 0}, universe)
+    traces = {b.trace for b in got}
+    for trace in traces:
+        assert trace[:-1] in traces or trace == ()
+
+
+class TestBehaviorLeq:
+    empty = frozenset()
+    mem0 = FrozenMap.of({"x": 0})
+    mem_undef = FrozenMap.of({"x": UNDEF})
+
+    def test_trm_value_order(self):
+        tgt = Behavior((), Trm(1, self.empty, self.mem0))
+        src = Behavior((), Trm(UNDEF, self.empty, self.mem0))
+        assert behavior_leq(tgt, src)
+        assert not behavior_leq(src, tgt)
+
+    def test_trm_written_subset(self):
+        tgt = Behavior((), Trm(0, self.empty, self.mem0))
+        src = Behavior((), Trm(0, frozenset({"x"}), self.mem0))
+        assert behavior_leq(tgt, src)
+        assert not behavior_leq(src, tgt)
+
+    def test_trm_memory_order(self):
+        tgt = Behavior((), Trm(0, self.empty, self.mem0))
+        src = Behavior((), Trm(0, self.empty, self.mem_undef))
+        assert behavior_leq(tgt, src)
+        assert not behavior_leq(src, tgt)
+
+    def test_prt_matches_prt_only(self):
+        tgt = Behavior((), Prt(self.empty))
+        src_trm = Behavior((), Trm(0, self.empty, self.mem0))
+        assert not behavior_leq(tgt, src_trm)
+        assert behavior_leq(tgt, Behavior((), Prt(frozenset({"x"}))))
+
+    def test_source_bottom_matches_extensions(self):
+        wrlx = RlxWriteLabel("x", 1)
+        src = Behavior((wrlx,), Bot())
+        tgt = Behavior((wrlx, RlxWriteLabel("y", 2)), Trm(0, self.empty,
+                                                          self.mem0))
+        assert behavior_leq(tgt, src)
+        # but the matched prefix must be related
+        src_other = Behavior((RlxWriteLabel("x", 2),), Bot())
+        assert not behavior_leq(tgt, src_other)
+
+    def test_trace_value_order_in_writes(self):
+        tgt = Behavior((RlxWriteLabel("x", 1),), Prt(self.empty))
+        src = Behavior((RlxWriteLabel("x", UNDEF),), Prt(self.empty))
+        assert behavior_leq(tgt, src)
+        assert not behavior_leq(src, tgt)
+
+    def test_unequal_trace_lengths_unrelated(self):
+        tgt = Behavior((RlxWriteLabel("x", 1),), Prt(self.empty))
+        src = Behavior((), Prt(self.empty))
+        assert not behavior_leq(tgt, src)
+
+
+def test_iter_initial_configs_counts():
+    universe = SeqUniverse(("x", "y"), (0, 1))
+    program = parse("return 0;")
+    configs = list(iter_initial_configs(program, universe))
+    # 4 permission sets x 4 memories
+    assert len(configs) == 16
+    perms = {cfg.perms for cfg in configs}
+    assert len(perms) == 4
+
+
+def test_enumeration_respects_max_steps():
+    universe = SeqUniverse(("x",), (0, 1))
+    got = behaviors("while 1 { a := y_rlx; }", set(), {"x": 0}, universe,
+                    max_steps=6)
+    assert all(isinstance(b.result, Prt) for b in got)
+    assert max(len(b.trace) for b in got) <= 6

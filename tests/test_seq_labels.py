@@ -1,0 +1,149 @@
+"""Tests for SEQ label ordering (Def 2.3) and stripping (§3)."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.lang import UNDEF
+from repro.seq import label_leq, strip, trace_leq
+from repro.seq.labels import (
+    AcqReadLabel,
+    ChooseLabel,
+    RelWriteLabel,
+    RlxReadLabel,
+    RlxWriteLabel,
+    StrippedAcq,
+    StrippedRel,
+    SyscallLabel,
+    fmap_leq,
+    is_acquire,
+)
+from repro.util.fmap import FrozenMap
+
+values = st.one_of(st.integers(0, 3), st.just(UNDEF))
+locs = st.sampled_from(["x", "y"])
+perm_sets = st.frozensets(st.sampled_from(["x", "y"]), max_size=2)
+
+
+@st.composite
+def labels(draw):
+    kind = draw(st.integers(0, 4))
+    if kind == 0:
+        return ChooseLabel(draw(values))
+    if kind == 1:
+        return RlxReadLabel(draw(locs), draw(values))
+    if kind == 2:
+        return RlxWriteLabel(draw(locs), draw(values))
+    if kind == 3:
+        gained_locs = draw(st.frozensets(st.sampled_from(["y"]), max_size=1))
+        before = draw(perm_sets) - gained_locs
+        gained = FrozenMap.of({loc: draw(values) for loc in gained_locs})
+        return AcqReadLabel(draw(locs), draw(values), before,
+                            before | gained_locs, draw(perm_sets), gained)
+    before = draw(perm_sets)
+    released = FrozenMap.of({loc: draw(values) for loc in before})
+    after = draw(st.frozensets(st.sampled_from(sorted(before)))) \
+        if before else frozenset()
+    return RelWriteLabel(draw(locs), draw(values), before, frozenset(after),
+                         draw(perm_sets), released)
+
+
+@given(labels())
+def test_label_leq_reflexive(label):
+    assert label_leq(label, label)
+
+
+@given(labels(), labels(), labels())
+def test_label_leq_transitive(a, b, c):
+    if label_leq(a, b) and label_leq(b, c):
+        assert label_leq(a, c)
+
+
+@given(labels(), labels())
+def test_label_leq_antisymmetric(a, b):
+    if label_leq(a, b) and label_leq(b, a):
+        assert a == b
+
+
+def test_wrlx_value_order():
+    assert label_leq(RlxWriteLabel("x", 1), RlxWriteLabel("x", UNDEF))
+    assert not label_leq(RlxWriteLabel("x", UNDEF), RlxWriteLabel("x", 1))
+    assert not label_leq(RlxWriteLabel("x", 1), RlxWriteLabel("y", 1))
+
+
+def test_rrlx_must_match_exactly():
+    assert not label_leq(RlxReadLabel("x", 1), RlxReadLabel("x", UNDEF))
+    assert label_leq(RlxReadLabel("x", UNDEF), RlxReadLabel("x", UNDEF))
+
+
+def test_acq_written_set_order():
+    small = AcqReadLabel("x", 0, frozenset(), frozenset(), frozenset(),
+                         FrozenMap())
+    big = AcqReadLabel("x", 0, frozenset(), frozenset(), frozenset({"y"}),
+                       FrozenMap())
+    assert label_leq(small, big)
+    assert not label_leq(big, small)
+
+
+def test_rel_released_memory_order():
+    perms = frozenset({"y"})
+    lo = RelWriteLabel("x", 0, perms, perms, frozenset(),
+                       FrozenMap.of({"y": 1}))
+    hi = RelWriteLabel("x", 0, perms, perms, frozenset(),
+                       FrozenMap.of({"y": UNDEF}))
+    assert label_leq(lo, hi)
+    assert not label_leq(hi, lo)
+
+
+def test_cross_kind_unrelated():
+    assert not label_leq(RlxReadLabel("x", 0), RlxWriteLabel("x", 0))
+    assert not label_leq(ChooseLabel(0), RlxReadLabel("x", 0))
+
+
+def test_syscall_labels_match_exactly():
+    assert label_leq(SyscallLabel("print", 1), SyscallLabel("print", 1))
+    assert not label_leq(SyscallLabel("print", 1), SyscallLabel("print", 2))
+
+
+@given(st.lists(labels(), max_size=4))
+def test_trace_leq_reflexive(trace):
+    assert trace_leq(tuple(trace), tuple(trace))
+
+
+def test_trace_leq_requires_equal_length():
+    a = (RlxReadLabel("x", 0),)
+    assert not trace_leq(a, ())
+    assert not trace_leq((), a)
+
+
+def test_strip_removes_written_and_released():
+    acq = AcqReadLabel("x", 0, frozenset(), frozenset({"y"}),
+                       frozenset({"z"}), FrozenMap.of({"y": 1}))
+    stripped = strip(acq)
+    assert isinstance(stripped, StrippedAcq)
+    assert not hasattr(stripped, "written")
+    rel = RelWriteLabel("x", 0, frozenset({"y"}), frozenset(),
+                        frozenset({"y"}), FrozenMap.of({"y": 2}))
+    srel = strip(rel)
+    assert isinstance(srel, StrippedRel)
+    assert not hasattr(srel, "released")
+
+
+def test_strip_identity_on_simple_labels():
+    for label in (ChooseLabel(1), RlxReadLabel("x", 0),
+                  RlxWriteLabel("x", 0), SyscallLabel("print", 0)):
+        assert strip(label) == label
+
+
+def test_is_acquire():
+    acq = AcqReadLabel("x", 0, frozenset(), frozenset(), frozenset(),
+                       FrozenMap())
+    rel = RelWriteLabel("x", 0, frozenset(), frozenset(), frozenset(),
+                        FrozenMap())
+    assert is_acquire(acq)
+    assert not is_acquire(rel)
+    assert not is_acquire(RlxReadLabel("x", 0))
+
+
+def test_fmap_leq_requires_equal_domains():
+    assert fmap_leq(FrozenMap.of({"x": 1}), FrozenMap.of({"x": UNDEF}))
+    assert not fmap_leq(FrozenMap.of({"x": 1}), FrozenMap.of({"y": 1}))

@@ -1,0 +1,231 @@
+"""Tests for the SEQ permission machine transitions (Fig 1)."""
+
+import pytest
+
+from repro.lang import UNDEF, parse
+from repro.seq import (
+    AcqFenceLabel,
+    AcqReadLabel,
+    ChooseLabel,
+    RelFenceLabel,
+    RelWriteLabel,
+    RlxReadLabel,
+    RlxWriteLabel,
+    SeqConfig,
+    SeqUniverse,
+    SeqUnsupportedError,
+    SyscallLabel,
+    seq_steps,
+    universe_for,
+)
+from repro.seq.machine import unlabeled_closure
+from repro.util.fmap import FrozenMap
+
+U2 = SeqUniverse(("x", "y"), (0, 1))
+
+
+def config(source, perms, memory, written=frozenset()):
+    return SeqConfig.initial(parse(source), frozenset(perms), memory,
+                             frozenset(written))
+
+
+def steps(cfg, universe=U2):
+    return list(seq_steps(cfg, universe))
+
+
+class TestNonAtomicAccesses:
+    def test_na_read_with_permission(self):
+        cfg = config("a := x_na; return a;", {"x"}, {"x": 7, "y": 0})
+        ((label, nxt),) = steps(cfg)
+        assert label is None
+        # the read value flows into the register and the final return
+        ((label2, nxt2),) = steps(nxt)
+        assert nxt2.thread.return_value() == 7
+
+    def test_racy_na_read_returns_undef(self):
+        cfg = config("a := x_na; return a;", set(), {"x": 7, "y": 0})
+        ((label, nxt),) = steps(cfg)
+        assert label is None
+        ((_, nxt2),) = steps(nxt)
+        assert nxt2.thread.return_value() is UNDEF
+
+    def test_na_write_with_permission(self):
+        cfg = config("x_na := 1;", {"x"}, {"x": 0, "y": 0})
+        ((label, nxt),) = steps(cfg)
+        assert label is None
+        assert nxt.memory["x"] == 1
+        assert nxt.written == frozenset({"x"})
+        assert nxt.perms == frozenset({"x"})
+
+    def test_racy_na_write_is_ub(self):
+        cfg = config("x_na := 1;", set(), {"x": 0, "y": 0})
+        ((label, nxt),) = steps(cfg)
+        assert label is None
+        assert nxt.is_bottom()
+
+    def test_na_steps_do_not_appear_in_trace(self):
+        cfg = config("x_na := 1; a := x_na;", {"x"}, {"x": 0, "y": 0})
+        assert all(label is None for label, _ in steps(cfg))
+
+
+class TestRelaxedAccesses:
+    def test_rlx_read_enumerates_env_values(self):
+        cfg = config("a := x_rlx;", set(), {"x": 0, "y": 0})
+        labels = {label for label, _ in steps(cfg)}
+        assert labels == {RlxReadLabel("x", 0), RlxReadLabel("x", 1),
+                          RlxReadLabel("x", UNDEF)}
+
+    def test_rlx_read_no_undef_when_disabled(self):
+        universe = SeqUniverse(("x",), (0, 1), env_undef=False)
+        cfg = config("a := x_rlx;", set(), {"x": 0})
+        labels = {label for label, _ in steps(cfg, universe)}
+        assert labels == {RlxReadLabel("x", 0), RlxReadLabel("x", 1)}
+
+    def test_rlx_write_labeled(self):
+        cfg = config("x_rlx := 1;", set(), {"x": 0, "y": 0})
+        ((label, nxt),) = steps(cfg)
+        assert label == RlxWriteLabel("x", 1)
+        # relaxed accesses do not touch P/F/M
+        assert nxt.memory == cfg.memory
+        assert nxt.written == cfg.written
+
+
+class TestAcquireRelease:
+    def test_acq_read_gains_permissions_and_values(self):
+        cfg = config("a := x_acq;", set(), {"x": 0, "y": 0})
+        successors = steps(cfg)
+        acq_labels = [label for label, _ in successors]
+        assert all(isinstance(label, AcqReadLabel) for label in acq_labels)
+        # possible gains: {}, {y} (x is atomic here; universe has x,y as na
+        # locations so both can be gained)
+        gains = {label.perms_after for label in acq_labels}
+        assert frozenset() in gains
+        assert frozenset({"x", "y"}) in gains
+        # gaining y rewrites its memory value
+        for label, nxt in successors:
+            if "y" in label.perms_after:
+                assert nxt.memory["y"] == label.gained["y"]
+
+    def test_acq_read_value_enumerated(self):
+        cfg = config("a := x_acq;", {"x", "y"}, {"x": 0, "y": 0})
+        values = {label.value for label, _ in steps(cfg)}
+        assert values == {0, 1, UNDEF}
+
+    def test_rel_write_drops_permissions_resets_written(self):
+        cfg = config("x_rel := 1;", {"x", "y"}, {"x": 0, "y": 1},
+                     written={"y"})
+        successors = steps(cfg)
+        for label, nxt in successors:
+            assert isinstance(label, RelWriteLabel)
+            assert label.written == frozenset({"y"})
+            assert label.released == FrozenMap.of({"x": 0, "y": 1})
+            assert nxt.written == frozenset()
+            assert nxt.perms <= cfg.perms
+        drops = {label.perms_after for label, _ in successors}
+        assert frozenset() in drops and frozenset({"x", "y"}) in drops
+
+    def test_rel_released_memory_restricted_to_perms(self):
+        cfg = config("x_rel := 1;", {"y"}, {"x": 0, "y": 1})
+        for label, _ in steps(cfg):
+            assert set(label.released.keys()) == {"y"}
+
+
+class TestOtherSteps:
+    def test_choose_enumerates_defined_values(self):
+        cfg = config("a := x_na; b := freeze(a); return b;", set(),
+                     {"x": 0, "y": 0})
+        (_, cfg2), = steps(cfg)  # racy read -> undef
+        labels = {label for label, _ in steps(cfg2)}
+        assert labels == {ChooseLabel(0), ChooseLabel(1)}
+
+    def test_silent_steps(self):
+        cfg = config("a := 1; return a;", set(), {"x": 0, "y": 0})
+        ((label, _),) = steps(cfg)
+        assert label is None
+
+    def test_fail_reaches_bottom_silently(self):
+        cfg = config("a := 1 / 0;", set(), {"x": 0, "y": 0})
+        ((label, nxt),) = steps(cfg)
+        assert label is None
+        assert nxt.is_bottom()
+
+    def test_terminal_has_no_steps(self):
+        cfg = config("return 3;", set(), {"x": 0, "y": 0})
+        (_, done), = steps(cfg)
+        assert done.is_terminated()
+        assert steps(done) == []
+
+    def test_syscall_labeled(self):
+        cfg = config("print(5);", set(), {"x": 0, "y": 0})
+        ((label, _),) = steps(cfg)
+        assert label == SyscallLabel("print", 5)
+
+    def test_acq_fence_gains(self):
+        cfg = config("fence_acq;", set(), {"x": 0, "y": 0})
+        labels = [label for label, _ in steps(cfg)]
+        assert all(isinstance(label, AcqFenceLabel) for label in labels)
+        assert any(label.perms_after == frozenset({"x", "y"})
+                   for label in labels)
+
+    def test_rel_fence_releases(self):
+        cfg = config("fence_rel;", {"x"}, {"x": 3, "y": 0}, written={"x"})
+        labels = [label for label, _ in steps(cfg)]
+        assert all(isinstance(label, RelFenceLabel) for label in labels)
+        assert all(label.written == frozenset({"x"}) for label in labels)
+
+    def test_sc_fence_unsupported_in_seq(self):
+        cfg = config("fence_sc;", set(), {"x": 0, "y": 0})
+        with pytest.raises(SeqUnsupportedError):
+            steps(cfg)
+
+    def test_rmw_unsupported_in_seq(self):
+        cfg = config("a := fadd_rlx_rlx(l_rlx, 1);", set(),
+                     {"x": 0, "y": 0})
+        with pytest.raises(SeqUnsupportedError):
+            steps(cfg)
+
+    def test_unknown_location_rejected(self):
+        cfg = config("a := z_na;", set(), {"x": 0, "y": 0})
+        with pytest.raises(ValueError, match="missing from the universe"):
+            steps(cfg)
+
+
+class TestUniverse:
+    def test_universe_for_collects_locs_and_consts(self):
+        src = parse("x_na := 3; a := y_rlx;")
+        tgt = parse("z_na := 5;")
+        universe = universe_for(src, tgt)
+        assert universe.na_locs == ("x", "z")  # y is atomic
+        assert set(universe.values) >= {0, 1, 3, 5}
+
+    def test_gain_choices_superset(self):
+        universe = SeqUniverse(("x", "y", "z"), (0,))
+        gains = set(universe.gain_choices(frozenset({"x"})))
+        assert frozenset({"x"}) in gains
+        assert frozenset({"x", "y", "z"}) in gains
+        assert len(gains) == 4
+
+    def test_max_gain_caps_acquire(self):
+        universe = SeqUniverse(("x", "y", "z"), (0,), max_gain=1)
+        gains = set(universe.gain_choices(frozenset()))
+        assert all(len(g) <= 1 for g in gains)
+
+    def test_drop_choices_subset(self):
+        universe = SeqUniverse(("x", "y"), (0,))
+        drops = set(universe.drop_choices(frozenset({"x", "y"})))
+        assert len(drops) == 4
+
+    def test_value_maps(self):
+        universe = SeqUniverse(("x",), (0, 1), env_undef=False)
+        maps = list(universe.value_maps(("x", "y")))
+        assert len(maps) == 4
+
+
+def test_unlabeled_closure_collects_na_paths():
+    cfg = config("x_na := 1; y_na := 1; return 0;", {"x", "y"},
+                 {"x": 0, "y": 0})
+    closure, complete = unlabeled_closure(frozenset({cfg}), U2)
+    assert complete
+    written_sets = {c.written for c in closure}
+    assert frozenset() in written_sets
+    assert frozenset({"x", "y"}) in written_sets

@@ -1,0 +1,81 @@
+"""Tests for SEQ simulation and its Fig 7 congruence properties."""
+
+import pytest
+
+from repro.lang import parse
+from repro.lang.ast import BinOp, Const, Reg
+from repro.seq.machine import universe_for
+from repro.seq.simulation import (
+    check_simulation,
+    if_compose,
+    seq_compose,
+    while_compose,
+)
+
+SLF_PAIR = (parse("x_na := 1; b := x_na;"), parse("x_na := 1; b := 1;"))
+NA_REORDER = (parse("a := x_na; w_na := 1;"), parse("w_na := 1; a := x_na;"))
+ID_PAIR = (parse("c := c + 1;"), parse("c := c + 1;"))
+
+
+def holds(pair, **kwargs):
+    return check_simulation(pair[0], pair[1], **kwargs).holds
+
+
+class TestBasicSimulation:
+    def test_reflexivity(self):
+        """Fig 7 (reflexivity)."""
+        program = parse("x_na := 1; a := x_na; return a;")
+        result = check_simulation(program, program)
+        assert result.holds and result.notion == "simple"
+
+    def test_slf_fragment(self):
+        assert holds(SLF_PAIR)
+
+    def test_advanced_fragment(self):
+        pair = (parse("x_rel := 1; y_na := 2;"),
+                parse("y_na := 2; x_rel := 1;"))
+        result = check_simulation(*pair)
+        assert result.holds and result.notion == "advanced"
+
+    def test_unsound_fragment(self):
+        pair = (parse("a := x_na; x_na := 1; return a;"),
+                parse("x_na := 1; a := x_na; return a;"))
+        result = check_simulation(*pair)
+        assert not result.holds
+        assert result.advanced is not None  # both notions were tried
+
+
+class TestFig7Congruences:
+    """Empirical compatibility: relatedness survives composition."""
+
+    def test_bind_sequencing(self):
+        composed = seq_compose(SLF_PAIR, ID_PAIR)
+        assert holds(composed)
+
+    def test_bind_with_another_optimization(self):
+        composed = seq_compose(SLF_PAIR, NA_REORDER)
+        universe = universe_for(*composed)
+        assert holds(composed, universe=universe)
+
+    def test_if_congruence(self):
+        composed = if_compose(Reg("c"), SLF_PAIR, ID_PAIR)
+        assert holds(composed)
+
+    def test_while_congruence(self):
+        body = (parse("x_na := 1; b := x_na; c := c + 1;"),
+                parse("x_na := 1; b := 1; c := c + 1;"))
+        composed = while_compose(BinOp("<", Reg("c"), Const(2)), body)
+        assert holds(composed)
+
+    def test_context_plugging(self):
+        """A validated fragment stays valid under a larger context."""
+        prefix = (parse("q := y_rlx;"), parse("q := y_rlx;"))
+        suffix = (parse("return b;"), parse("return b;"))
+        composed = seq_compose(prefix, seq_compose(SLF_PAIR, suffix))
+        assert holds(composed)
+
+    def test_unsound_fragment_stays_unsound_in_context(self):
+        bad = (parse("a := x_na; x_na := 1;"),
+               parse("x_na := 1; a := x_na;"))
+        composed = seq_compose(bad, (parse("return a;"), parse("return a;")))
+        assert not holds(composed)

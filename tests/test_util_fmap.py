@@ -1,0 +1,71 @@
+"""Tests for the FrozenMap utility."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.util.fmap import FrozenMap
+
+mappings = st.dictionaries(st.sampled_from(["x", "y", "z"]),
+                           st.integers(0, 5), max_size=3)
+
+
+def test_of_and_getitem():
+    fmap = FrozenMap.of({"b": 2, "a": 1})
+    assert fmap["a"] == 1 and fmap["b"] == 2
+
+
+def test_missing_key_raises():
+    with pytest.raises(KeyError):
+        FrozenMap()["nope"]
+
+
+def test_get_default():
+    assert FrozenMap().get("a", 7) == 7
+
+
+def test_contains_len_iter():
+    fmap = FrozenMap.of({"a": 1, "b": 2})
+    assert "a" in fmap and "c" not in fmap
+    assert len(fmap) == 2
+    assert sorted(fmap) == ["a", "b"]
+
+
+def test_set_is_persistent():
+    base = FrozenMap.of({"a": 1})
+    updated = base.set("a", 2).set("b", 3)
+    assert base["a"] == 1
+    assert updated["a"] == 2 and updated["b"] == 3
+
+
+def test_update():
+    fmap = FrozenMap.of({"a": 1}).update({"a": 5, "b": 2})
+    assert fmap.as_dict() == {"a": 5, "b": 2}
+
+
+def test_restrict():
+    fmap = FrozenMap.of({"a": 1, "b": 2, "c": 3}).restrict({"a", "c"})
+    assert fmap.as_dict() == {"a": 1, "c": 3}
+
+
+def test_map_values():
+    fmap = FrozenMap.of({"a": 1, "b": 2}).map_values(lambda v: v * 10)
+    assert fmap.as_dict() == {"a": 10, "b": 20}
+
+
+@given(mappings)
+def test_insertion_order_irrelevant(mapping):
+    forward = FrozenMap.of(mapping)
+    backward = FrozenMap.of(dict(reversed(list(mapping.items()))))
+    assert forward == backward
+    assert hash(forward) == hash(backward)
+
+
+@given(mappings, mappings)
+def test_equality_matches_dict_equality(a, b):
+    assert (FrozenMap.of(a) == FrozenMap.of(b)) == (a == b)
+
+
+@given(mappings)
+def test_as_dict_round_trip(mapping):
+    assert FrozenMap.of(mapping).as_dict() == mapping

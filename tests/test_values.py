@@ -1,0 +1,93 @@
+"""Tests for the value domain with undef (§2, "Values")."""
+
+import pickle
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.lang.values import (
+    UNDEF,
+    freeze_choices,
+    is_defined,
+    is_undef,
+    map_leq,
+    value_leq,
+    value_lub_defined,
+    _Undef,
+)
+
+values = st.one_of(st.integers(-8, 8), st.just(UNDEF))
+
+
+def test_undef_singleton():
+    assert _Undef() is UNDEF
+    assert _Undef() == UNDEF
+    assert hash(_Undef()) == hash(UNDEF)
+
+
+def test_undef_pickle_roundtrip():
+    assert pickle.loads(pickle.dumps(UNDEF)) is UNDEF
+
+
+def test_undef_repr():
+    assert repr(UNDEF) == "undef"
+
+
+def test_is_undef_is_defined():
+    assert is_undef(UNDEF)
+    assert not is_undef(0)
+    assert is_defined(3)
+    assert not is_defined(UNDEF)
+
+
+def test_undef_not_equal_to_ints():
+    assert UNDEF != 0
+    assert UNDEF != 1
+
+
+def test_value_leq_basic():
+    assert value_leq(1, 1)
+    assert value_leq(1, UNDEF)  # source undef matches any target
+    assert value_leq(UNDEF, UNDEF)
+    assert not value_leq(UNDEF, 1)  # target undef not matched by defined
+    assert not value_leq(1, 2)
+
+
+@given(values)
+def test_value_leq_reflexive(v):
+    assert value_leq(v, v)
+
+
+@given(values, values, values)
+def test_value_leq_transitive(a, b, c):
+    if value_leq(a, b) and value_leq(b, c):
+        assert value_leq(a, c)
+
+
+@given(values, values)
+def test_value_leq_antisymmetric(a, b):
+    if value_leq(a, b) and value_leq(b, a):
+        assert a == b
+
+
+@given(values)
+def test_undef_is_top(v):
+    assert value_leq(v, UNDEF)
+
+
+def test_map_leq():
+    assert map_leq({"x": 1}, {"x": UNDEF})
+    assert not map_leq({"x": UNDEF}, {"x": 1})
+    assert map_leq({"x": 1, "y": 2}, {"x": 1, "y": 2})
+    assert not map_leq({"x": 1}, {"x": 1, "y": 2})  # mismatched domains
+
+
+def test_value_lub_defined():
+    assert value_lub_defined(5) == 5
+    assert value_lub_defined(UNDEF) == 0
+    assert value_lub_defined(UNDEF, fallback=7) == 7
+
+
+def test_freeze_choices():
+    assert freeze_choices(3, (0, 1)) == (3,)
+    assert freeze_choices(UNDEF, (0, 1)) == (0, 1)
