@@ -1,0 +1,74 @@
+#!/usr/bin/env python3
+"""Observability demo: counters, spans, and a JSONL trace of one run.
+
+Shows the three faces of ``repro.obs``:
+
+1. a metrics session around a PS^na exploration and a SEQ refinement
+   check, rendered as the same stats table ``--stats`` prints;
+2. span timings (where the wall-clock went), as ``--profile`` prints;
+3. a JSONL trace captured in memory, the event stream ``--trace``
+   writes to disk — including the per-context adequacy events.
+
+Run: PYTHONPATH=src python examples/stats_demo.py
+"""
+
+from repro import obs
+from repro.adequacy import check_adequacy
+from repro.lang import parse
+from repro.obs.report import render_profile, render_stats_table, stats_payload
+from repro.obs.trace import MemorySink
+from repro.psna import PsConfig, explore, promise_free_config
+from repro.seq import check_transformation
+
+SB = ["x_rlx := 1; a := y_rlx; return a;",
+      "y_rlx := 1; b := x_rlx; return b;"]
+SLF_SRC = "x_na := 1; b := x_na; return b;"
+SLF_TGT = "x_na := 1; b := 1; return b;"
+
+
+def main() -> None:
+    sink = MemorySink()  # --trace FILE.jsonl uses a JsonlSink instead
+    with obs.session(trace=sink, meta={"command": "stats_demo"}) as session:
+        with obs.span("demo.explore"):
+            result = explore([parse(s) for s in SB], promise_free_config())
+        print(f"SB behaviors under PF: {sorted(result.returns())}")
+        print(f"  states={result.states} dedup_hits={result.dedup_hits} "
+              f"dedup_rate={result.dedup_rate():.2f} "
+              f"complete={result.complete}")
+
+        with obs.span("demo.validate"):
+            verdict = check_transformation(parse(SLF_SRC), parse(SLF_TGT))
+        print(f"SLF transformation: {verdict!r}")
+
+        with obs.span("demo.adequacy"):
+            report = check_adequacy(parse(SLF_SRC), parse(SLF_TGT),
+                                    config=PsConfig(allow_promises=False))
+        print(f"adequacy: {report!r}")
+
+        snapshot = session.metrics.snapshot()
+
+    print()
+    print(render_stats_table(stats_payload(snapshot), title="stats"))
+    print()
+    print(render_profile(snapshot))
+
+    print()
+    print("first and last trace events (what --trace writes as JSONL):")
+    for event in (sink.events[0], *sink.events[-2:]):
+        kind = event["ev"]
+        name = event.get("name", event.get("schema", ""))
+        extra = {key: value for key, value in event.items()
+                 if key not in ("ev", "name", "t", "schema")}
+        print(f"  [{kind}] {name} {extra}")
+
+    # Reading a refinement-game trace: the seq.check.* spans time each
+    # notion; seq.game.* counters say how much game tree each explored.
+    game = {name: count
+            for name, count in snapshot["counters"].items()
+            if name.startswith("seq.game.obligations.")}
+    print()
+    print(f"refinement-game obligations discharged per kind: {game}")
+
+
+if __name__ == "__main__":
+    main()

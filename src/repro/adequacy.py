@@ -25,6 +25,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Optional, Sequence
 
+from . import obs
 from .lang.ast import (
     Stmt,
     atomic_locations,
@@ -174,23 +175,35 @@ def check_adequacy(source: Stmt, target: Stmt,
         contexts = contexts_for(source, target)
     if config is None:
         config = PsConfig(allow_promises=False)
-    if seq_verdict is None:
-        seq_verdict = check_transformation(source, target)
-    report = AdequacyReport(seq_verdict)
-    base_locations = (set(shared_locations(source))
-                      | set(shared_locations(target)))
-    for context in contexts:
-        if not respects_location_discipline(
-                [source, target, *context.threads]):
-            report.skipped.append(context)
-            continue
-        locations = set(base_locations)
-        for thread in context.threads:
-            locations |= shared_locations(thread)
-        verdict = check_psna_refinement(
-            [source, *context.threads], [target, *context.threads],
-            config, locations)
-        report.contexts.append(ContextResult(context, verdict))
+    with obs.span("adequacy.check"):
+        if seq_verdict is None:
+            with obs.span("adequacy.seq_verdict"):
+                seq_verdict = check_transformation(source, target)
+        report = AdequacyReport(seq_verdict)
+        base_locations = (set(shared_locations(source))
+                          | set(shared_locations(target)))
+        for context in contexts:
+            if not respects_location_discipline(
+                    [source, target, *context.threads]):
+                report.skipped.append(context)
+                obs.inc("adequacy.contexts.skipped")
+                continue
+            locations = set(base_locations)
+            for thread in context.threads:
+                locations |= shared_locations(thread)
+            with obs.span("adequacy.context", context=context.name):
+                verdict = check_psna_refinement(
+                    [source, *context.threads], [target, *context.threads],
+                    config, locations)
+            report.contexts.append(ContextResult(context, verdict))
+            obs.inc("adequacy.contexts.checked")
+            obs.inc("adequacy.contexts.refines" if verdict.refines
+                    else "adequacy.contexts.violations")
+            obs.event("adequacy.context", context=context.name,
+                      refines=verdict.refines, complete=verdict.complete)
+    obs.inc("adequacy.checks")
+    obs.inc("adequacy.adequate" if report.adequate
+            else "adequacy.violations")
     return report
 
 

@@ -10,6 +10,21 @@ Subcommands::
 
 Each PROGRAM/SOURCE/TARGET argument is a path to a WHILE file, or inline
 WHILE source (detected when the argument is not an existing file).
+
+Every subcommand accepts the observability flags:
+
+``--stats``
+    print a metrics table after the run (and, for ``litmus``, a
+    per-case table with game states, dedup rate, and wall time);
+``--trace FILE.jsonl``
+    export the run as a JSONL trace; the final event of each command is
+    a ``result`` event carrying the same data the command printed;
+``--profile``
+    print span timings (where the wall-clock time went).
+
+Incomplete explorations are *never* silent: when a bound truncates the
+search, a warning naming the exhausted bound goes to stderr and the
+printed behavior/verdict set must be read as a lower bound.
 """
 
 from __future__ import annotations
@@ -17,13 +32,17 @@ from __future__ import annotations
 import argparse
 import os
 import sys
+import time
 from typing import Optional, Sequence
 
+from . import obs
 from .adequacy import check_adequacy
 from .lang.ast import Stmt
 from .lang.parser import parse
 from .lang.pretty import to_source
 from .litmus import ALL_TRANSFORMATION_CASES, EXTENDED_CASES
+from .obs.metrics import diff_snapshots
+from .obs.report import render_profile, render_stats_table, stats_payload
 from .opt import DEFAULT_PASSES, EXTENDED_PASSES, Optimizer
 from .psna import PsConfig, explore, explore_sc, promise_free_config
 from .seq import check_transformation
@@ -36,10 +55,27 @@ def _load(argument: str) -> Stmt:
     return parse(argument)
 
 
+def _warn(message: str) -> None:
+    print(f"warning: {message}", file=sys.stderr)
+
+
+def _warn_incomplete(what: str, reason: Optional[str], states: int) -> None:
+    """Satellite requirement: truncated searches must be loud."""
+    bound = reason or "bound"
+    _warn(f"{what} is INCOMPLETE — {bound} exhausted after {states} states; "
+          f"the reported behavior set is a lower bound, not authoritative")
+
+
 def _cmd_validate(args: argparse.Namespace) -> int:
     source = _load(args.source)
     target = _load(args.target)
     verdict = check_transformation(source, target)
+    if not verdict.complete:
+        _warn(f"refinement game incomplete — exhausted bounds: "
+              f"{', '.join(verdict.incomplete_reasons) or 'unknown'}")
+    obs.event("result", command="validate", valid=verdict.valid,
+              notion=verdict.notion, game_states=verdict.game_states,
+              complete=verdict.complete)
     if verdict.valid:
         print(f"VALID — certified by {verdict.notion} behavioral refinement")
         return 0
@@ -67,6 +103,18 @@ def _cmd_optimize(args: argparse.Namespace) -> int:
                 notion = record.verdict.notion if record.verdict else "?"
                 print(f"# {record.name}: certified ({notion})",
                       file=sys.stderr)
+    if args.stats:
+        for record in result.records:
+            if record.changed:
+                print(f"# {record.name}: {record.size_before} -> "
+                      f"{record.size_after} nodes "
+                      f"({record.duration_s * 1e3:.2f} ms rewrite, "
+                      f"{record.validation_s * 1e3:.2f} ms validation)",
+                      file=sys.stderr)
+    obs.event("result", command="optimize",
+              optimized=to_source(result.optimized),
+              changed_passes=[r.name for r in result.records if r.changed],
+              validated=result.validated if args.validate else None)
     print(to_source(result.optimized))
     return 0
 
@@ -74,35 +122,81 @@ def _cmd_optimize(args: argparse.Namespace) -> int:
 def _cmd_explore(args: argparse.Namespace) -> int:
     threads = [_load(argument) for argument in args.programs]
     if args.machine == "sc":
-        result = explore_sc(threads)
-        outcomes = sorted(result.behaviors, key=repr)
-        states = result.states
+        result = explore_sc(threads, max_states=args.max_states,
+                            max_depth=args.max_depth)
     else:
         if args.machine == "pf":
             config = promise_free_config()
         else:
             config = PsConfig(promise_budget=args.promises)
+        config = _bounded(config, args)
         result = explore(threads, config)
-        outcomes = sorted(result.behaviors, key=repr)
-        states = result.states
+    outcomes = sorted(result.behaviors, key=repr)
+    states = result.states
+    if not result.complete:
+        _warn_incomplete(f"{args.machine} exploration",
+                         result.incomplete_reason, states)
     print(f"machine: {args.machine}, states explored: {states}, "
           f"complete: {result.complete}")
     for outcome in outcomes:
         print(f"  {outcome!r}")
+    obs.event("result", command="explore", machine=args.machine,
+              states=states, complete=result.complete,
+              incomplete_reason=result.incomplete_reason,
+              behaviors=[repr(outcome) for outcome in outcomes])
     return 0
+
+
+def _bounded(config: PsConfig, args: argparse.Namespace) -> PsConfig:
+    from dataclasses import replace
+
+    return replace(config, max_states=args.max_states,
+                   max_depth=args.max_depth)
 
 
 def _cmd_litmus(args: argparse.Namespace) -> int:
     cases = EXTENDED_CASES if args.extended else ALL_TRANSFORMATION_CASES
     mismatches = 0
+    incomplete_cases: list[tuple[str, tuple[str, ...]]] = []
+    case_stats: list[tuple[str, int, float, float]] = []
+    registry = obs.metrics()
+    rows = []
     for case in cases:
+        before = registry.snapshot() if registry is not None else {}
+        started = time.perf_counter()
         verdict = check_transformation(case.source, case.target)
+        elapsed = time.perf_counter() - started
         measured = verdict.notion if verdict.valid else "invalid"
         agree = measured == case.expected
         mismatches += not agree
+        rows.append({"case": case.name, "expected": case.expected,
+                     "measured": measured, "agree": agree})
         print(f"{case.name:36s} {case.expected:9s} {measured:9s} "
               f"{'ok' if agree else 'MISMATCH'}")
+        if not verdict.complete:
+            incomplete_cases.append((case.name, verdict.incomplete_reasons))
+        if registry is not None:
+            delta = diff_snapshots(before, registry.snapshot())["counters"]
+            hits = delta.get("seq.game.dedup_hits", 0)
+            explored = delta.get("seq.game.states", 0)
+            rate = hits / (hits + explored) if hits + explored else 0.0
+            case_stats.append((case.name, verdict.game_states, rate,
+                               elapsed))
     print(f"{len(cases) - mismatches}/{len(cases)} verdicts match")
+    for name, reasons in incomplete_cases:
+        _warn(f"case {name!r}: refinement game incomplete — exhausted "
+              f"bounds: {', '.join(reasons) or 'unknown'}; its verdict "
+              f"may be based on a truncated search")
+    if case_stats:
+        print()
+        print(f"{'case':36s} {'states':>8s} {'dedup%':>7s} {'time_ms':>9s}")
+        for name, states, rate, elapsed in case_stats:
+            print(f"{name:36s} {states:>8d} {rate * 100:>6.1f}% "
+                  f"{elapsed * 1e3:>9.2f}")
+    obs.event("result", command="litmus", cases=len(cases),
+              mismatches=mismatches,
+              incomplete=[name for name, _ in incomplete_cases],
+              rows=rows)
     return 1 if mismatches else 0
 
 
@@ -115,9 +209,17 @@ def _cmd_adequacy(args: argparse.Namespace) -> int:
     for result in report.contexts:
         status = "refines" if result.verdict.refines else "VIOLATES"
         print(f"  context {result.context.name:18s} {status}")
+        if not result.verdict.complete:
+            _warn(f"context {result.context.name!r}: PS^na exploration "
+                  f"incomplete; its verdict is not exhaustive")
     for context in report.skipped:
         print(f"  context {context.name:18s} skipped (mixes location kinds)")
     print("adequate" if report.adequate else "ADEQUACY VIOLATION")
+    obs.event("result", command="adequacy", adequate=report.adequate,
+              seq_valid=report.seq.valid, seq_notion=report.seq.notion,
+              contexts={r.context.name: r.verdict.refines
+                        for r in report.contexts},
+              skipped=[c.name for c in report.skipped])
     return 0 if report.adequate else 1
 
 
@@ -128,13 +230,24 @@ def build_parser() -> argparse.ArgumentParser:
                     "weak memory concurrency (PLDI 2022 reproduction)")
     sub = parser.add_subparsers(dest="command", required=True)
 
+    common = argparse.ArgumentParser(add_help=False)
+    group = common.add_argument_group("observability")
+    group.add_argument("--stats", action="store_true",
+                       help="print a metrics table after the run")
+    group.add_argument("--trace", metavar="FILE.jsonl", default=None,
+                       help="export a JSONL trace of the run")
+    group.add_argument("--profile", action="store_true",
+                       help="print span timings after the run")
+
     validate = sub.add_parser(
-        "validate", help="check `source {~> target` in SEQ")
+        "validate", parents=[common],
+        help="check `source {~> target` in SEQ")
     validate.add_argument("source")
     validate.add_argument("target")
     validate.set_defaults(fn=_cmd_validate)
 
-    optimize = sub.add_parser("optimize", help="run the §4 optimizer")
+    optimize = sub.add_parser("optimize", parents=[common],
+                              help="run the §4 optimizer")
     optimize.add_argument("program")
     optimize.add_argument("--validate", action="store_true",
                           help="translation-validate every pass")
@@ -143,22 +256,29 @@ def build_parser() -> argparse.ArgumentParser:
     optimize.set_defaults(fn=_cmd_optimize)
 
     explore_cmd = sub.add_parser(
-        "explore", help="enumerate behaviors of a parallel composition")
+        "explore", parents=[common],
+        help="enumerate behaviors of a parallel composition")
     explore_cmd.add_argument("programs", nargs="+")
     explore_cmd.add_argument("--machine", choices=("sc", "pf", "full"),
                              default="full")
     explore_cmd.add_argument("--promises", type=int, default=1,
                              help="promise budget per thread (full machine)")
+    explore_cmd.add_argument("--max-states", type=int, default=200_000,
+                             help="state bound for the exploration")
+    explore_cmd.add_argument("--max-depth", type=int, default=400,
+                             help="depth bound for the exploration")
     explore_cmd.set_defaults(fn=_cmd_explore)
 
     litmus = sub.add_parser(
-        "litmus", help="regenerate the paper's verdict table")
+        "litmus", parents=[common],
+        help="regenerate the paper's verdict table")
     litmus.add_argument("--extended", action="store_true",
                         help="include the fence extension cases")
     litmus.set_defaults(fn=_cmd_litmus)
 
     adequacy = sub.add_parser(
-        "adequacy", help="differentially test Theorem 6.2 on a pair")
+        "adequacy", parents=[common],
+        help="differentially test Theorem 6.2 on a pair")
     adequacy.add_argument("source")
     adequacy.add_argument("target")
     adequacy.set_defaults(fn=_cmd_adequacy)
@@ -168,7 +288,29 @@ def build_parser() -> argparse.ArgumentParser:
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
     args = build_parser().parse_args(argv)
-    return args.fn(args)
+    wants_obs = args.stats or args.profile or args.trace is not None
+    if not wants_obs:
+        return args.fn(args)
+    if args.trace is not None:
+        try:
+            open(args.trace, "w").close()
+        except OSError as error:
+            print(f"repro: error: cannot write trace file: {error}",
+                  file=sys.stderr)
+            return 2
+    with obs.session(trace=args.trace,
+                     meta={"command": args.command}) as session:
+        status = args.fn(args)
+        snapshot = session.metrics.snapshot()
+    if args.stats:
+        print(render_stats_table(
+            stats_payload(snapshot, meta={"command": args.command}),
+            title=f"stats: repro {args.command}"), file=sys.stderr)
+    if args.profile:
+        print(render_profile(snapshot,
+                             title=f"profile: repro {args.command}"),
+              file=sys.stderr)
+    return status
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -355,6 +355,12 @@ def walk(stmt: Stmt) -> Iterator[Stmt]:
         yield from walk(sub)
 
 
+def node_count(stmt: Stmt) -> int:
+    """Number of statement nodes in ``stmt`` — the "AST size" reported by
+    the optimizer's per-pass instrumentation."""
+    return sum(1 for _ in walk(stmt))
+
+
 def shared_locations(stmt: Stmt) -> frozenset[str]:
     """All shared locations syntactically accessed by ``stmt``."""
     locs: set[str] = set()

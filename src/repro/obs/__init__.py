@@ -1,0 +1,156 @@
+"""Observability: counters, spans, and JSONL trace export.
+
+Zero-dependency and **off by default**: when no session is active every
+hook in the instrumented code degrades to a ``None`` check or a shared
+no-op context manager, so the explorers and checkers pay nothing
+measurable.  The hot loops additionally follow the "local accumulation"
+rule — they count into plain local integers and flush one batch of
+counters per run — so enabling a session does not slow the inner loops
+either.
+
+Usage::
+
+    from repro import obs
+
+    with obs.session(trace="run.jsonl") as session:
+        with obs.span("my.phase", detail="..."):
+            ...
+        obs.inc("my.counter", 3)
+        obs.event("result", behaviors=["..."])
+    print(obs.report.render_stats_table(session.metrics.snapshot()))
+
+The module-level session is intentionally process-global (like logging):
+instrumented library code must not need a handle threaded through every
+call.  Nested sessions are rejected — the CLI owns the session.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from typing import Iterator, Optional, Union
+
+from . import report
+from .metrics import Histogram, MetricsRegistry, diff_snapshots
+from .trace import (
+    NULL_SINK,
+    NULL_SPAN,
+    JsonlSink,
+    MemorySink,
+    NullSink,
+    Span,
+    TraceSink,
+    read_trace,
+    TRACE_SCHEMA,
+)
+
+__all__ = [
+    "Histogram", "MetricsRegistry", "diff_snapshots",
+    "JsonlSink", "MemorySink", "NullSink", "TraceSink", "read_trace",
+    "TRACE_SCHEMA", "report",
+    "ObsSession", "session", "start", "stop", "active", "enabled",
+    "metrics", "span", "event", "inc", "gauge", "observe",
+]
+
+
+class ObsSession:
+    """One observability session: a metrics registry plus a trace sink."""
+
+    def __init__(self, sink: TraceSink = NULL_SINK,
+                 meta: Optional[dict] = None) -> None:
+        self.metrics = MetricsRegistry()
+        self.sink = sink
+        self.span_stack: list[str] = []
+        if sink.active:
+            header = {"ev": "meta", "schema": TRACE_SCHEMA, "t": time.time()}
+            if meta:
+                header.update(meta)
+            sink.emit(header)
+
+    def event(self, name: str, **fields) -> None:
+        if self.sink.active:
+            payload = {"ev": "event", "name": name, "t": time.time()}
+            payload.update(fields)
+            self.sink.emit(payload)
+
+    def close(self) -> None:
+        self.sink.close()
+
+
+_ACTIVE: Optional[ObsSession] = None
+
+
+def start(trace: Union[str, TraceSink, None] = None,
+          meta: Optional[dict] = None) -> ObsSession:
+    """Activate a session; ``trace`` is a JSONL path, a sink, or None."""
+    global _ACTIVE
+    if _ACTIVE is not None:
+        raise RuntimeError("an observability session is already active")
+    if trace is None:
+        sink: TraceSink = NULL_SINK
+    elif isinstance(trace, TraceSink):
+        sink = trace
+    else:
+        sink = JsonlSink(trace)
+    _ACTIVE = ObsSession(sink, meta)
+    return _ACTIVE
+
+
+def stop() -> Optional[ObsSession]:
+    """Deactivate and close the current session; returns it (or None)."""
+    global _ACTIVE
+    current, _ACTIVE = _ACTIVE, None
+    if current is not None:
+        current.close()
+    return current
+
+
+@contextmanager
+def session(trace: Union[str, TraceSink, None] = None,
+            meta: Optional[dict] = None) -> Iterator[ObsSession]:
+    current = start(trace, meta)
+    try:
+        yield current
+    finally:
+        stop()
+
+
+def active() -> Optional[ObsSession]:
+    return _ACTIVE
+
+
+def enabled() -> bool:
+    return _ACTIVE is not None
+
+
+def metrics() -> Optional[MetricsRegistry]:
+    """The active registry, or None — instrumented code holds this in a
+    local and guards each batch flush with one ``is not None`` check."""
+    return None if _ACTIVE is None else _ACTIVE.metrics
+
+
+def span(name: str, **fields):
+    """A timed region; a shared no-op object when no session is active."""
+    if _ACTIVE is None:
+        return NULL_SPAN
+    return Span(_ACTIVE, name, fields)
+
+
+def event(name: str, **fields) -> None:
+    if _ACTIVE is not None:
+        _ACTIVE.event(name, **fields)
+
+
+def inc(name: str, delta: int = 1) -> None:
+    if _ACTIVE is not None:
+        _ACTIVE.metrics.inc(name, delta)
+
+
+def gauge(name: str, value) -> None:
+    if _ACTIVE is not None:
+        _ACTIVE.metrics.gauge(name, value)
+
+
+def observe(name: str, value) -> None:
+    if _ACTIVE is not None:
+        _ACTIVE.metrics.observe(name, value)

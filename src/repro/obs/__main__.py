@@ -1,0 +1,8 @@
+"""Validate stats/bench report files: ``python -m repro.obs FILE...``."""
+
+import sys
+
+from .report import _main
+
+if __name__ == "__main__":
+    sys.exit(_main(sys.argv[1:]))

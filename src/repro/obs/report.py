@@ -1,0 +1,211 @@
+"""Rendering and serialization of observability data.
+
+Two stable machine-readable schemas:
+
+* ``repro-stats/1`` — a metrics snapshot (counters/gauges/histograms)
+  plus free-form metadata, produced by :func:`stats_payload`;
+* ``repro-bench/1`` — one benchmark module's timing entries, produced by
+  :func:`write_bench_report` into ``BENCH_<name>.json`` at the repo root
+  (the perf-trajectory files tracked across PRs).
+
+Both carry a ``schema`` field; :func:`validate_stats_payload` and
+:func:`validate_bench_payload` return a list of problems (empty = valid)
+and are what the CI benchmark smoke-check runs.  This module can also be
+executed directly to validate report files::
+
+    python -m repro.obs.report BENCH_*.json
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Optional, Sequence
+
+from .metrics import MetricsRegistry
+
+STATS_SCHEMA = "repro-stats/1"
+BENCH_SCHEMA = "repro-bench/1"
+
+
+# ---------------------------------------------------------------------------
+# Stats payloads
+# ---------------------------------------------------------------------------
+
+
+def stats_payload(metrics: MetricsRegistry | dict,
+                  meta: Optional[dict] = None) -> dict:
+    """The stable JSON form of a metrics snapshot."""
+    snapshot = (metrics.snapshot() if isinstance(metrics, MetricsRegistry)
+                else metrics)
+    payload = {"schema": STATS_SCHEMA, **snapshot}
+    if meta:
+        payload["meta"] = dict(meta)
+    return payload
+
+
+def validate_stats_payload(payload: dict) -> list[str]:
+    problems = []
+    if payload.get("schema") != STATS_SCHEMA:
+        problems.append(f"schema is {payload.get('schema')!r}, "
+                        f"expected {STATS_SCHEMA!r}")
+    for section, value_type in (("counters", (int,)),
+                                ("gauges", (int, float))):
+        section_value = payload.get(section)
+        if not isinstance(section_value, dict):
+            problems.append(f"missing/non-dict section {section!r}")
+            continue
+        for name, value in section_value.items():
+            if not isinstance(value, value_type) or isinstance(value, bool):
+                problems.append(f"{section}.{name} has non-numeric "
+                                f"value {value!r}")
+    histograms = payload.get("histograms")
+    if not isinstance(histograms, dict):
+        problems.append("missing/non-dict section 'histograms'")
+    else:
+        for name, summary in histograms.items():
+            if not isinstance(summary, dict) or "count" not in summary:
+                problems.append(f"histograms.{name} lacks a count")
+    return problems
+
+
+def render_stats_table(payload: dict, title: str = "stats") -> str:
+    """A human-readable table of one stats payload.
+
+    Counters and gauges render as exact values; histograms as
+    count/mean/min/max.  Rows are sorted by metric name so the output
+    is stable for deterministic workloads.
+    """
+    rows: list[tuple[str, str]] = []
+    for name in sorted(payload.get("counters", {})):
+        rows.append((name, str(payload["counters"][name])))
+    for name in sorted(payload.get("gauges", {})):
+        rows.append((name, _fmt(payload["gauges"][name])))
+    for name in sorted(payload.get("histograms", {})):
+        summary = payload["histograms"][name]
+        detail = (f"n={summary['count']} mean={_fmt(summary.get('mean'))}")
+        if summary.get("min") is not None:
+            detail += (f" min={_fmt(summary['min'])}"
+                       f" max={_fmt(summary['max'])}")
+        rows.append((name, detail))
+    if not rows:
+        return f"-- {title}: no metrics recorded --"
+    width = max(len(name) for name, _ in rows)
+    lines = [f"-- {title} --"]
+    lines += [f"{name:<{width}}  {value}" for name, value in rows]
+    return "\n".join(lines)
+
+
+def render_profile(payload: dict, title: str = "profile") -> str:
+    """Span timings (the ``span.*`` histograms), slowest first."""
+    spans = {name[len("span."):]: summary
+             for name, summary in payload.get("histograms", {}).items()
+             if name.startswith("span.")}
+    if not spans:
+        return f"-- {title}: no spans recorded --"
+    ordered = sorted(spans.items(), key=lambda kv: -kv[1]["sum"])
+    width = max(len(name) for name in spans)
+    lines = [f"-- {title} --",
+             f"{'span':<{width}}  {'calls':>6}  {'total_s':>9}  {'mean_s':>9}"]
+    for name, summary in ordered:
+        lines.append(f"{name:<{width}}  {summary['count']:>6}  "
+                     f"{summary['sum']:>9.4f}  "
+                     f"{summary['sum'] / summary['count']:>9.4f}")
+    return "\n".join(lines)
+
+
+# ---------------------------------------------------------------------------
+# Benchmark reports
+# ---------------------------------------------------------------------------
+
+
+def bench_payload(name: str, entries: Sequence[dict],
+                  meta: Optional[dict] = None) -> dict:
+    return {"schema": BENCH_SCHEMA, "bench": name,
+            "entries": list(entries), "meta": dict(meta or {})}
+
+
+def write_bench_report(name: str, entries: Sequence[dict], path: str,
+                       meta: Optional[dict] = None) -> dict:
+    """Write ``BENCH_<name>.json``; returns the payload written."""
+    payload = bench_payload(name, entries, meta)
+    problems = validate_bench_payload(payload)
+    if problems:
+        raise ValueError(f"refusing to write invalid bench report {name!r}: "
+                         + "; ".join(problems))
+    with open(path, "w") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True, default=repr)
+        handle.write("\n")
+    return payload
+
+
+_ENTRY_REQUIRED = ("name", "rounds", "min_s", "mean_s", "max_s")
+
+
+def validate_bench_payload(payload: dict) -> list[str]:
+    problems = []
+    if payload.get("schema") != BENCH_SCHEMA:
+        problems.append(f"schema is {payload.get('schema')!r}, "
+                        f"expected {BENCH_SCHEMA!r}")
+    if not isinstance(payload.get("bench"), str) or not payload.get("bench"):
+        problems.append("missing bench name")
+    entries = payload.get("entries")
+    if not isinstance(entries, list) or not entries:
+        problems.append("missing/empty entries list")
+        return problems
+    for index, entry in enumerate(entries):
+        if not isinstance(entry, dict):
+            problems.append(f"entries[{index}] is not an object")
+            continue
+        for key in _ENTRY_REQUIRED:
+            if key not in entry:
+                problems.append(f"entries[{index}] ({entry.get('name')}) "
+                                f"lacks {key!r}")
+        for key in ("min_s", "mean_s", "max_s"):
+            value = entry.get(key)
+            if key in entry and (not isinstance(value, (int, float))
+                                 or value < 0):
+                problems.append(f"entries[{index}].{key} = {value!r} "
+                                f"is not a non-negative number")
+    return problems
+
+
+def validate_report_file(path: str) -> list[str]:
+    """Validate one stats or bench report file by its schema field."""
+    try:
+        with open(path) as handle:
+            payload = json.load(handle)
+    except (OSError, json.JSONDecodeError) as error:
+        return [f"{path}: unreadable ({error})"]
+    schema = payload.get("schema")
+    if schema == BENCH_SCHEMA:
+        problems = validate_bench_payload(payload)
+    elif schema == STATS_SCHEMA:
+        problems = validate_stats_payload(payload)
+    else:
+        problems = [f"unknown schema {schema!r}"]
+    return [f"{path}: {problem}" for problem in problems]
+
+
+def _fmt(value) -> str:
+    if value is None:
+        return "-"
+    if isinstance(value, float):
+        return f"{value:.6g}"
+    return str(value)
+
+
+def _main(argv: Sequence[str]) -> int:  # pragma: no cover - CI entry point
+    failures = []
+    for path in argv:
+        failures += validate_report_file(path)
+    for failure in failures:
+        print(failure)
+    print(f"{len(argv) - sum(1 for _ in {f.split(':')[0] for f in failures})}"
+          f"/{len(argv)} report files valid")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    import sys
+
+    sys.exit(_main(sys.argv[1:]))

@@ -1,0 +1,147 @@
+"""Trace events, nestable spans, and JSONL sinks.
+
+A trace is a flat sequence of JSON objects, one per line (JSONL), so a
+full exploration or refinement game can be replayed offline with nothing
+but the standard library.  Three event shapes share the stream:
+
+``{"ev": "event", "name": ..., "t": ..., ...fields}``
+    A point event (e.g. a per-context adequacy verdict, or the final
+    ``result`` event each CLI command emits).
+
+``{"ev": "span", "name": ..., "t": ..., "dur_s": ..., "depth": ...}``
+    A completed span: wall-clock start ``t`` (``time.time``), monotonic
+    duration ``dur_s`` (``time.perf_counter``), and its nesting depth at
+    the moment it was opened.
+
+``{"ev": "meta", ...}``
+    Stream metadata (schema version, argv) — always the first line a
+    session writes.
+
+Sinks are synchronous and unbuffered by design: a crashed exploration
+still leaves a readable prefix.  ``NullSink`` keeps the disabled path
+allocation-free; callers must check :attr:`TraceSink.active` before
+building event payloads.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from typing import IO, Optional, Union
+
+TRACE_SCHEMA = "repro-trace/1"
+
+
+class TraceSink:
+    """Base sink: receives event dicts; inactive (drops everything)."""
+
+    active = False
+
+    def emit(self, event: dict) -> None:  # pragma: no cover - interface
+        pass
+
+    def close(self) -> None:
+        pass
+
+
+class NullSink(TraceSink):
+    """The no-op sink used when tracing is off."""
+
+
+NULL_SINK = NullSink()
+
+
+class MemorySink(TraceSink):
+    """Collects events in a list — the test and demo sink."""
+
+    active = True
+
+    def __init__(self) -> None:
+        self.events: list[dict] = []
+
+    def emit(self, event: dict) -> None:
+        self.events.append(event)
+
+
+class JsonlSink(TraceSink):
+    """Writes one compact JSON object per line to a path or file object."""
+
+    active = True
+
+    def __init__(self, destination: Union[str, IO[str]]) -> None:
+        if isinstance(destination, str):
+            self._file: IO[str] = open(destination, "w")
+            self._owns = True
+        else:
+            self._file = destination
+            self._owns = False
+
+    def emit(self, event: dict) -> None:
+        self._file.write(json.dumps(event, sort_keys=True, default=repr))
+        self._file.write("\n")
+
+    def close(self) -> None:
+        self._file.flush()
+        if self._owns:
+            self._file.close()
+
+
+class Span:
+    """A timed region; use via :func:`repro.obs.span`.
+
+    On exit the span emits a trace event (when tracing) and folds its
+    duration into the ``span.<name>`` histogram (always, when a session
+    is active) — so ``--profile`` works without ``--trace``.
+    """
+
+    __slots__ = ("name", "fields", "_session", "_t0", "_wall", "depth")
+
+    def __init__(self, session, name: str, fields: dict) -> None:
+        self._session = session
+        self.name = name
+        self.fields = fields
+        self._t0 = 0.0
+        self._wall = 0.0
+        self.depth = 0
+
+    def __enter__(self) -> "Span":
+        self.depth = len(self._session.span_stack)
+        self._session.span_stack.append(self.name)
+        self._wall = time.time()
+        self._t0 = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        duration = time.perf_counter() - self._t0
+        self._session.span_stack.pop()
+        self._session.metrics.observe(f"span.{self.name}", duration)
+        sink = self._session.sink
+        if sink.active:
+            event = {"ev": "span", "name": self.name, "t": self._wall,
+                     "dur_s": duration, "depth": self.depth}
+            if self.fields:
+                event.update(self.fields)
+            sink.emit(event)
+
+
+class _NullSpan:
+    """Shared zero-cost span used when no session is active."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        pass
+
+
+NULL_SPAN = _NullSpan()
+
+
+def read_trace(source: Union[str, IO[str]]) -> list[dict]:
+    """Parse a JSONL trace back into a list of event dicts."""
+    if isinstance(source, str):
+        with open(source) as handle:
+            return [json.loads(line) for line in handle if line.strip()]
+    return [json.loads(line) for line in source if line.strip()]

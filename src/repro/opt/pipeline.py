@@ -10,10 +10,12 @@ finite universe).  §7 itself points at SMT-based translation validation
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 from typing import Callable, Optional, Sequence
 
-from ..lang.ast import Stmt
+from .. import obs
+from ..lang.ast import Stmt, node_count
 from ..seq.machine import SeqUniverse, universe_for
 from ..seq.refinement import (
     Limits,
@@ -59,16 +61,31 @@ class ValidationError(Exception):
 
 @dataclass
 class PassRecord:
-    """One pass application: before/after programs and its certificate."""
+    """One pass application: before/after programs and its certificate.
+
+    Carries the pass's own timing and AST-size effect (``duration_s`` is
+    rewrite time only; ``validation_s`` the translation-validation time)
+    so pipeline reports can show where optimization and certification
+    effort goes.
+    """
 
     name: str
     before: Stmt
     after: Stmt
     verdict: Optional[TransformationVerdict] = None
+    duration_s: float = 0.0
+    validation_s: float = 0.0
+    size_before: int = 0
+    size_after: int = 0
+    universe_size: int = 0
 
     @property
     def changed(self) -> bool:
         return self.before != self.after
+
+    @property
+    def size_delta(self) -> int:
+        return self.size_after - self.size_before
 
 
 @dataclass
@@ -108,14 +125,11 @@ class Optimizer:
     def optimize(self, program: Stmt) -> OptimizationResult:
         result = OptimizationResult(program, program)
         current = program
-        for name, pass_fn in self.passes:
-            candidate = pass_fn(current)
-            record = PassRecord(name, current, candidate)
-            if self.validate and candidate != current:
-                universe = self.universe or universe_for(current, candidate)
-                record.verdict = check_transformation(
-                    current, candidate, universe, self.limits)
-                if not record.verdict.valid:
+        with obs.span("opt.pipeline", passes=len(self.passes)):
+            for name, pass_fn in self.passes:
+                record = self._run_pass(name, pass_fn, current)
+                if (record.verdict is not None
+                        and not record.verdict.valid):
                     # A certified optimizer never ships an unsound pass:
                     # keep the input program and surface the rejection.
                     record.after = current
@@ -123,10 +137,50 @@ class Optimizer:
                     raise ValidationError(
                         f"pass {name!r} rejected by the SEQ refinement "
                         f"checker: {record.verdict.simple!r}")
-            current = record.after
-            result.records.append(record)
+                current = record.after
+                result.records.append(record)
         result.optimized = current
         return result
+
+    def _run_pass(self, name: str, pass_fn: Pass, current: Stmt) -> PassRecord:
+        started = time.perf_counter()
+        candidate = pass_fn(current)
+        record = PassRecord(name, current, candidate,
+                            duration_s=time.perf_counter() - started,
+                            size_before=node_count(current),
+                            size_after=node_count(candidate))
+        if self.validate and candidate != current:
+            universe = self.universe or universe_for(current, candidate)
+            record.universe_size = (len(universe.na_locs)
+                                    * len(universe.env_values()))
+            validation_started = time.perf_counter()
+            with obs.span("opt.validate", pass_name=name):
+                record.verdict = check_transformation(
+                    current, candidate, universe, self.limits)
+            record.validation_s = time.perf_counter() - validation_started
+        registry = obs.metrics()
+        if registry is not None:
+            registry.inc(f"opt.pass.{name}.runs")
+            if record.changed:
+                registry.inc(f"opt.pass.{name}.rewrites")
+                registry.inc("opt.pipeline.rewrites")
+            registry.observe(f"opt.pass.{name}.size_delta",
+                             record.size_delta)
+            registry.observe(f"opt.pass.{name}.duration_s",
+                             record.duration_s)
+            if record.verdict is not None:
+                registry.inc("opt.validate.checks")
+                registry.inc("opt.validate.valid" if record.verdict.valid
+                             else "opt.validate.rejected")
+                registry.observe("opt.validate.universe_size",
+                                 record.universe_size)
+        obs.event("opt.pass", pass_name=name, changed=record.changed,
+                  size_before=record.size_before,
+                  size_after=record.size_after,
+                  duration_s=record.duration_s,
+                  verdict=(record.verdict.notion
+                           if record.verdict is not None else None))
+        return record
 
 
 def optimize(program: Stmt, validate: bool = False,

@@ -19,6 +19,7 @@ import itertools
 from dataclasses import dataclass, replace
 from typing import Optional
 
+from .. import obs
 from ..lang.ast import Stmt, shared_locations
 from ..lang.events import NA, AccessMode
 from ..lang.interp import WhileThread
@@ -68,6 +69,7 @@ class ScExploration:
     racy: bool
     complete: bool
     states: int
+    incomplete_reason: Optional[str] = None
 
     def returns(self) -> set[tuple[Value, ...]]:
         return {b.returns for b in self.behaviors
@@ -112,12 +114,13 @@ def explore_sc(programs: list[Stmt | ThreadState],
     seen = {start}
     stack = [(start, max_depth)]
     states = 0
-    complete = True
+    state_bound_hit = False
+    depth_bound_hit = False
     while stack:
         state, depth = stack.pop()
         states += 1
         if states > max_states:
-            complete = False
+            state_bound_hit = True
             break
         actions = [thread.peek() for thread in state.threads]
         for a, b in itertools.combinations(actions, 2):
@@ -128,7 +131,7 @@ def explore_sc(programs: list[Stmt | ThreadState],
                 tuple(action.value for action in actions), state.syscalls))
             continue
         if depth == 0:
-            complete = False
+            depth_bound_hit = True
             continue
         for index, action in enumerate(actions):
             for successor in _sc_thread_steps(state, index, action, values):
@@ -137,7 +140,14 @@ def explore_sc(programs: list[Stmt | ThreadState],
                 elif successor not in seen:
                     seen.add(successor)
                     stack.append((successor, depth - 1))
-    return ScExploration(behaviors, racy, complete, states)
+    reason = ("state-bound" if state_bound_hit
+              else "depth-bound" if depth_bound_hit else None)
+    registry = obs.metrics()
+    if registry is not None:
+        registry.inc("psna.sc.runs")
+        registry.inc("psna.sc.states", states)
+    return ScExploration(behaviors, racy, reason is None, states,
+                         incomplete_reason=reason)
 
 
 BOTTOM = object()

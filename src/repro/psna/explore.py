@@ -5,6 +5,12 @@ the Coq development, the sequence of system calls invoked along the way),
 or ⊥ for erroneous termination.  Exploration enumerates all certified
 interleavings up to the configured bounds, deduplicating canonicalized
 states.
+
+Every run reports *why* it is incomplete (state bound vs. depth bound)
+and exact search counters (dedup hits/misses, stuck states, peak
+frontier).  The counters are maintained in local integers — exploration
+is the hottest loop in the repository — and flushed once per run into
+the :mod:`repro.obs` session when one is active.
 """
 
 from __future__ import annotations
@@ -12,11 +18,16 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Iterable, Optional
 
+from .. import obs
 from ..lang.ast import Stmt
 from ..lang.itree import ThreadState
 from ..lang.values import Value, value_leq
 from .machine import MachineState, canonical_key, initial_state, machine_steps
 from .thread import PsConfig
+
+#: ``Exploration.incomplete_reason`` values.
+STATE_BOUND = "state-bound"
+DEPTH_BOUND = "depth-bound"
 
 
 @dataclass(frozen=True)
@@ -47,11 +58,24 @@ PsResult = PsBehavior | PsBottom
 
 @dataclass
 class Exploration:
-    """Result of an exploration run."""
+    """Result of an exploration run.
+
+    ``complete`` is False exactly when a bound was exhausted, in which
+    case ``incomplete_reason`` names the bound (``"state-bound"`` or
+    ``"depth-bound"``).  Fully exploring a space that contains stuck
+    non-terminal states (e.g. unfulfillable promises) is *complete* —
+    those states contribute no behavior by Def 5.2 — and is reported via
+    ``stuck_states`` instead.
+    """
 
     behaviors: set[PsResult]
     complete: bool
     states: int
+    incomplete_reason: Optional[str] = None
+    stuck_states: int = 0
+    dedup_hits: int = 0
+    dedup_misses: int = 0
+    peak_frontier: int = 0
 
     def returns(self) -> set[tuple[Value, ...]]:
         return {b.returns for b in self.behaviors
@@ -63,6 +87,11 @@ class Exploration:
     def syscall_traces(self) -> set[tuple[tuple[str, Value], ...]]:
         return {b.syscalls for b in self.behaviors}
 
+    def dedup_rate(self) -> float:
+        """Fraction of generated successors already seen."""
+        generated = self.dedup_hits + self.dedup_misses
+        return self.dedup_hits / generated if generated else 0.0
+
 
 def explore(programs: list[Stmt | ThreadState],
             config: Optional[PsConfig] = None,
@@ -70,18 +99,41 @@ def explore(programs: list[Stmt | ThreadState],
     """Explore all behaviors of the parallel composition of ``programs``."""
     if config is None:
         config = PsConfig()
+    with obs.span("psna.explore", threads=len(programs)):
+        result = _explore(programs, config, locations)
+    registry = obs.metrics()
+    if registry is not None:
+        registry.inc("psna.explore.runs")
+        registry.inc("psna.explore.states", result.states)
+        registry.inc("psna.explore.dedup_hits", result.dedup_hits)
+        registry.inc("psna.explore.dedup_misses", result.dedup_misses)
+        registry.inc("psna.explore.stuck_states", result.stuck_states)
+        if not result.complete:
+            registry.inc(f"psna.explore.incomplete.{result.incomplete_reason}")
+        registry.observe("psna.explore.behaviors", len(result.behaviors))
+        registry.observe("psna.explore.peak_frontier", result.peak_frontier)
+    return result
+
+
+def _explore(programs: list[Stmt | ThreadState], config: PsConfig,
+             locations: Optional[set[str]]) -> Exploration:
     start = initial_state(programs, config, locations)
     behaviors: set[PsResult] = set()
     seen = {canonical_key(start)}
     stack: list[tuple[MachineState, int]] = [(start, config.max_depth)]
-    complete = True
     states = 0
+    stuck = 0
+    dedup_hits = 0
+    dedup_misses = 0
+    peak_frontier = 1
+    state_bound_hit = False
+    depth_bound_hit = False
 
     while stack:
         state, depth = stack.pop()
         states += 1
         if states > config.max_states:
-            complete = False
+            state_bound_hit = True
             break
         if state.bottom:
             behaviors.add(PsBottom(state.syscalls))
@@ -90,7 +142,7 @@ def explore(programs: list[Stmt | ThreadState],
             behaviors.add(PsBehavior(state.return_values(), state.syscalls))
             continue
         if depth == 0:
-            complete = False
+            depth_bound_hit = True
             continue
         progressed = False
         for successor in machine_steps(state, config):
@@ -98,12 +150,23 @@ def explore(programs: list[Stmt | ThreadState],
             key = canonical_key(successor)
             if key not in seen:
                 seen.add(key)
+                dedup_misses += 1
                 stack.append((successor, depth - 1))
+            else:
+                dedup_hits += 1
+        if len(stack) > peak_frontier:
+            peak_frontier = len(stack)
         if not progressed:
             # Stuck non-terminal state (e.g. unfulfillable promises):
             # contributes no behavior, matching the inductive Def 5.2.
+            stuck += 1
             continue
-    return Exploration(behaviors, complete, states)
+    reason = (STATE_BOUND if state_bound_hit
+              else DEPTH_BOUND if depth_bound_hit else None)
+    return Exploration(behaviors, reason is None, states,
+                       incomplete_reason=reason, stuck_states=stuck,
+                       dedup_hits=dedup_hits, dedup_misses=dedup_misses,
+                       peak_frontier=peak_frontier)
 
 
 def behavior_leq(target: PsResult, source: PsResult) -> bool:

@@ -21,6 +21,7 @@ from __future__ import annotations
 from dataclasses import dataclass, replace
 from typing import Iterator, Optional
 
+from .. import obs
 from ..lang.ast import Stmt, walk
 from ..lang.ast import Rmw as RmwStmt
 from ..lang.ast import Store as StoreStmt
@@ -103,10 +104,12 @@ def certifiable(thread: ThreadLts, memory: Memory, config: PsConfig,
     seen: set = set()
     stack: list[tuple[ThreadLts, Memory, int]] = [
         (thread, memory, config.cert_depth)]
+    certified = False
     while stack:
         current, mem, depth = stack.pop()
         if not current.promises:
-            return True
+            certified = True
+            break
         if depth == 0 or current.is_bottom() or current.is_terminated():
             continue
         key = (current, frozenset(mem.messages))
@@ -117,7 +120,13 @@ def certifiable(thread: ThreadLts, memory: Memory, config: PsConfig,
             if step.thread.is_bottom():
                 continue  # UB does not certify
             stack.append((step.thread, step.memory, depth - 1))
-    return False
+    registry = obs.metrics()
+    if registry is not None:
+        registry.inc("psna.cert.attempts")
+        registry.inc("psna.cert.states", len(seen))
+        if not certified:
+            registry.inc("psna.cert.failures")
+    return certified
 
 
 # ---------------------------------------------------------------------------

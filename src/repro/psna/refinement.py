@@ -14,6 +14,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Optional
 
+from .. import obs
 from ..lang.ast import Stmt
 from .explore import Exploration, PsResult, behavior_leq, explore
 from .thread import PsConfig
@@ -51,12 +52,24 @@ def check_psna_refinement(sources: list[Stmt], targets: list[Stmt],
         from ..lang.ast import shared_locations
 
         locs |= shared_locations(program)
-    target_exp = explore(targets, config, locs)
-    source_exp = explore(sources, config, locs)
-    complete = target_exp.complete and source_exp.complete
-    for behavior in sorted(target_exp.behaviors, key=repr):
-        if not any(behavior_leq(behavior, candidate)
-                   for candidate in source_exp.behaviors):
-            return PsVerdict(False, complete, behavior, target_exp,
-                             source_exp)
-    return PsVerdict(True, complete, None, target_exp, source_exp)
+    with obs.span("psna.refinement", threads=len(sources)):
+        target_exp = explore(targets, config, locs)
+        source_exp = explore(sources, config, locs)
+        complete = target_exp.complete and source_exp.complete
+        verdict = PsVerdict(True, complete, None, target_exp, source_exp)
+        for behavior in sorted(target_exp.behaviors, key=repr):
+            if not any(behavior_leq(behavior, candidate)
+                       for candidate in source_exp.behaviors):
+                verdict = PsVerdict(False, complete, behavior, target_exp,
+                                    source_exp)
+                break
+    registry = obs.metrics()
+    if registry is not None:
+        registry.inc("psna.refinement.checks")
+        registry.inc("psna.refinement.refines" if verdict.refines
+                     else "psna.refinement.violations")
+        registry.observe("psna.refinement.target_behaviors",
+                         len(target_exp.behaviors))
+        registry.observe("psna.refinement.source_behaviors",
+                         len(source_exp.behaviors))
+    return verdict

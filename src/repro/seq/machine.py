@@ -25,6 +25,7 @@ import itertools
 from dataclasses import dataclass, field, replace
 from typing import Iterator, Optional
 
+from .. import obs
 from ..lang.ast import Stmt, constant_values, nonatomic_locations
 from ..lang.interp import WhileThread
 from ..lang.itree import (
@@ -316,4 +317,10 @@ def unlabeled_closure(configs: frozenset[SeqConfig], universe: SeqUniverse,
             if label is None and successor not in seen:
                 seen.add(successor)
                 stack.append(successor)
+    registry = obs.metrics()
+    if registry is not None:
+        registry.inc("seq.closure.runs")
+        registry.inc("seq.closure.states", len(seen))
+        if not complete:
+            registry.inc("seq.closure.incomplete")
     return frozenset(seen), complete

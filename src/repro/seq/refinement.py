@@ -33,6 +33,7 @@ import itertools
 from dataclasses import dataclass, field
 from typing import Iterable, Optional
 
+from .. import obs
 from ..lang.ast import Stmt
 from ..lang.values import value_leq
 from ..util.fmap import FrozenMap
@@ -84,20 +85,29 @@ class Counterexample:
 
 @dataclass
 class Verdict:
-    """Result of a refinement check."""
+    """Result of a refinement check.
+
+    When ``complete`` is False, ``incomplete_reasons`` names every
+    exhausted bound (``"game-states"``, ``"closure-states"``,
+    ``"escape-states"``, ``"frontier"``) so callers can report *which*
+    budget truncated the search rather than a bare boolean.
+    """
 
     refines: bool
     complete: bool
     mode: str
     counterexample: Optional[Counterexample] = None
     game_states: int = 0
+    incomplete_reasons: tuple[str, ...] = ()
 
     def __bool__(self) -> bool:
         return self.refines
 
     def __repr__(self) -> str:
         status = "REFINES" if self.refines else "VIOLATES"
-        suffix = "" if self.complete else " (bounds hit; incomplete)"
+        reasons = (f" ({', '.join(self.incomplete_reasons)})"
+                   if self.incomplete_reasons else "")
+        suffix = "" if self.complete else f" (bounds hit; incomplete{reasons})"
         extra = (f": {self.counterexample!r}"
                  if self.counterexample is not None else "")
         return f"{status}[{self.mode}]{suffix}{extra}"
@@ -133,6 +143,17 @@ class _Game:
         self._escape_cache: dict[tuple[SeqConfig, frozenset[StrippedLabel]],
                                  _Escape] = {}
         self.game_states = 0
+        # Search counters, kept as plain locals-on-self (cheap increments)
+        # and flushed into the obs registry by the check_* entry points.
+        self.incomplete_reasons: set[str] = set()
+        self.dedup_hits = 0
+        self.escape_searches = 0
+        self.escape_cache_hits = 0
+        self.oracle_queries = 0
+        self.obligations = {"bottom-prune": 0, "terminal": 0,
+                            "partial": 0, "label": 0}
+        self.peak_frontier = 0
+        self.cex_depth: Optional[int] = None
 
     # -- source closures -------------------------------------------------
 
@@ -143,6 +164,7 @@ class _Game:
         while stack:
             if len(seen) > self.limits.max_closure_states:
                 self.complete = False
+                self.incomplete_reasons.add("closure-states")
                 break
             item = stack.pop()
             cfg = item.cfg
@@ -170,6 +192,7 @@ class _Game:
             return False
         from .oracle import TraceOracle  # local: avoid import cycle
 
+        self.oracle_queries += 1
         oracle = TraceOracle((), self.defaults)
         stripped = strip(label)
         if oracle.allows_offscript(stripped):
@@ -188,7 +211,9 @@ class _Game:
         key = (item.cfg, script if self.advanced else frozenset())
         cached = self._escape_cache.get(key)
         if cached is not None:
+            self.escape_cache_hits += 1
             return cached
+        self.escape_searches += 1
         bottom = False
         coverages: set[frozenset[str]] = set()
         complete = True
@@ -198,6 +223,12 @@ class _Game:
         while stack:
             if len(seen) > self.limits.max_escape_states:
                 complete = False
+                # Previously only recorded on the _Escape and never read:
+                # a truncated suffix search must clear the game's
+                # completeness bit, or a REFINES verdict could claim to
+                # be exact while escapes went unexplored.
+                self.complete = False
+                self.incomplete_reasons.add("escape-states")
                 break
             cfg, rel_written = stack.pop()
             if (cfg, rel_written) in seen:
@@ -309,10 +340,12 @@ class _Game:
             record.add((tgt0, frontier0))
         initial = tgt0
 
+        registry = obs.metrics()
         while stack:
             tgt, frontier, trace = stack.pop()
             key = (tgt, frontier)
             if key in seen:
+                self.dedup_hits += 1
                 continue
             seen.add(key)
             if record is not None:
@@ -320,13 +353,23 @@ class _Game:
             self.game_states += 1
             if self.game_states > self.limits.max_game_states:
                 self.complete = False
+                self.incomplete_reasons.add("game-states")
                 return None
+            if len(frontier) > self.peak_frontier:
+                self.peak_frontier = len(frontier)
+            if registry is not None:
+                registry.observe("seq.game.frontier", len(frontier))
+                registry.observe(
+                    "seq.game.commitments",
+                    max((len(item.commitments) for item in frontier),
+                        default=0))
 
             script = frozenset(strip(label) for label in trace)
             escapes = {item: self._escape(item, script) for item in frontier}
 
             # beh-failure prune: a source that reaches ⊥ matches anything.
             if any(escape.bottom for escape in escapes.values()):
+                self.obligations["bottom-prune"] += 1
                 continue
 
             if tgt.is_bottom():
@@ -344,6 +387,7 @@ class _Game:
                         f"trm({tgt.thread.return_value()},"
                         f"{set(tgt.written) or '{}'},{tgt.memory})",
                         self.defaults if self.advanced else None)
+                self.obligations["terminal"] += 1
                 continue
 
             # beh-partial obligation for ⟨trace, prt(F_tgt)⟩.
@@ -353,6 +397,7 @@ class _Game:
                     f"no source matches partial behavior "
                     f"prt({set(tgt.written) or '{}'})",
                     self.defaults if self.advanced else None)
+            self.obligations["partial"] += 1
 
             for label, tgt_next in seq_steps(tgt, self.universe):
                 if label is None:
@@ -372,6 +417,7 @@ class _Game:
                             next_items.add(_Item(src_next, updated))
                 if len(next_items) > self.limits.max_frontier:
                     self.complete = False
+                    self.incomplete_reasons.add("frontier")
                     continue
                 next_frontier = self._close(next_items)
                 if not next_frontier:
@@ -379,8 +425,28 @@ class _Game:
                         initial, trace + (label,),
                         f"no source step matches target label {label!r}",
                         self.defaults if self.advanced else None)
+                self.obligations["label"] += 1
                 stack.append((tgt_next, next_frontier, trace + (label,)))
         return None
+
+    def flush_metrics(self) -> None:
+        """Fold this game's local counters into the active obs session."""
+        registry = obs.metrics()
+        if registry is None:
+            return
+        registry.inc("seq.game.states", self.game_states)
+        registry.inc("seq.game.dedup_hits", self.dedup_hits)
+        registry.inc("seq.game.escape_searches", self.escape_searches)
+        registry.inc("seq.game.escape_cache_hits", self.escape_cache_hits)
+        registry.inc("seq.game.oracle_queries", self.oracle_queries)
+        for kind, count in self.obligations.items():
+            if count:
+                registry.inc(f"seq.game.obligations.{kind}", count)
+        for reason in self.incomplete_reasons:
+            registry.inc(f"seq.game.incomplete.{reason}")
+        registry.observe("seq.game.peak_frontier", self.peak_frontier)
+        if self.cex_depth is not None:
+            registry.observe("seq.game.cex_depth", self.cex_depth)
 
     def _terminal_match(self, tgt: SeqConfig, item: _Item) -> bool:
         cfg = item.cfg
@@ -426,14 +492,22 @@ def check_simple_refinement(source: Stmt, target: Stmt,
         universe = universe_for(source, target)
     game = _Game(universe, advanced=False, defaults=None, limits=limits)
     states = 0
-    for tgt0 in iter_initial_configs(target, universe):
-        src0 = SeqConfig.initial(source, tgt0.perms, tgt0.memory,
-                                 tgt0.written)
-        cex = game.run(tgt0, src0)
-        states = game.game_states
-        if cex is not None:
-            return Verdict(False, True, "simple", cex, states)
-    return Verdict(True, game.complete, "simple", None, states)
+    with obs.span("seq.check.simple"):
+        cex = None
+        for tgt0 in iter_initial_configs(target, universe):
+            src0 = SeqConfig.initial(source, tgt0.perms, tgt0.memory,
+                                     tgt0.written)
+            cex = game.run(tgt0, src0)
+            states = game.game_states
+            if cex is not None:
+                game.cex_depth = len(cex.trace)
+                break
+    game.flush_metrics()
+    obs.inc("seq.check.simple")
+    if cex is not None:
+        return Verdict(False, True, "simple", cex, states)
+    return Verdict(True, game.complete, "simple", None, states,
+                   tuple(sorted(game.incomplete_reasons)))
 
 
 def check_advanced_refinement(source: Stmt, target: Stmt,
@@ -450,20 +524,30 @@ def check_advanced_refinement(source: Stmt, target: Stmt,
         universe = universe_for(source, target)
     if family is None:
         family = default_oracle_family(universe.values)
+    obs.gauge("seq.check.oracle_family_size", len(family))
     states = 0
     complete = True
-    for defaults in family:
-        game = _Game(universe, advanced=True, defaults=defaults,
-                     limits=limits)
-        for tgt0 in iter_initial_configs(target, universe):
-            src0 = SeqConfig.initial(source, tgt0.perms, tgt0.memory,
-                                     tgt0.written)
-            cex = game.run(tgt0, src0)
-            states += game.game_states
-            if cex is not None:
-                return Verdict(False, True, "advanced", cex, states)
-        complete = complete and game.complete
-    return Verdict(True, complete, "advanced", None, states)
+    reasons: set[str] = set()
+    with obs.span("seq.check.advanced"):
+        for defaults in family:
+            game = _Game(universe, advanced=True, defaults=defaults,
+                         limits=limits)
+            for tgt0 in iter_initial_configs(target, universe):
+                src0 = SeqConfig.initial(source, tgt0.perms, tgt0.memory,
+                                         tgt0.written)
+                cex = game.run(tgt0, src0)
+                states += game.game_states
+                if cex is not None:
+                    game.cex_depth = len(cex.trace)
+                    game.flush_metrics()
+                    obs.inc("seq.check.advanced")
+                    return Verdict(False, True, "advanced", cex, states)
+            complete = complete and game.complete
+            reasons |= game.incomplete_reasons
+            game.flush_metrics()
+    obs.inc("seq.check.advanced")
+    return Verdict(True, complete, "advanced", None, states,
+                   tuple(sorted(reasons)))
 
 
 @dataclass
@@ -487,6 +571,24 @@ class TransformationVerdict:
             return "advanced"
         return "none"
 
+    @property
+    def game_states(self) -> int:
+        """Total game states explored across both notions."""
+        return self.simple.game_states + (
+            self.advanced.game_states if self.advanced is not None else 0)
+
+    @property
+    def complete(self) -> bool:
+        return self.simple.complete and (self.advanced is None
+                                         or self.advanced.complete)
+
+    @property
+    def incomplete_reasons(self) -> tuple[str, ...]:
+        reasons = set(self.simple.incomplete_reasons)
+        if self.advanced is not None:
+            reasons |= set(self.advanced.incomplete_reasons)
+        return tuple(sorted(reasons))
+
     def __repr__(self) -> str:
         return f"transformation {'VALID' if self.valid else 'INVALID'} " \
                f"(notion: {self.notion})"
@@ -502,6 +604,11 @@ def check_transformation(source: Stmt, target: Stmt,
     """
     simple = check_simple_refinement(source, target, universe, limits)
     if simple.refines:
-        return TransformationVerdict(simple, None)
-    advanced = check_advanced_refinement(source, target, universe, limits)
-    return TransformationVerdict(simple, advanced)
+        verdict = TransformationVerdict(simple, None)
+    else:
+        advanced = check_advanced_refinement(source, target, universe,
+                                             limits)
+        verdict = TransformationVerdict(simple, advanced)
+    obs.inc("seq.check.transformations")
+    obs.inc(f"seq.check.notion.{verdict.notion}")
+    return verdict

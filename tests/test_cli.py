@@ -90,10 +90,21 @@ class TestExplore:
         assert "(1, 1)" in out
 
 
-def test_litmus_table(capsys):
-    assert main(["litmus"]) == 0
-    out = capsys.readouterr().out
-    assert "54/54 verdicts match" in out
+def test_litmus_table_with_stats(capsys):
+    # --stats also exercises the per-case stats table (acceptance
+    # criterion) without a second full sweep in the suite.
+    assert main(["litmus", "--stats"]) == 0
+    captured = capsys.readouterr()
+    assert "54/54 verdicts match" in captured.out
+    header = captured.out.splitlines()
+    index = next(i for i, line in enumerate(header) if "dedup%" in line)
+    assert "states" in header[index] and "time_ms" in header[index]
+    # one stats row per case, each with a states count and a dedup rate
+    rows = [line for line in header[index + 1:] if line.strip()]
+    assert len(rows) == 54
+    assert all("%" in row for row in rows)
+    # the global metrics table lands on stderr
+    assert "seq.check.transformations" in captured.err
 
 
 def test_litmus_table_extended(capsys):
@@ -115,6 +126,89 @@ class TestAdequacy:
         assert main(["adequacy", BAD_SRC, BAD_TGT]) == 0
         out = capsys.readouterr().out
         assert "VIOLATES" in out  # the empty context separates them
+
+
+class TestObservabilityFlags:
+    SB = ["x_rlx := 1; a := y_rlx; return a;",
+          "y_rlx := 1; b := x_rlx; return b;"]
+
+    def test_explore_trace_final_event_matches_output(self, tmp_path,
+                                                      capsys):
+        """Acceptance: the trace's final event carries the same behavior
+        set the CLI prints."""
+        from repro.obs import read_trace
+
+        path = str(tmp_path / "out.jsonl")
+        assert main(["explore", "--machine", "pf", "--trace", path,
+                     *self.SB]) == 0
+        printed = {line.strip() for line in capsys.readouterr().out.splitlines()
+                   if line.startswith("  ")}
+        events = read_trace(path)
+        assert events[0]["ev"] == "meta"
+        final = events[-1]
+        assert final["ev"] == "event" and final["name"] == "result"
+        assert set(final["behaviors"]) == printed
+        assert final["complete"] is True
+
+    def test_explore_stats_output_stable(self, capsys):
+        """Two identical runs print identical counter tables."""
+        def stats_lines():
+            assert main(["explore", "--machine", "pf", "--stats",
+                         *self.SB]) == 0
+            err = capsys.readouterr().err
+            return [line for line in err.splitlines()
+                    if line and "span." not in line]
+
+        assert stats_lines() == stats_lines()
+
+    def test_explore_warns_on_state_bound(self, capsys):
+        assert main(["explore", "--machine", "pf", "--max-states", "3",
+                     *self.SB]) == 0
+        captured = capsys.readouterr()
+        assert "INCOMPLETE" in captured.err
+        assert "state-bound" in captured.err
+        assert "complete: False" in captured.out
+
+    def test_explore_warns_on_depth_bound(self, capsys):
+        assert main(["explore", "--machine", "pf", "--max-depth", "2",
+                     *self.SB]) == 0
+        assert "depth-bound" in capsys.readouterr().err
+
+    def test_sc_machine_warns_too(self, capsys):
+        assert main(["explore", "--machine", "sc", "--max-states", "2",
+                     *self.SB]) == 0
+        assert "state-bound" in capsys.readouterr().err
+
+    def test_validate_profile_prints_spans(self, capsys):
+        assert main(["validate", SLF_SRC, SLF_TGT, "--profile"]) == 0
+        err = capsys.readouterr().err
+        assert "seq.check.simple" in err and "total_s" in err
+
+    def test_optimize_stats_reports_pass_sizes(self, capsys):
+        assert main(["optimize", SLF_SRC, "--stats"]) == 0
+        captured = capsys.readouterr()
+        assert "nodes" in captured.err
+        assert "b := 1;" in captured.out
+
+    def test_adequacy_trace_has_context_events(self, tmp_path, capsys):
+        from repro.obs import read_trace
+
+        path = str(tmp_path / "adequacy.jsonl")
+        assert main(["adequacy", SLF_SRC, SLF_TGT, "--trace", path]) == 0
+        events = read_trace(path)
+        contexts = [event for event in events
+                    if event["ev"] == "event"
+                    and event.get("name") == "adequacy.context"]
+        assert contexts and all("refines" in event for event in contexts)
+        assert events[-1]["name"] == "result"
+        assert events[-1]["adequate"] is True
+
+    def test_no_flags_means_no_session(self, capsys):
+        from repro import obs
+
+        assert main(["explore", "--machine", "pf", *self.SB]) == 0
+        assert not obs.enabled()
+        assert capsys.readouterr().err == ""
 
 
 def test_help_lists_subcommands(capsys):
