@@ -7,6 +7,8 @@ Subcommands::
     repro explore PROGRAM...       # PS^na / SC behaviors of a composition
     repro litmus                   # regenerate the paper's verdict table
     repro adequacy SOURCE TARGET   # Theorem 6.2 differential check
+    repro coverage                 # which operational rules ever fired
+    repro explain ...              # narrate a witness / counterexample
 
 Each PROGRAM/SOURCE/TARGET argument is a path to a WHILE file, or inline
 WHILE source (detected when the argument is not an existing file).
@@ -30,6 +32,7 @@ printed behavior/verdict set must be read as a lower bound.
 from __future__ import annotations
 
 import argparse
+import json
 import os
 import sys
 import time
@@ -40,7 +43,9 @@ from .adequacy import check_adequacy
 from .lang.ast import Stmt
 from .lang.parser import parse
 from .lang.pretty import to_source
-from .litmus import ALL_TRANSFORMATION_CASES, EXTENDED_CASES
+from .litmus import ALL_TRANSFORMATION_CASES, EXTENDED_CASES, case_by_name
+from .obs import coverage as obs_coverage
+from .obs import explain as obs_explain
 from .obs.metrics import diff_snapshots
 from .obs.report import render_profile, render_stats_table, stats_payload
 from .opt import DEFAULT_PASSES, EXTENDED_PASSES, Optimizer
@@ -156,6 +161,7 @@ def _bounded(config: PsConfig, args: argparse.Namespace) -> PsConfig:
 
 def _cmd_litmus(args: argparse.Namespace) -> int:
     cases = EXTENDED_CASES if args.extended else ALL_TRANSFORMATION_CASES
+    as_json = getattr(args, "format", "table") == "json"
     mismatches = 0
     incomplete_cases: list[tuple[str, tuple[str, ...]]] = []
     case_stats: list[tuple[str, int, float, float]] = []
@@ -170,9 +176,15 @@ def _cmd_litmus(args: argparse.Namespace) -> int:
         agree = measured == case.expected
         mismatches += not agree
         rows.append({"case": case.name, "expected": case.expected,
-                     "measured": measured, "agree": agree})
-        print(f"{case.name:36s} {case.expected:9s} {measured:9s} "
-              f"{'ok' if agree else 'MISMATCH'}")
+                     "measured": measured, "agree": agree,
+                     "complete": verdict.complete,
+                     "incomplete_reasons": list(verdict.incomplete_reasons),
+                     "game_states": verdict.game_states})
+        incomplete = (",".join(verdict.incomplete_reasons) or "-"
+                      if not verdict.complete else "-")
+        if not as_json:
+            print(f"{case.name:36s} {case.expected:9s} {measured:9s} "
+                  f"{'ok' if agree else 'MISMATCH':8s} {incomplete}")
         if not verdict.complete:
             incomplete_cases.append((case.name, verdict.incomplete_reasons))
         if registry is not None:
@@ -182,12 +194,17 @@ def _cmd_litmus(args: argparse.Namespace) -> int:
             rate = hits / (hits + explored) if hits + explored else 0.0
             case_stats.append((case.name, verdict.game_states, rate,
                                elapsed))
-    print(f"{len(cases) - mismatches}/{len(cases)} verdicts match")
+    if as_json:
+        print(json.dumps({"command": "litmus", "total": len(cases),
+                          "mismatches": mismatches, "cases": rows},
+                         indent=2))
+    else:
+        print(f"{len(cases) - mismatches}/{len(cases)} verdicts match")
     for name, reasons in incomplete_cases:
         _warn(f"case {name!r}: refinement game incomplete — exhausted "
               f"bounds: {', '.join(reasons) or 'unknown'}; its verdict "
               f"may be based on a truncated search")
-    if case_stats:
+    if case_stats and not as_json:
         print()
         print(f"{'case':36s} {'states':>8s} {'dedup%':>7s} {'time_ms':>9s}")
         for name, states, rate, elapsed in case_stats:
@@ -221,6 +238,79 @@ def _cmd_adequacy(args: argparse.Namespace) -> int:
                         for r in report.contexts},
               skipped=[c.name for c in report.skipped])
     return 0 if report.adequate else 1
+
+
+def _cmd_coverage(args: argparse.Namespace) -> int:
+    """Run the coverage workload and print the per-rule firing table."""
+    own_session = not obs.enabled()
+    if own_session:
+        obs.start()
+    try:
+        obs_coverage.run_coverage_workload(litmus=args.litmus,
+                                           extended=args.extended)
+        snapshot = obs.metrics().snapshot()
+    finally:
+        if own_session:
+            obs.stop()
+    meta = {"command": "coverage", "litmus": args.litmus,
+            "extended": args.extended}
+    payload = obs_coverage.coverage_payload(snapshot, meta=meta)
+    print(obs_coverage.render_coverage_table(payload))
+    if args.json:
+        obs_coverage.write_coverage_report(args.json, snapshot, meta=meta)
+        print(f"coverage report written to {args.json}")
+    obs.event("result", command="coverage", covered=payload["covered"],
+              total=payload["total"], uncovered=payload["uncovered"])
+    missing = payload["uncovered"]
+    if missing:
+        _warn(f"{len(missing)} rule(s) never fired: {', '.join(missing)}")
+        return 1 if args.strict else 0
+    return 0
+
+
+def _cmd_explain(args: argparse.Namespace) -> int:
+    """Narrate a witness, a counterexample, or a recorded trace."""
+    if args.trace_file is not None:
+        try:
+            timeline = obs_explain.explain_trace(
+                args.trace_file, title=f"trace: {args.trace_file}")
+        except OSError as error:
+            print(f"repro: error: unreadable trace file: {error}",
+                  file=sys.stderr)
+            return 2
+    elif args.case is not None:
+        try:
+            case = case_by_name(args.case)
+        except KeyError:
+            print(f"repro: error: unknown litmus case {args.case!r}",
+                  file=sys.stderr)
+            return 2
+        verdict = check_transformation(case.source, case.target)
+        measured = verdict.notion if verdict.valid else "invalid"
+        print(f"case {case.name} ({case.paper_ref}): {measured}")
+        if verdict.valid:
+            timeline = obs_explain.explain_witness(
+                [case.target],
+                title=f"witness: {case.name} target-program execution")
+        else:
+            cex = (verdict.advanced.counterexample
+                   if verdict.advanced is not None
+                   else verdict.simple.counterexample)
+            timeline = obs_explain.explain_counterexample(
+                case.source, case.target, cex,
+                title=f"counterexample: {case.name}")
+    else:
+        programs = [_load(argument) for argument in args.witness]
+        timeline = obs_explain.explain_witness(
+            programs, title=f"witness: {len(programs)} thread(s)")
+    print(obs_explain.render_text(timeline))
+    if args.html:
+        with open(args.html, "w") as handle:
+            handle.write(obs_explain.render_html(timeline))
+        print(f"HTML page written to {args.html}")
+    obs.event("result", command="explain", title=timeline.title,
+              entries=len(timeline.entries))
+    return 0
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -274,7 +364,40 @@ def build_parser() -> argparse.ArgumentParser:
         help="regenerate the paper's verdict table")
     litmus.add_argument("--extended", action="store_true",
                         help="include the fence extension cases")
+    litmus.add_argument("--format", choices=("table", "json"),
+                        default="table",
+                        help="table (default) or machine-readable JSON")
     litmus.set_defaults(fn=_cmd_litmus)
+
+    coverage = sub.add_parser(
+        "coverage", parents=[common],
+        help="report which operational rules the workload fired")
+    coverage.add_argument("--litmus", action="store_true",
+                          help="also run the transformation catalog")
+    coverage.add_argument("--extended", action="store_true",
+                          help="with --litmus: include the fence cases")
+    coverage.add_argument("--json", metavar="FILE", default=None,
+                          help="write a repro-coverage/1 report file")
+    coverage.add_argument("--strict", action="store_true",
+                          help="exit non-zero when any rule never fired")
+    coverage.set_defaults(fn=_cmd_coverage)
+
+    explain = sub.add_parser(
+        "explain", parents=[common],
+        help="narrate a witness, counterexample, or recorded trace")
+    what = explain.add_mutually_exclusive_group(required=True)
+    what.add_argument("--case", metavar="NAME", default=None,
+                      help="explain a litmus case (witness if valid, "
+                           "counterexample if not)")
+    what.add_argument("--trace-file", metavar="FILE.jsonl", default=None,
+                      help="render a recorded JSONL trace as a timeline")
+    what.add_argument("--witness", metavar="PROGRAM", nargs="+",
+                      default=None,
+                      help="find and narrate a PS^na execution of the "
+                           "parallel composition")
+    explain.add_argument("--html", metavar="FILE.html", default=None,
+                         help="also write a self-contained HTML page")
+    explain.set_defaults(fn=_cmd_explain)
 
     adequacy = sub.add_parser(
         "adequacy", parents=[common],

@@ -50,6 +50,7 @@ __all__ = [
     "TRACE_SCHEMA", "report",
     "ObsSession", "session", "start", "stop", "active", "enabled",
     "metrics", "span", "event", "inc", "gauge", "observe",
+    "collect_into",
 ]
 
 
@@ -79,6 +80,29 @@ class ObsSession:
 
 _ACTIVE: Optional[ObsSession] = None
 
+#: Cross-session accumulator (see :func:`collect_into`).
+_COLLECTOR: Optional[MetricsRegistry] = None
+
+
+def collect_into(registry: Optional[MetricsRegistry],
+                 ) -> Optional[MetricsRegistry]:
+    """Install a registry that accumulates every session's metrics.
+
+    While a collector is installed, :func:`stop` merges the closing
+    session's metrics into it before discarding the session.  This is
+    how the pytest plugin (:mod:`repro.obs.pytest_plugin`) aggregates
+    rule-coverage counters across a whole test run without holding a
+    session open itself — tests open and close their own sessions, and
+    nested sessions are rejected by design.
+
+    Pass ``None`` to uninstall.  Returns the previously installed
+    collector so callers can restore it.
+    """
+    global _COLLECTOR
+    previous = _COLLECTOR
+    _COLLECTOR = registry
+    return previous
+
 
 def start(trace: Union[str, TraceSink, None] = None,
           meta: Optional[dict] = None) -> ObsSession:
@@ -101,6 +125,8 @@ def stop() -> Optional[ObsSession]:
     global _ACTIVE
     current, _ACTIVE = _ACTIVE, None
     if current is not None:
+        if _COLLECTOR is not None:
+            _COLLECTOR.merge(current.metrics)
         current.close()
     return current
 

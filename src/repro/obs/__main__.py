@@ -1,8 +1,43 @@
-"""Validate stats/bench report files: ``python -m repro.obs FILE...``."""
+"""Command-line entry points of the observability package.
+
+Two modes::
+
+    python -m repro.obs FILE [FILE ...]
+        Validate report files by their ``schema`` field — any mix of
+        ``repro-stats/1``, ``repro-bench/1``, and ``repro-coverage/1``
+        files.  Exits 0 when every file validates, 1 otherwise.  This is
+        what the CI benchmark smoke-check runs over ``BENCH_*.json``.
+
+    python -m repro.obs diff OLD.json NEW.json [--tolerance 0.25]
+        Compare two ``repro-bench/1`` reports entry-by-entry on
+        ``min_s`` (see :mod:`repro.obs.diff`).  Exits 0 when no entry
+        regressed beyond the tolerance, 1 on a regression, 2 on usage or
+        unreadable input.  This is the CI perf-trajectory gate.
+
+With no arguments, prints this usage summary and exits 2.
+"""
 
 import sys
 
-from .report import _main
+from .diff import main as _diff_main
+from .report import _main as _validate_main
+
+_USAGE = """\
+usage: python -m repro.obs FILE [FILE ...]
+           validate repro-stats/1 / repro-bench/1 / repro-coverage/1 files
+       python -m repro.obs diff OLD.json NEW.json [--tolerance 0.25]
+           compare two repro-bench/1 reports; exit 1 on perf regression\
+"""
+
+
+def main(argv: list[str]) -> int:
+    if not argv:
+        print(_USAGE)
+        return 2
+    if argv[0] == "diff":
+        return _diff_main(argv[1:])
+    return _validate_main(argv)
+
 
 if __name__ == "__main__":
-    sys.exit(_main(sys.argv[1:]))
+    sys.exit(main(sys.argv[1:]))

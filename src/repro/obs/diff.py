@@ -1,0 +1,157 @@
+"""Perf-regression diffing of ``repro-bench/1`` reports.
+
+The benchmark harness writes ``BENCH_<name>.json`` files at the repo
+root — the perf trajectory tracked across PRs.  This module is the first
+consumer: it compares two bench reports entry-by-entry and fails loudly
+when a benchmark got slower than the tolerance allows::
+
+    python -m repro.obs diff OLD.json NEW.json [--tolerance 0.25]
+
+Entries pair by ``name``.  The compared statistic is ``min_s`` — the
+minimum over rounds is the standard low-noise point estimate for
+wall-clock microbenchmarks (mean and max fold in scheduler noise).  An
+entry regresses when ``new.min_s > old.min_s * (1 + tolerance)``;
+improvements, added entries, and removed entries are reported but never
+fail the diff.  Exit codes: 0 (no regression), 1 (regression), 2 (usage
+or unreadable/invalid input).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+from .report import validate_bench_payload
+
+DEFAULT_TOLERANCE = 0.25
+
+#: Per-entry verdicts, in rendering order.
+OK, REGRESSION, IMPROVED, ADDED, REMOVED = (
+    "ok", "regression", "improved", "added", "removed")
+
+
+@dataclass(frozen=True)
+class EntryDiff:
+    """One benchmark entry compared across two reports."""
+
+    name: str
+    status: str
+    old_min_s: Optional[float] = None
+    new_min_s: Optional[float] = None
+
+    @property
+    def ratio(self) -> Optional[float]:
+        """``new/old`` slowdown factor; None without both sides."""
+        if not self.old_min_s or self.new_min_s is None:
+            return None
+        return self.new_min_s / self.old_min_s
+
+
+@dataclass
+class BenchDiff:
+    """The full comparison of two ``repro-bench/1`` payloads."""
+
+    bench: str
+    tolerance: float
+    entries: list[EntryDiff]
+
+    @property
+    def regressions(self) -> list[EntryDiff]:
+        return [e for e in self.entries if e.status == REGRESSION]
+
+    @property
+    def ok(self) -> bool:
+        return not self.regressions
+
+
+def diff_bench_payloads(old: dict, new: dict,
+                        tolerance: float = DEFAULT_TOLERANCE) -> BenchDiff:
+    """Compare two validated bench payloads entry-by-entry."""
+    old_entries = {entry["name"]: entry for entry in old["entries"]}
+    new_entries = {entry["name"]: entry for entry in new["entries"]}
+    result = BenchDiff(new.get("bench", old.get("bench", "?")), tolerance, [])
+    for name in sorted(set(old_entries) | set(new_entries)):
+        before = old_entries.get(name)
+        after = new_entries.get(name)
+        if before is None:
+            result.entries.append(
+                EntryDiff(name, ADDED, None, after["min_s"]))
+            continue
+        if after is None:
+            result.entries.append(
+                EntryDiff(name, REMOVED, before["min_s"], None))
+            continue
+        old_min, new_min = before["min_s"], after["min_s"]
+        if new_min > old_min * (1.0 + tolerance):
+            status = REGRESSION
+        elif old_min > 0 and new_min < old_min / (1.0 + tolerance):
+            status = IMPROVED
+        else:
+            status = OK
+        result.entries.append(EntryDiff(name, status, old_min, new_min))
+    return result
+
+
+def render_diff_table(diff: BenchDiff) -> str:
+    """A human-readable comparison table, regressions loud."""
+    if not diff.entries:
+        return f"-- bench diff {diff.bench}: no entries --"
+    width = max(len(entry.name) for entry in diff.entries)
+    lines = [f"-- bench diff {diff.bench} "
+             f"(tolerance {diff.tolerance:.0%}) --",
+             f"{'entry':<{width}}  {'old_min_s':>10}  {'new_min_s':>10}  "
+             f"{'ratio':>6}  status"]
+    for entry in diff.entries:
+        old = f"{entry.old_min_s:.6f}" if entry.old_min_s is not None else "-"
+        new = f"{entry.new_min_s:.6f}" if entry.new_min_s is not None else "-"
+        ratio = f"{entry.ratio:.2f}x" if entry.ratio is not None else "-"
+        status = entry.status.upper() if entry.status == REGRESSION \
+            else entry.status
+        lines.append(f"{entry.name:<{width}}  {old:>10}  {new:>10}  "
+                     f"{ratio:>6}  {status}")
+    bad = diff.regressions
+    if bad:
+        lines.append(f"!! {len(bad)} regression(s) beyond "
+                     f"{diff.tolerance:.0%}: "
+                     + ", ".join(entry.name for entry in bad))
+    else:
+        lines.append("no regressions")
+    return "\n".join(lines)
+
+
+def _load_bench(path: str) -> tuple[Optional[dict], list[str]]:
+    try:
+        with open(path) as handle:
+            payload = json.load(handle)
+    except (OSError, json.JSONDecodeError) as error:
+        return None, [f"{path}: unreadable ({error})"]
+    problems = validate_bench_payload(payload)
+    return payload, [f"{path}: {problem}" for problem in problems]
+
+
+def main(argv: Sequence[str]) -> int:
+    """CLI: ``diff OLD.json NEW.json [--tolerance T]``; exit 0/1/2."""
+    args = list(argv)
+    tolerance = DEFAULT_TOLERANCE
+    if "--tolerance" in args:
+        index = args.index("--tolerance")
+        try:
+            tolerance = float(args[index + 1])
+        except (IndexError, ValueError):
+            print("diff: --tolerance needs a number (e.g. 0.25)")
+            return 2
+        del args[index:index + 2]
+    if len(args) != 2:
+        print("usage: python -m repro.obs diff OLD.json NEW.json "
+              "[--tolerance 0.25]")
+        return 2
+    old, old_problems = _load_bench(args[0])
+    new, new_problems = _load_bench(args[1])
+    for problem in old_problems + new_problems:
+        print(problem)
+    if old is None or new is None or old_problems or new_problems:
+        return 2
+    diff = diff_bench_payloads(old, new, tolerance)
+    print(render_diff_table(diff))
+    return 0 if diff.ok else 1

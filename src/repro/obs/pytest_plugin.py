@@ -1,0 +1,62 @@
+"""Opt-in pytest plugin: rule coverage across a whole test run.
+
+Load it explicitly (it is intentionally not auto-registered)::
+
+    PYTHONPATH=src python -m pytest -p repro.obs.pytest_plugin
+
+The plugin installs a cross-session collector (:func:`repro.obs
+.collect_into`) for the duration of the run.  It never opens an
+observability session itself — tests open and close their own sessions,
+and nested sessions are rejected — it only accumulates the metrics of
+every session the tests happen to open.  At the end of the run it
+writes a ``repro-coverage/1`` report (path from the ``REPRO_COVERAGE``
+environment variable, default ``coverage-rules.json``) and prints the
+covered/uncovered rule summary into pytest's terminal summary.
+
+This is the "optionally run the test suite as a coverage workload"
+mode: the suite exercises far more machine configurations than the
+curated ``repro coverage`` workload, so it is the stronger check — at
+the cost of only counting what tests instrument through sessions.
+"""
+
+from __future__ import annotations
+
+import os
+
+from . import collect_into
+from .metrics import MetricsRegistry
+
+_REGISTRY: MetricsRegistry | None = None
+_PREVIOUS: MetricsRegistry | None = None
+
+
+def pytest_configure(config) -> None:
+    global _REGISTRY, _PREVIOUS
+    _REGISTRY = MetricsRegistry()
+    _PREVIOUS = collect_into(_REGISTRY)
+
+
+def pytest_unconfigure(config) -> None:
+    global _REGISTRY, _PREVIOUS
+    collect_into(_PREVIOUS)
+    _REGISTRY = None
+    _PREVIOUS = None
+
+
+def pytest_terminal_summary(terminalreporter, exitstatus, config) -> None:
+    if _REGISTRY is None:
+        return
+    from .coverage import coverage_payload, write_coverage_report
+
+    path = os.environ.get("REPRO_COVERAGE", "coverage-rules.json")
+    payload = coverage_payload(_REGISTRY.snapshot(),
+                               meta={"source": "pytest",
+                                     "exitstatus": exitstatus})
+    write_coverage_report(path, _REGISTRY.snapshot(),
+                          meta=payload.get("meta"))
+    write = terminalreporter.write_line
+    write("")
+    write(f"repro rule coverage: {payload['covered']}/{payload['total']} "
+          f"rules fired (report: {path})")
+    if payload["uncovered"]:
+        write(f"  NEVER FIRED: {', '.join(payload['uncovered'])}")

@@ -58,13 +58,24 @@ class MemorySink(TraceSink):
 
     def __init__(self) -> None:
         self.events: list[dict] = []
+        self.closed = False
 
     def emit(self, event: dict) -> None:
+        if self.closed:
+            raise RuntimeError("emit on a closed MemorySink")
         self.events.append(event)
+
+    def close(self) -> None:
+        self.closed = True
 
 
 class JsonlSink(TraceSink):
-    """Writes one compact JSON object per line to a path or file object."""
+    """Writes one compact JSON object per line to a path or file object.
+
+    Emitting after :meth:`close` raises rather than corrupting the
+    stream: the serialized line is built *before* touching the file, so
+    a failed emit never leaves a partial line behind.
+    """
 
     active = True
 
@@ -75,12 +86,19 @@ class JsonlSink(TraceSink):
         else:
             self._file = destination
             self._owns = False
+        self.closed = False
 
     def emit(self, event: dict) -> None:
-        self._file.write(json.dumps(event, sort_keys=True, default=repr))
+        line = json.dumps(event, sort_keys=True, default=repr)
+        if self.closed:
+            raise RuntimeError("emit on a closed JsonlSink")
+        self._file.write(line)
         self._file.write("\n")
 
     def close(self) -> None:
+        if self.closed:
+            return
+        self.closed = True
         self._file.flush()
         if self._owns:
             self._file.close()

@@ -27,6 +27,7 @@ from ..lang.itree import (
     ChooseAction,
     ErrAction,
     FailAction,
+    FenceAction,
     ReadAction,
     RetAction,
     RmwAction,
@@ -96,6 +97,29 @@ def _conflicting(a, b) -> bool:
     return bool(nonatomic)
 
 
+#: SC interleaving-machine rule IDs (``psna.sc.*``) for the semantic
+#: coverage layer.  No ``choose`` rule: under SC nothing produces undef,
+#: so ``freeze`` never branches.
+SC_RULE_TAGS: tuple[str, ...] = (
+    "read", "write", "rmw", "syscall", "fence", "fail", "race")
+
+
+def _sc_rule(action) -> Optional[str]:
+    if isinstance(action, ReadAction):
+        return "read"
+    if isinstance(action, WriteAction):
+        return "write"
+    if isinstance(action, RmwAction):
+        return "rmw"
+    if isinstance(action, SyscallAction):
+        return "syscall"
+    if isinstance(action, FailAction):
+        return "fail"
+    if isinstance(action, FenceAction):
+        return "fence"
+    return None  # choose/silent/ret/err carry no SC rule of their own
+
+
 def explore_sc(programs: list[Stmt | ThreadState],
                values: tuple[int, ...] = (0, 1),
                max_states: int = 200_000,
@@ -104,7 +128,9 @@ def explore_sc(programs: list[Stmt | ThreadState],
 
     Also reports whether any reachable state has a pair of co-enabled
     conflicting accesses involving a non-atomic (the SC race detector
-    used by the DRF guarantee tests).
+    used by the DRF guarantee tests).  Rule firings (``rule.psna.sc.*``)
+    are accumulated in a local dict — this is a hot loop — and flushed
+    once per run into the active observability session.
     """
     threads = tuple(
         WhileThread.start(p) if isinstance(p, Stmt) else p for p in programs)
@@ -116,6 +142,8 @@ def explore_sc(programs: list[Stmt | ThreadState],
     states = 0
     state_bound_hit = False
     depth_bound_hit = False
+    rule_counts: dict[str, int] = {}
+    counting = obs.metrics() is not None
     while stack:
         state, depth = stack.pop()
         states += 1
@@ -126,6 +154,8 @@ def explore_sc(programs: list[Stmt | ThreadState],
         for a, b in itertools.combinations(actions, 2):
             if _conflicting(a, b):
                 racy = True
+                if counting:
+                    rule_counts["race"] = rule_counts.get("race", 0) + 1
         if all(isinstance(action, RetAction) for action in actions):
             behaviors.add(PsBehavior(
                 tuple(action.value for action in actions), state.syscalls))
@@ -134,18 +164,26 @@ def explore_sc(programs: list[Stmt | ThreadState],
             depth_bound_hit = True
             continue
         for index, action in enumerate(actions):
+            fired = False
             for successor in _sc_thread_steps(state, index, action, values):
+                fired = True
                 if successor is BOTTOM:
                     behaviors.add(PsBottom(state.syscalls))
                 elif successor not in seen:
                     seen.add(successor)
                     stack.append((successor, depth - 1))
+            if counting and fired:
+                rule = _sc_rule(action)
+                if rule is not None:
+                    rule_counts[rule] = rule_counts.get(rule, 0) + 1
     reason = ("state-bound" if state_bound_hit
               else "depth-bound" if depth_bound_hit else None)
     registry = obs.metrics()
     if registry is not None:
         registry.inc("psna.sc.runs")
         registry.inc("psna.sc.states", states)
+        for rule, count in rule_counts.items():
+            registry.inc(f"rule.psna.sc.{rule}", count)
     return ScExploration(behaviors, racy, reason is None, states,
                          incomplete_reason=reason)
 

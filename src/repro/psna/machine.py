@@ -124,6 +124,8 @@ def certifiable(thread: ThreadLts, memory: Memory, config: PsConfig,
     if registry is not None:
         registry.inc("psna.cert.attempts")
         registry.inc("psna.cert.states", len(seen))
+        registry.inc("rule.psna.cert.success" if certified
+                     else "rule.psna.cert.failure")
         if not certified:
             registry.inc("psna.cert.failures")
     return certified
@@ -134,11 +136,53 @@ def certifiable(thread: ThreadLts, memory: Memory, config: PsConfig,
 # ---------------------------------------------------------------------------
 
 
+@dataclass(frozen=True)
+class MachineStepInfo:
+    """One machine step annotated for inspection and witness explanation.
+
+    ``tag`` is the thread-level rule that fired (the :class:`ThreadStep`
+    tag), or ``"sc-fence"`` / ``"machine-failure"`` for the two
+    machine-level rules without a thread-step counterpart.  For failure
+    steps ``cause`` names the thread rule that reached ⊥ (typically a
+    ``racy-*`` access).
+    """
+
+    thread: int
+    tag: str
+    state: MachineState
+    cause: Optional[str] = None
+
+
+#: Machine-level rule IDs (``psna.machine.*`` / ``psna.cert.*``) for the
+#: semantic-coverage layer.
+MACHINE_RULE_TAGS: tuple[str, ...] = (
+    "normal", "failure", "sc-fence")
+
+#: Certification outcomes (``psna.cert.*``) — the two ways the
+#: ``machine: normal`` side-condition can resolve.
+CERT_RULE_TAGS: tuple[str, ...] = ("success", "failure")
+
+
 def machine_steps(state: MachineState,
                   config: PsConfig) -> Iterator[MachineState]:
     """Enumerate certified machine steps and failure steps."""
+    for info in labeled_machine_steps(state, config):
+        yield info.state
+
+
+def labeled_machine_steps(state: MachineState,
+                          config: PsConfig) -> Iterator[MachineStepInfo]:
+    """Like :func:`machine_steps`, but each successor carries the index of
+    the thread that stepped and the rule tag that fired — the raw material
+    of witness timelines (:mod:`repro.obs.explain`).
+
+    When an observability session is active, the machine-level rules
+    (``machine: normal``, ``machine: failure``, SC fences) count into
+    ``rule.psna.machine.*`` counters.
+    """
     if state.bottom:
         return
+    registry = obs.metrics()
     for index, thread in enumerate(state.threads):
         action = thread.program.peek()
         if isinstance(action, FenceAction) and action.kind is FenceKind.SC:
@@ -146,23 +190,36 @@ def machine_steps(state: MachineState,
             view = thread.view.join(state.sc_view)
             updated = replace(thread, program=thread.program.resume(None),
                               view=view)
-            yield replace(state,
-                          threads=_set(state.threads, index, updated),
-                          sc_view=view)
+            if registry is not None:
+                registry.inc("rule.psna.machine.sc-fence")
+            yield MachineStepInfo(
+                index, "sc-fence",
+                replace(state,
+                        threads=_set(state.threads, index, updated),
+                        sc_view=view))
             continue
         for step in thread_steps(thread, state.memory, config):
             if step.thread.is_bottom():
-                yield replace(state, bottom=True)  # machine: failure
+                if registry is not None:
+                    registry.inc("rule.psna.machine.failure")
+                yield MachineStepInfo(
+                    index, "machine-failure",
+                    replace(state, bottom=True),
+                    cause=step.tag)  # machine: failure
                 continue
             if not certifiable(step.thread, step.memory, config):
                 continue  # machine: normal requires certification
             syscalls = state.syscalls
             if isinstance(action, SyscallAction) and step.tag == "syscall":
                 syscalls = syscalls + ((action.name, action.value),)
-            yield replace(state,
-                          threads=_set(state.threads, index, step.thread),
-                          memory=step.memory,
-                          syscalls=syscalls)
+            if registry is not None:
+                registry.inc("rule.psna.machine.normal")
+            yield MachineStepInfo(
+                index, step.tag,
+                replace(state,
+                        threads=_set(state.threads, index, step.thread),
+                        memory=step.memory,
+                        syscalls=syscalls))
 
 
 def _set(threads: tuple[ThreadLts, ...], index: int,

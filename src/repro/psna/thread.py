@@ -29,6 +29,7 @@ import itertools
 from dataclasses import dataclass, replace
 from typing import Iterator, Optional
 
+from .. import obs
 from ..lang.events import ACQ, NA, REL, RLX, FenceKind
 from ..lang.itree import (
     ChooseAction,
@@ -142,9 +143,41 @@ class ThreadStep:
     memory: Memory
 
 
+#: Every thread-level transition rule of PS^na (Fig 5 plus the Coq-dev
+#: extensions), keyed by the :class:`ThreadStep` tag it fires as.  The
+#: semantic-coverage layer (:mod:`repro.obs.coverage`) treats each entry
+#: as a stable rule ID ``psna.thread.<tag>`` and reports rules that a
+#: workload never exercised.
+THREAD_RULE_TAGS: tuple[str, ...] = (
+    "silent", "fail", "choose", "read", "racy-read", "write", "fulfill",
+    "racy-write", "write+namsg", "rmw", "racy-rmw", "fence-acq",
+    "fence-rel", "syscall", "promise", "lower",
+)
+
+_RULE_COUNTERS = {tag: f"rule.psna.thread.{tag}" for tag in THREAD_RULE_TAGS}
+
+
 def thread_steps(thread: ThreadLts, memory: Memory,
                  config: PsConfig) -> Iterator[ThreadStep]:
-    """Enumerate thread configuration steps ``⟨T, M⟩ −→ ⟨T', M'⟩``."""
+    """Enumerate thread configuration steps ``⟨T, M⟩ −→ ⟨T', M'⟩``.
+
+    When an observability session is active, every enumerated step also
+    fires its rule counter (``rule.psna.thread.<tag>``) — the raw data of
+    the semantic-coverage report.  The disabled path pays one ``None``
+    check per call and nothing per step.
+    """
+    registry = obs.metrics()
+    if registry is None:
+        yield from _thread_steps(thread, memory, config)
+        return
+    counters = _RULE_COUNTERS
+    for step in _thread_steps(thread, memory, config):
+        registry.inc(counters[step.tag])
+        yield step
+
+
+def _thread_steps(thread: ThreadLts, memory: Memory,
+                  config: PsConfig) -> Iterator[ThreadStep]:
     action = thread.program.peek()
 
     if isinstance(action, (RetAction, ErrAction)):

@@ -161,14 +161,74 @@ class SeqConfig:
 _BOTTOM_THREAD = Crashed()
 
 
+#: Every SEQ transition rule of Fig 1 (plus the fence extension), as
+#: stable rule IDs ``seq.machine.<tag>`` for the semantic-coverage layer.
+SEQ_RULE_TAGS: tuple[str, ...] = (
+    "silent", "fail", "choose", "na-read", "racy-na-read", "na-write",
+    "racy-na-write", "rlx-read", "rlx-write", "acq-read", "rel-write",
+    "acq-fence", "rel-fence", "syscall",
+)
+
+
+def classify_seq_step(cfg: SeqConfig, action,
+                      label: Optional[SeqLabel]) -> str:
+    """The Fig 1 rule tag of one transition ``cfg --label--> _``.
+
+    The pending ``action`` plus the permission set decides the rule; the
+    label alone cannot (non-atomic accesses, silent steps, and program
+    failure are all unlabeled).
+    """
+    if isinstance(action, TauAction):
+        return "silent"
+    if isinstance(action, FailAction):
+        return "fail"
+    if isinstance(action, ChooseAction):
+        return "choose"
+    if isinstance(action, ReadAction):
+        if action.mode is NA:
+            return ("na-read" if action.loc in cfg.perms
+                    else "racy-na-read")
+        return "rlx-read" if action.mode is RLX else "acq-read"
+    if isinstance(action, WriteAction):
+        if action.mode is NA:
+            return ("na-write" if action.loc in cfg.perms
+                    else "racy-na-write")
+        return "rlx-write" if action.mode is RLX else "rel-write"
+    if isinstance(action, FenceAction):
+        return "acq-fence" if action.kind is FenceKind.ACQ else "rel-fence"
+    assert isinstance(action, SyscallAction)
+    return "syscall"
+
+
+_SEQ_RULE_COUNTERS = {tag: f"rule.seq.machine.{tag}"
+                      for tag in SEQ_RULE_TAGS}
+
+
 def seq_steps(cfg: SeqConfig,
               universe: SeqUniverse) -> Iterator[tuple[Optional[SeqLabel],
                                                        SeqConfig]]:
     """Enumerate all SEQ transitions from ``cfg`` (Fig 1).
 
     Yields ``(label, successor)`` pairs; ``label`` is ``None`` for
-    unlabeled transitions (silent steps and non-atomic accesses).
+    unlabeled transitions (silent steps and non-atomic accesses).  With
+    an active observability session every enumerated transition fires its
+    ``rule.seq.machine.*`` counter; the disabled path pays a single
+    ``None`` check.
     """
+    registry = obs.metrics()
+    if registry is None:
+        yield from _seq_steps(cfg, universe)
+        return
+    action = cfg.thread.peek()
+    for label, successor in _seq_steps(cfg, universe):
+        registry.inc(_SEQ_RULE_COUNTERS[classify_seq_step(cfg, action,
+                                                          label)])
+        yield label, successor
+
+
+def _seq_steps(cfg: SeqConfig,
+               universe: SeqUniverse) -> Iterator[tuple[Optional[SeqLabel],
+                                                        SeqConfig]]:
     action = cfg.thread.peek()
 
     if isinstance(action, (RetAction, ErrAction)):

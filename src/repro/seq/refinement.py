@@ -113,6 +113,17 @@ class Verdict:
         return f"{status}[{self.mode}]{suffix}{extra}"
 
 
+#: Game-move rule IDs (``rule.seq.game.*``) for the semantic-coverage
+#: layer.  The four obligation kinds mirror Defs 2.3/2.4 and Fig 2; the
+#: remaining moves are the mechanics the definitions quantify over
+#: (closures, escape searches, oracle queries, commitment updates) plus
+#: the terminal "a counterexample was produced" move.
+GAME_RULE_TAGS: tuple[str, ...] = (
+    "bottom-prune", "terminal", "partial", "label", "closure", "escape",
+    "oracle-query", "commitment", "counterexample",
+)
+
+
 @dataclass(frozen=True)
 class _Item:
     """A frontier element: a source configuration plus its commitments."""
@@ -152,6 +163,8 @@ class _Game:
         self.oracle_queries = 0
         self.obligations = {"bottom-prune": 0, "terminal": 0,
                             "partial": 0, "label": 0}
+        self.closures = 0
+        self.commitment_updates = 0
         self.peak_frontier = 0
         self.cex_depth: Optional[int] = None
 
@@ -159,6 +172,7 @@ class _Game:
 
     def _close(self, items: Iterable[_Item]) -> frozenset[_Item]:
         """Unlabeled closure of frontier items (silent + non-atomic steps)."""
+        self.closures += 1
         seen: set[_Item] = set(items)
         stack = list(seen)
         while stack:
@@ -414,6 +428,8 @@ class _Game:
                         updated = self._match_label(label, src_label,
                                                     item.commitments)
                         if updated is not None:
+                            if updated != item.commitments:
+                                self.commitment_updates += 1
                             next_items.add(_Item(src_next, updated))
                 if len(next_items) > self.limits.max_frontier:
                     self.complete = False
@@ -442,10 +458,20 @@ class _Game:
         for kind, count in self.obligations.items():
             if count:
                 registry.inc(f"seq.game.obligations.{kind}", count)
+                registry.inc(f"rule.seq.game.{kind}", count)
         for reason in self.incomplete_reasons:
             registry.inc(f"seq.game.incomplete.{reason}")
+        if self.closures:
+            registry.inc("rule.seq.game.closure", self.closures)
+        if self.escape_searches:
+            registry.inc("rule.seq.game.escape", self.escape_searches)
+        if self.oracle_queries:
+            registry.inc("rule.seq.game.oracle-query", self.oracle_queries)
+        if self.commitment_updates:
+            registry.inc("rule.seq.game.commitment", self.commitment_updates)
         registry.observe("seq.game.peak_frontier", self.peak_frontier)
         if self.cex_depth is not None:
+            registry.inc("rule.seq.game.counterexample")
             registry.observe("seq.game.cex_depth", self.cex_depth)
 
     def _terminal_match(self, tgt: SeqConfig, item: _Item) -> bool:

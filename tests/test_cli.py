@@ -112,6 +112,23 @@ def test_litmus_table_extended(capsys):
     out = capsys.readouterr().out
     assert "64/64 verdicts match" in out
     assert "slf-across-rel-fence" in out
+    # satellite: the incomplete column is part of the table itself
+    rows = [line for line in out.splitlines()
+            if " ok " in line or "MISMATCH" in line]
+    assert rows and all(line.rstrip().endswith("-") for line in rows)
+
+
+def test_litmus_json_format(capsys):
+    import json
+
+    assert main(["litmus", "--format", "json"]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["total"] == 54 and payload["mismatches"] == 0
+    row = payload["cases"][0]
+    for key in ("case", "expected", "measured", "agree", "complete",
+                "incomplete_reasons", "game_states"):
+        assert key in row
+    assert all(case["agree"] for case in payload["cases"])
 
 
 class TestAdequacy:
@@ -215,5 +232,6 @@ def test_help_lists_subcommands(capsys):
     with pytest.raises(SystemExit):
         main(["--help"])
     out = capsys.readouterr().out
-    for command in ("validate", "optimize", "explore", "litmus", "adequacy"):
+    for command in ("validate", "optimize", "explore", "litmus", "adequacy",
+                    "coverage", "explain"):
         assert command in out

@@ -1,0 +1,129 @@
+"""Perf-regression diffing of repro-bench/1 reports."""
+
+import json
+
+from repro.obs import diff
+from repro.obs.__main__ import main as obs_main
+from repro.obs.report import bench_payload
+
+
+def _entry(name, min_s, **extra):
+    return {"name": name, "rounds": 3, "min_s": min_s,
+            "mean_s": min_s * 1.1, "max_s": min_s * 1.3, **extra}
+
+
+def _payload(*entries):
+    return bench_payload("demo", list(entries))
+
+
+def _write(tmp_path, filename, payload):
+    path = tmp_path / filename
+    path.write_text(json.dumps(payload))
+    return str(path)
+
+
+class TestDiffPayloads:
+    def test_identical_is_ok(self):
+        payload = _payload(_entry("a", 0.5), _entry("b", 0.1))
+        result = diff.diff_bench_payloads(payload, payload)
+        assert result.ok
+        assert {e.status for e in result.entries} == {diff.OK}
+
+    def test_double_slowdown_regresses(self):
+        old = _payload(_entry("a", 0.5))
+        new = _payload(_entry("a", 1.0))
+        result = diff.diff_bench_payloads(old, new)
+        assert not result.ok
+        entry = result.entries[0]
+        assert entry.status == diff.REGRESSION
+        assert entry.ratio == 2.0
+
+    def test_tolerance_is_respected(self):
+        old = _payload(_entry("a", 1.0))
+        new = _payload(_entry("a", 1.5))
+        assert not diff.diff_bench_payloads(old, new, tolerance=0.25).ok
+        assert diff.diff_bench_payloads(old, new, tolerance=1.0).ok
+
+    def test_improvement_reported_not_fatal(self):
+        old = _payload(_entry("a", 1.0))
+        new = _payload(_entry("a", 0.3))
+        result = diff.diff_bench_payloads(old, new)
+        assert result.ok
+        assert result.entries[0].status == diff.IMPROVED
+
+    def test_added_and_removed_never_fail(self):
+        old = _payload(_entry("gone", 1.0), _entry("kept", 1.0))
+        new = _payload(_entry("kept", 1.0), _entry("fresh", 9.0))
+        result = diff.diff_bench_payloads(old, new)
+        assert result.ok
+        statuses = {e.name: e.status for e in result.entries}
+        assert statuses == {"gone": diff.REMOVED, "kept": diff.OK,
+                            "fresh": diff.ADDED}
+
+    def test_render_table_is_loud(self):
+        old = _payload(_entry("slow", 0.5))
+        new = _payload(_entry("slow", 2.0))
+        table = diff.render_diff_table(diff.diff_bench_payloads(old, new))
+        assert "REGRESSION" in table
+        assert "4.00x" in table
+        assert "!!" in table
+
+
+class TestDiffCli:
+    def test_identical_files_exit_zero(self, tmp_path, capsys):
+        payload = _payload(_entry("a", 0.5))
+        old = _write(tmp_path, "old.json", payload)
+        new = _write(tmp_path, "new.json", payload)
+        assert diff.main([old, new]) == 0
+        assert "no regressions" in capsys.readouterr().out
+
+    def test_regression_exits_one(self, tmp_path, capsys):
+        """Acceptance: non-zero exit on an injected 2x slowdown."""
+        old = _write(tmp_path, "old.json", _payload(_entry("a", 0.5)))
+        new = _write(tmp_path, "new.json", _payload(_entry("a", 1.0)))
+        assert diff.main([old, new]) == 1
+        assert "REGRESSION" in capsys.readouterr().out
+
+    def test_tolerance_flag(self, tmp_path):
+        old = _write(tmp_path, "old.json", _payload(_entry("a", 1.0)))
+        new = _write(tmp_path, "new.json", _payload(_entry("a", 1.5)))
+        assert diff.main([old, new]) == 1
+        assert diff.main([old, new, "--tolerance", "1.0"]) == 0
+
+    def test_bad_tolerance_is_usage_error(self, tmp_path, capsys):
+        assert diff.main(["a.json", "b.json", "--tolerance", "soon"]) == 2
+        assert "--tolerance" in capsys.readouterr().out
+
+    def test_wrong_arity_is_usage_error(self, capsys):
+        assert diff.main(["only-one.json"]) == 2
+        assert "usage" in capsys.readouterr().out
+
+    def test_unreadable_file_is_io_error(self, tmp_path, capsys):
+        good = _write(tmp_path, "old.json", _payload(_entry("a", 0.5)))
+        assert diff.main([good, str(tmp_path / "missing.json")]) == 2
+        assert "unreadable" in capsys.readouterr().out
+
+    def test_invalid_schema_rejected(self, tmp_path, capsys):
+        good = _write(tmp_path, "old.json", _payload(_entry("a", 0.5)))
+        bad = _write(tmp_path, "bad.json", {"schema": "nope/1"})
+        assert diff.main([good, bad]) == 2
+        assert "schema" in capsys.readouterr().out
+
+
+class TestObsMain:
+    def test_no_args_prints_usage_exit_2(self, capsys):
+        assert obs_main([]) == 2
+        out = capsys.readouterr().out
+        assert "usage" in out and "diff" in out
+
+    def test_diff_mode_dispatches(self, tmp_path, capsys):
+        payload = _payload(_entry("a", 0.5))
+        old = _write(tmp_path, "old.json", payload)
+        new = _write(tmp_path, "new.json", payload)
+        assert obs_main(["diff", old, new]) == 0
+        assert "no regressions" in capsys.readouterr().out
+
+    def test_validate_mode_still_works(self, tmp_path, capsys):
+        path = _write(tmp_path, "bench.json", _payload(_entry("a", 0.5)))
+        assert obs_main([path]) == 0
+        assert "1/1 report files valid" in capsys.readouterr().out
