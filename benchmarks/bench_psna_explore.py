@@ -71,6 +71,21 @@ def test_lower_step_ablation(benchmark, lower):
     benchmark.extra_info["states"] = result.states
 
 
+@pytest.mark.parametrize("cached", [True, False],
+                         ids=["caches-on", "caches-off"])
+def test_cert_cache_ablation(benchmark, cached):
+    """The perf layer's headline number: certification memoization plus
+    canonical-key caching on a promise-enabled workload, vs. both off."""
+    threads = _threads(LB)
+    config = PsConfig(promise_budget=1, enable_cert_cache=cached,
+                      enable_key_cache=cached)
+    result = benchmark(explore, threads, config)
+    assert (1, 1) in result.returns()
+    benchmark.extra_info["states"] = result.states
+    benchmark.extra_info["cert_cache_hits"] = result.cert_cache_hits
+    benchmark.extra_info["key_cache_hits"] = result.key_cache_hits
+
+
 @pytest.mark.parametrize("threads_count", [1, 2, 3])
 def test_exploration_vs_thread_count(benchmark, threads_count):
     sources = ["x_rlx := 1; a := x_rlx; return a;",

@@ -165,12 +165,47 @@ class AdequacyReport:
                 f"{len(self.contexts)} contexts refine")
 
 
+def check_one_context(source: Stmt, target: Stmt, context: Context,
+                      config: PsConfig,
+                      base_locations: Optional[set[str]] = None,
+                      ) -> ContextResult:
+    """Check Def 5.3 refinement of a pair under a single context.
+
+    The independent unit of the adequacy sweep — what
+    :func:`repro.runner.adequacy_context_worker` fans across a process
+    pool.  Counts into the active observability session (if any).
+    """
+    if base_locations is None:
+        base_locations = (set(shared_locations(source))
+                          | set(shared_locations(target)))
+    locations = set(base_locations)
+    for thread in context.threads:
+        locations |= shared_locations(thread)
+    with obs.span("adequacy.context", context=context.name):
+        verdict = check_psna_refinement(
+            [source, *context.threads], [target, *context.threads],
+            config, locations)
+    obs.inc("adequacy.contexts.checked")
+    obs.inc("adequacy.contexts.refines" if verdict.refines
+            else "adequacy.contexts.violations")
+    obs.event("adequacy.context", context=context.name,
+              refines=verdict.refines, complete=verdict.complete)
+    return ContextResult(context, verdict)
+
+
 def check_adequacy(source: Stmt, target: Stmt,
                    contexts: Optional[Sequence[Context]] = None,
                    config: Optional[PsConfig] = None,
                    seq_verdict: Optional[TransformationVerdict] = None,
-                   ) -> AdequacyReport:
-    """Differentially test Theorem 6.2 on one transformation pair."""
+                   jobs: int = 1) -> AdequacyReport:
+    """Differentially test Theorem 6.2 on one transformation pair.
+
+    With ``jobs > 1`` the (independent) context checks fan across a
+    process pool via :mod:`repro.runner`; the SEQ verdict and the
+    location-discipline filtering stay in-process.  Parallel context
+    verdicts carry no exploration payloads (only refines/complete) —
+    the report's verdict bits are identical either way.
+    """
     if contexts is None:
         contexts = contexts_for(source, target)
     if config is None:
@@ -182,25 +217,35 @@ def check_adequacy(source: Stmt, target: Stmt,
         report = AdequacyReport(seq_verdict)
         base_locations = (set(shared_locations(source))
                           | set(shared_locations(target)))
+        checked: list[Context] = []
         for context in contexts:
             if not respects_location_discipline(
                     [source, target, *context.threads]):
                 report.skipped.append(context)
                 obs.inc("adequacy.contexts.skipped")
                 continue
-            locations = set(base_locations)
-            for thread in context.threads:
-                locations |= shared_locations(thread)
-            with obs.span("adequacy.context", context=context.name):
-                verdict = check_psna_refinement(
-                    [source, *context.threads], [target, *context.threads],
-                    config, locations)
-            report.contexts.append(ContextResult(context, verdict))
-            obs.inc("adequacy.contexts.checked")
-            obs.inc("adequacy.contexts.refines" if verdict.refines
-                    else "adequacy.contexts.violations")
-            obs.event("adequacy.context", context=context.name,
-                      refines=verdict.refines, complete=verdict.complete)
+            checked.append(context)
+        if jobs > 1 and len(checked) > 1:
+            from . import runner
+            from .lang.pretty import to_source
+
+            source_text = to_source(source)
+            target_text = to_source(target)
+            descriptors = [
+                (source_text, target_text, context.name,
+                 tuple(to_source(thread) for thread in context.threads),
+                 config)
+                for context in checked]
+            sweep = runner.run_sweep(runner.adequacy_context_worker,
+                                     descriptors, jobs=jobs)
+            for context, (payload, _counters) in zip(checked, sweep):
+                _name, refines, complete = payload
+                report.contexts.append(
+                    ContextResult(context, PsVerdict(refines, complete)))
+        else:
+            for context in checked:
+                report.contexts.append(check_one_context(
+                    source, target, context, config, base_locations))
     obs.inc("adequacy.checks")
     obs.inc("adequacy.adequate" if report.adequate
             else "adequacy.violations")

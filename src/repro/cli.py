@@ -24,6 +24,12 @@ Every subcommand accepts the observability flags:
 ``--profile``
     print span timings (where the wall-clock time went).
 
+``litmus``, ``adequacy``, and ``coverage`` additionally accept
+``--jobs N`` to fan their independent cases across a process pool
+(:mod:`repro.runner`); worker metrics merge back into the parent's
+session, and the rendered output is byte-identical to ``--jobs 1``
+modulo timing columns.
+
 Incomplete explorations are *never* silent: when a bound truncates the
 search, a warning naming the exhausted bound goes to stderr and the
 printed behavior/verdict set must be read as a lower bound.
@@ -35,10 +41,9 @@ import argparse
 import json
 import os
 import sys
-import time
 from typing import Optional, Sequence
 
-from . import obs
+from . import obs, runner
 from .adequacy import check_adequacy
 from .lang.ast import Stmt
 from .lang.parser import parse
@@ -46,7 +51,6 @@ from .lang.pretty import to_source
 from .litmus import ALL_TRANSFORMATION_CASES, EXTENDED_CASES, case_by_name
 from .obs import coverage as obs_coverage
 from .obs import explain as obs_explain
-from .obs.metrics import diff_snapshots
 from .obs.report import render_profile, render_stats_table, stats_payload
 from .opt import DEFAULT_PASSES, EXTENDED_PASSES, Optimizer
 from .psna import PsConfig, explore, explore_sc, promise_free_config
@@ -162,38 +166,38 @@ def _bounded(config: PsConfig, args: argparse.Namespace) -> PsConfig:
 def _cmd_litmus(args: argparse.Namespace) -> int:
     cases = EXTENDED_CASES if args.extended else ALL_TRANSFORMATION_CASES
     as_json = getattr(args, "format", "table") == "json"
+    jobs = getattr(args, "jobs", 1)
     mismatches = 0
     incomplete_cases: list[tuple[str, tuple[str, ...]]] = []
     case_stats: list[tuple[str, int, float, float]] = []
     registry = obs.metrics()
     rows = []
-    for case in cases:
-        before = registry.snapshot() if registry is not None else {}
-        started = time.perf_counter()
-        verdict = check_transformation(case.source, case.target)
-        elapsed = time.perf_counter() - started
-        measured = verdict.notion if verdict.valid else "invalid"
-        agree = measured == case.expected
-        mismatches += not agree
-        rows.append({"case": case.name, "expected": case.expected,
-                     "measured": measured, "agree": agree,
-                     "complete": verdict.complete,
-                     "incomplete_reasons": list(verdict.incomplete_reasons),
-                     "game_states": verdict.game_states})
-        incomplete = (",".join(verdict.incomplete_reasons) or "-"
-                      if not verdict.complete else "-")
+    # One worker call per case, serial or pooled; payloads and counters
+    # come back in catalog order either way, so the rendered table is
+    # byte-identical across --jobs values (modulo the timing column).
+    sweep = runner.run_sweep(runner.litmus_case_worker,
+                             [case.name for case in cases], jobs=jobs)
+    for payload, counters in sweep:
+        row = {key: payload[key]
+               for key in ("case", "expected", "measured", "agree",
+                           "complete", "incomplete_reasons", "game_states")}
+        rows.append(row)
+        mismatches += not row["agree"]
+        incomplete = (",".join(row["incomplete_reasons"]) or "-"
+                      if not row["complete"] else "-")
         if not as_json:
-            print(f"{case.name:36s} {case.expected:9s} {measured:9s} "
-                  f"{'ok' if agree else 'MISMATCH':8s} {incomplete}")
-        if not verdict.complete:
-            incomplete_cases.append((case.name, verdict.incomplete_reasons))
+            print(f"{row['case']:36s} {row['expected']:9s} "
+                  f"{row['measured']:9s} "
+                  f"{'ok' if row['agree'] else 'MISMATCH':8s} {incomplete}")
+        if not row["complete"]:
+            incomplete_cases.append(
+                (row["case"], tuple(row["incomplete_reasons"])))
         if registry is not None:
-            delta = diff_snapshots(before, registry.snapshot())["counters"]
-            hits = delta.get("seq.game.dedup_hits", 0)
-            explored = delta.get("seq.game.states", 0)
+            hits = counters.get("seq.game.dedup_hits", 0)
+            explored = counters.get("seq.game.states", 0)
             rate = hits / (hits + explored) if hits + explored else 0.0
-            case_stats.append((case.name, verdict.game_states, rate,
-                               elapsed))
+            case_stats.append((row["case"], row["game_states"], rate,
+                               payload["time_s"]))
     if as_json:
         print(json.dumps({"command": "litmus", "total": len(cases),
                           "mismatches": mismatches, "cases": rows},
@@ -221,7 +225,8 @@ def _cmd_adequacy(args: argparse.Namespace) -> int:
     source = _load(args.source)
     target = _load(args.target)
     config = PsConfig(allow_promises=False)
-    report = check_adequacy(source, target, config=config)
+    report = check_adequacy(source, target, config=config,
+                            jobs=getattr(args, "jobs", 1))
     print(f"SEQ verdict: {report.seq!r}")
     for result in report.contexts:
         status = "refines" if result.verdict.refines else "VIOLATES"
@@ -242,12 +247,23 @@ def _cmd_adequacy(args: argparse.Namespace) -> int:
 
 def _cmd_coverage(args: argparse.Namespace) -> int:
     """Run the coverage workload and print the per-rule firing table."""
+    jobs = getattr(args, "jobs", 1)
     own_session = not obs.enabled()
     if own_session:
         obs.start()
     try:
-        obs_coverage.run_coverage_workload(litmus=args.litmus,
-                                           extended=args.extended)
+        if jobs > 1 and args.litmus:
+            # The targeted workloads are quick; the litmus catalog is the
+            # bulk of the work and its cases are independent — fan them.
+            obs_coverage.run_coverage_workload(litmus=False,
+                                               extended=args.extended)
+            cases = EXTENDED_CASES if args.extended \
+                else ALL_TRANSFORMATION_CASES
+            runner.run_sweep(runner.litmus_case_worker,
+                             [case.name for case in cases], jobs=jobs)
+        else:
+            obs_coverage.run_coverage_workload(litmus=args.litmus,
+                                               extended=args.extended)
         snapshot = obs.metrics().snapshot()
     finally:
         if own_session:
@@ -367,6 +383,10 @@ def build_parser() -> argparse.ArgumentParser:
     litmus.add_argument("--format", choices=("table", "json"),
                         default="table",
                         help="table (default) or machine-readable JSON")
+    litmus.add_argument("--jobs", type=int, default=1, metavar="N",
+                        help="fan cases across N worker processes "
+                             "(1 = in-process; output is identical "
+                             "modulo the timing column)")
     litmus.set_defaults(fn=_cmd_litmus)
 
     coverage = sub.add_parser(
@@ -380,6 +400,9 @@ def build_parser() -> argparse.ArgumentParser:
                           help="write a repro-coverage/1 report file")
     coverage.add_argument("--strict", action="store_true",
                           help="exit non-zero when any rule never fired")
+    coverage.add_argument("--jobs", type=int, default=1, metavar="N",
+                          help="with --litmus: fan the catalog across N "
+                               "worker processes")
     coverage.set_defaults(fn=_cmd_coverage)
 
     explain = sub.add_parser(
@@ -404,6 +427,9 @@ def build_parser() -> argparse.ArgumentParser:
         help="differentially test Theorem 6.2 on a pair")
     adequacy.add_argument("source")
     adequacy.add_argument("target")
+    adequacy.add_argument("--jobs", type=int, default=1, metavar="N",
+                          help="fan the context library across N worker "
+                               "processes")
     adequacy.set_defaults(fn=_cmd_adequacy)
 
     return parser

@@ -112,6 +112,30 @@ class MetricsRegistry:
                 mine = self.histograms[name] = Histogram()
             mine.merge(histogram)
 
+    def merge_snapshot(self, snapshot: dict) -> None:
+        """Fold a :meth:`snapshot` dict into this registry.
+
+        The inverse bridge of :meth:`snapshot`: worker processes ship
+        their metrics across process boundaries as plain snapshot dicts
+        (registries hold no handles, but snapshots are already JSON-safe
+        and picklable by construction), and the parent folds them in
+        here.  Histogram summaries merge count/sum/min/max exactly.
+        """
+        for name, value in snapshot.get("counters", {}).items():
+            self.inc(name, value)
+        for name, value in snapshot.get("gauges", {}).items():
+            self.gauge(name, value)
+        for name, summary in snapshot.get("histograms", {}).items():
+            histogram = self.histograms.get(name)
+            if histogram is None:
+                histogram = self.histograms[name] = Histogram()
+            other = Histogram()
+            other.count = summary.get("count", 0)
+            other.total = summary.get("sum", 0.0)
+            other.min = summary.get("min")
+            other.max = summary.get("max")
+            histogram.merge(other)
+
     def clear(self) -> None:
         self.counters.clear()
         self.gauges.clear()

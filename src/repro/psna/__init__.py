@@ -10,9 +10,12 @@ from .thread import (
     thread_steps,
 )
 from .machine import (
+    CertCache,
+    KeyCache,
     MachineState,
     canonical_key,
     certifiable,
+    certification_key,
     initial_state,
     machine_steps,
     written_locations,
@@ -33,7 +36,8 @@ __all__ = [
     "view_leq_opt",
     "AnyMessage", "Memory", "Message", "NAMessage",
     "PsConfig", "ThreadLts", "ThreadStep", "is_racy", "thread_steps",
-    "MachineState", "canonical_key", "certifiable", "initial_state",
+    "CertCache", "KeyCache", "MachineState", "canonical_key",
+    "certifiable", "certification_key", "initial_state",
     "machine_steps", "written_locations",
     "Exploration", "PsBehavior", "PsBottom", "PsResult", "behavior_leq",
     "explore",

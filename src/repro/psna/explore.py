@@ -22,7 +22,14 @@ from .. import obs
 from ..lang.ast import Stmt
 from ..lang.itree import ThreadState
 from ..lang.values import Value, value_leq
-from .machine import MachineState, canonical_key, initial_state, machine_steps
+from .machine import (
+    CertCache,
+    KeyCache,
+    MachineState,
+    canonical_key,
+    initial_state,
+    machine_steps,
+)
 from .thread import PsConfig
 
 #: ``Exploration.incomplete_reason`` values.
@@ -76,6 +83,10 @@ class Exploration:
     dedup_hits: int = 0
     dedup_misses: int = 0
     peak_frontier: int = 0
+    cert_cache_hits: int = 0
+    cert_cache_misses: int = 0
+    key_cache_hits: int = 0
+    key_cache_misses: int = 0
 
     def returns(self) -> set[tuple[Value, ...]]:
         return {b.returns for b in self.behaviors
@@ -108,6 +119,10 @@ def explore(programs: list[Stmt | ThreadState],
         registry.inc("psna.explore.dedup_hits", result.dedup_hits)
         registry.inc("psna.explore.dedup_misses", result.dedup_misses)
         registry.inc("psna.explore.stuck_states", result.stuck_states)
+        registry.inc("psna.cert.cache_hits", result.cert_cache_hits)
+        registry.inc("psna.cert.cache_misses", result.cert_cache_misses)
+        registry.inc("psna.key.cache_hits", result.key_cache_hits)
+        registry.inc("psna.key.cache_misses", result.key_cache_misses)
         if not result.complete:
             registry.inc(f"psna.explore.incomplete.{result.incomplete_reason}")
         registry.observe("psna.explore.behaviors", len(result.behaviors))
@@ -118,8 +133,10 @@ def explore(programs: list[Stmt | ThreadState],
 def _explore(programs: list[Stmt | ThreadState], config: PsConfig,
              locations: Optional[set[str]]) -> Exploration:
     start = initial_state(programs, config, locations)
+    cert_cache = CertCache() if config.enable_cert_cache else None
+    key_cache = KeyCache() if config.enable_key_cache else None
     behaviors: set[PsResult] = set()
-    seen = {canonical_key(start)}
+    seen = {canonical_key(start, key_cache)}
     stack: list[tuple[MachineState, int]] = [(start, config.max_depth)]
     states = 0
     stuck = 0
@@ -130,11 +147,13 @@ def _explore(programs: list[Stmt | ThreadState], config: PsConfig,
     depth_bound_hit = False
 
     while stack:
-        state, depth = stack.pop()
-        states += 1
-        if states > config.max_states:
+        if states >= config.max_states:
+            # Exact bound: exactly max_states states get processed, and
+            # the bound only reports exhausted when work actually remains.
             state_bound_hit = True
             break
+        state, depth = stack.pop()
+        states += 1
         if state.bottom:
             behaviors.add(PsBottom(state.syscalls))
             continue
@@ -145,9 +164,9 @@ def _explore(programs: list[Stmt | ThreadState], config: PsConfig,
             depth_bound_hit = True
             continue
         progressed = False
-        for successor in machine_steps(state, config):
+        for successor in machine_steps(state, config, cert_cache):
             progressed = True
-            key = canonical_key(successor)
+            key = canonical_key(successor, key_cache)
             if key not in seen:
                 seen.add(key)
                 dedup_misses += 1
@@ -163,10 +182,15 @@ def _explore(programs: list[Stmt | ThreadState], config: PsConfig,
             continue
     reason = (STATE_BOUND if state_bound_hit
               else DEPTH_BOUND if depth_bound_hit else None)
-    return Exploration(behaviors, reason is None, states,
-                       incomplete_reason=reason, stuck_states=stuck,
-                       dedup_hits=dedup_hits, dedup_misses=dedup_misses,
-                       peak_frontier=peak_frontier)
+    return Exploration(
+        behaviors, reason is None, states,
+        incomplete_reason=reason, stuck_states=stuck,
+        dedup_hits=dedup_hits, dedup_misses=dedup_misses,
+        peak_frontier=peak_frontier,
+        cert_cache_hits=cert_cache.hits if cert_cache else 0,
+        cert_cache_misses=cert_cache.misses if cert_cache else 0,
+        key_cache_hits=key_cache.hits if key_cache else 0,
+        key_cache_misses=key_cache.misses if key_cache else 0)
 
 
 def behavior_leq(target: PsResult, source: PsResult) -> bool:

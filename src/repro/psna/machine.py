@@ -88,16 +88,55 @@ def initial_state(programs: list[Stmt | ThreadState],
 # ---------------------------------------------------------------------------
 
 
+class CertCache:
+    """Per-exploration memoization of :func:`certifiable` outcomes.
+
+    Keyed on the canonicalized ``(thread, memory)`` pair
+    (:func:`certification_key`), so candidate successors that differ only
+    in the concrete rationals chosen for fresh timestamps share one
+    certification search.  Entries are never evicted: ``ThreadLts`` and
+    ``Memory`` are immutable, and certification is a pure function of the
+    pair for a fixed :class:`PsConfig` — a cache is therefore only valid
+    for the single exploration (single config) that owns it.
+    """
+
+    __slots__ = ("entries", "hits", "misses")
+
+    def __init__(self) -> None:
+        self.entries: dict[object, bool] = {}
+        self.hits = 0
+        self.misses = 0
+
+
 def certifiable(thread: ThreadLts, memory: Memory, config: PsConfig,
-                _cache: Optional[dict] = None) -> bool:
+                cache: Optional[CertCache] = None) -> bool:
     """Can the thread, running alone, fulfill all its promises?
 
     Searches thread-local runs for a state with an empty promise set.
     Promise steps during certification follow ``config.cert_promises``
     (off by default; see DESIGN.md).
+
+    ``cache`` is an optional :class:`CertCache` owned by the exploration
+    run driving this check; see its docstring for the memoization
+    contract.  Cache hits still fire the ``rule.psna.cert.*`` coverage
+    counters (the side-condition *was* resolved), but not
+    ``psna.cert.attempts``/``psna.cert.states``, which count actual
+    search work.
     """
     if not thread.promises:
         return True
+    key: object = None
+    if cache is not None:
+        key = certification_key(thread, memory)
+        cached = cache.entries.get(key)
+        if cached is not None:
+            cache.hits += 1
+            registry = obs.metrics()
+            if registry is not None:
+                registry.inc("rule.psna.cert.success" if cached
+                             else "rule.psna.cert.failure")
+            return cached
+        cache.misses += 1
     cert_config = replace(config, certifying=True,
                           allow_promises=config.cert_promises
                           and config.allow_promises)
@@ -112,14 +151,16 @@ def certifiable(thread: ThreadLts, memory: Memory, config: PsConfig,
             break
         if depth == 0 or current.is_bottom() or current.is_terminated():
             continue
-        key = (current, frozenset(mem.messages))
-        if key in seen:
+        seen_key = (current, frozenset(mem.messages))
+        if seen_key in seen:
             continue
-        seen.add(key)
+        seen.add(seen_key)
         for step in thread_steps(current, mem, cert_config):
             if step.thread.is_bottom():
                 continue  # UB does not certify
             stack.append((step.thread, step.memory, depth - 1))
+    if cache is not None:
+        cache.entries[key] = certified
     registry = obs.metrics()
     if registry is not None:
         registry.inc("psna.cert.attempts")
@@ -163,18 +204,23 @@ MACHINE_RULE_TAGS: tuple[str, ...] = (
 CERT_RULE_TAGS: tuple[str, ...] = ("success", "failure")
 
 
-def machine_steps(state: MachineState,
-                  config: PsConfig) -> Iterator[MachineState]:
+def machine_steps(state: MachineState, config: PsConfig,
+                  cert_cache: Optional[CertCache] = None,
+                  ) -> Iterator[MachineState]:
     """Enumerate certified machine steps and failure steps."""
-    for info in labeled_machine_steps(state, config):
+    for info in labeled_machine_steps(state, config, cert_cache):
         yield info.state
 
 
-def labeled_machine_steps(state: MachineState,
-                          config: PsConfig) -> Iterator[MachineStepInfo]:
+def labeled_machine_steps(state: MachineState, config: PsConfig,
+                          cert_cache: Optional[CertCache] = None,
+                          ) -> Iterator[MachineStepInfo]:
     """Like :func:`machine_steps`, but each successor carries the index of
     the thread that stepped and the rule tag that fired — the raw material
     of witness timelines (:mod:`repro.obs.explain`).
+
+    ``cert_cache`` memoizes the ``machine: normal`` certification
+    side-condition across the run that owns it (see :class:`CertCache`).
 
     When an observability session is active, the machine-level rules
     (``machine: normal``, ``machine: failure``, SC fences) count into
@@ -207,7 +253,7 @@ def labeled_machine_steps(state: MachineState,
                     replace(state, bottom=True),
                     cause=step.tag)  # machine: failure
                 continue
-            if not certifiable(step.thread, step.memory, config):
+            if not certifiable(step.thread, step.memory, config, cert_cache):
                 continue  # machine: normal requires certification
             syscalls = state.syscalls
             if isinstance(action, SyscallAction) and step.tag == "syscall":
@@ -232,38 +278,129 @@ def _set(threads: tuple[ThreadLts, ...], index: int,
 # ---------------------------------------------------------------------------
 
 
-def canonical_key(state: MachineState):
-    """A hashable key invariant under per-location timestamp renaming."""
+def _timestamp_ranks(memory: Memory) -> dict[tuple[str, object], int]:
+    """Per-location dense ranks of the memory's timestamps (one pass)."""
+    by_loc: dict[str, list] = {}
+    for message in memory.messages:
+        by_loc.setdefault(message.loc, []).append(message.ts)
+    rank: dict[tuple[str, object], int] = {}
+    for loc, stamps in by_loc.items():
+        stamps.sort()
+        for index, ts in enumerate(stamps):
+            rank[(loc, ts)] = index
+    return rank
+
+
+def _value_key(value: Value):
+    """A hashable, totally-ordered encoding of a value (no ``repr``)."""
+    if isinstance(value, int):
+        return (0, value)
+    return (1, 0)  # undef — the only non-int value
+
+
+def _view_key(view: Optional[View], rank):
+    if view is None:
+        return ("bot",)
+    return ("view",) + tuple((loc, rank.get((loc, ts), -1))
+                             for loc, ts in view.items)
+
+
+def _message_key(message: AnyMessage, rank):
+    if isinstance(message, NAMessage):
+        return ("na", message.loc, rank[(message.loc, message.ts)])
+    attach = (-1 if message.attach is None
+              else rank.get((message.loc, message.attach), -2))
+    return ("msg", message.loc, rank[(message.loc, message.ts)],
+            _value_key(message.value), _view_key(message.view, rank), attach)
+
+
+def _thread_key(thread: ThreadLts, rank):
+    return (thread.program, _view_key(thread.view, rank),
+            tuple(sorted(_message_key(m, rank) for m in thread.promises)),
+            _view_key(thread.acq_pending, rank),
+            _view_key(thread.rel_view, rank),
+            tuple((loc, _view_key(view, rank))
+                  for loc, view in thread.rel_views.items),
+            thread.promise_budget)
+
+
+def certification_key(thread: ThreadLts, memory: Memory):
+    """The :class:`CertCache` key: canonicalized ``(thread, memory)``.
+
+    Invariant under per-location order-isomorphic renaming of
+    timestamps — every rule of the thread LTS only *compares* timestamps
+    and inserts between adjacent ones, so canonically-equal pairs have
+    isomorphic certification searches.  ``promise_locs`` is included
+    because promise steps (``config.cert_promises``) depend on it.
+    """
+    rank = _timestamp_ranks(memory)
+    memory_key = tuple(sorted(_message_key(m, rank)
+                              for m in memory.messages))
+    return (_thread_key(thread, rank), thread.promise_locs, memory_key)
+
+
+class KeyCache:
+    """Per-exploration canonical-key cache with sub-key interning.
+
+    ``states`` memoizes :func:`canonical_key` per value-equal
+    ``MachineState`` — successors generated through different
+    interleavings and then deduplicated pay one hash instead of a full
+    re-canonicalization.  ``intern`` maps every produced sub-key tuple to
+    its first instance, so the keys held by the exploration's ``seen``
+    set share storage and compare by identity first.  Like
+    :class:`CertCache`, entries are never evicted (states are immutable)
+    and the cache lives for a single exploration run.
+    """
+
+    __slots__ = ("states", "_interned", "hits", "misses")
+
+    def __init__(self) -> None:
+        self.states: dict[MachineState, object] = {}
+        self._interned: dict = {}
+        self.hits = 0
+        self.misses = 0
+
+    def intern(self, key):
+        return self._interned.setdefault(key, key)
+
+
+def canonical_key(state: MachineState, cache: Optional[KeyCache] = None):
+    """A hashable key invariant under per-location timestamp renaming.
+
+    With a :class:`KeyCache`, keys are memoized per state value and
+    their components interned across the owning exploration.
+    """
+    if cache is None:
+        return _canonical_key(state, _identity)
+    key = cache.states.get(state)
+    if key is not None:
+        cache.hits += 1
+        return key
+    cache.misses += 1
+    key = cache.intern(_canonical_key(state, cache.intern))
+    cache.states[state] = key
+    return key
+
+
+def _identity(key):
+    return key
+
+
+def _canonical_key(state: MachineState, intern):
     if state.bottom:
         return ("⊥", state.syscalls)
-    rank: dict[tuple[str, object], int] = {}
-    for loc in sorted(state.memory.locations()):
-        for index, ts in enumerate(sorted(state.memory.timestamps(loc))):
-            rank[(loc, ts)] = index
-
-    def view_key(view: Optional[View]):
-        if view is None:
-            return ("bot",)
-        return ("view",) + tuple((loc, rank.get((loc, ts), -1))
-                                 for loc, ts in view.items)
-
-    def message_key(message: AnyMessage):
-        if isinstance(message, NAMessage):
-            return ("na", message.loc, rank[(message.loc, message.ts)],
-                    "", ("bot",))
-        attach = (-1 if message.attach is None
-                  else rank.get((message.loc, message.attach), -2))
-        return ("msg", message.loc, rank[(message.loc, message.ts)],
-                repr(message.value), view_key(message.view), attach)
-
-    memory_key = tuple(sorted(message_key(m) for m in state.memory.messages))
+    rank = _timestamp_ranks(state.memory)
+    memory_key = intern(tuple(sorted(
+        intern(_message_key(m, rank)) for m in state.memory.messages)))
     threads_key = tuple(
-        (thread.program, view_key(thread.view),
-         tuple(sorted(message_key(m) for m in thread.promises)),
-         view_key(thread.acq_pending), view_key(thread.rel_view),
-         tuple((loc, view_key(view))
-               for loc, view in thread.rel_views.items),
-         thread.promise_budget)
+        intern((thread.program, intern(_view_key(thread.view, rank)),
+                tuple(sorted(intern(_message_key(m, rank))
+                             for m in thread.promises)),
+                intern(_view_key(thread.acq_pending, rank)),
+                intern(_view_key(thread.rel_view, rank)),
+                tuple((loc, intern(_view_key(view, rank)))
+                      for loc, view in thread.rel_views.items),
+                thread.promise_budget))
         for thread in state.threads)
-    return (threads_key, memory_key, view_key(state.sc_view),
-            state.syscalls)
+    return (threads_key, memory_key,
+            intern(_view_key(state.sc_view, rank)), state.syscalls)

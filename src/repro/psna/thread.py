@@ -74,6 +74,11 @@ class PsConfig:
     certifying: bool = False  # internal: set during certification runs
     max_states: int = 200_000
     max_depth: int = 400
+    # Performance-layer switches.  Both caches are semantics-preserving
+    # (tests assert behavior equality with them off); the switches exist
+    # for ablation benchmarks and correctness tests.
+    enable_cert_cache: bool = True
+    enable_key_cache: bool = True
 
     def promise_values(self) -> tuple[Value, ...]:
         if self.promise_undef_values:

@@ -1,0 +1,151 @@
+"""Parallel sweep runner: fan independent cases across a process pool.
+
+The litmus catalog, the adequacy context library, and the coverage
+workload are embarrassingly parallel — every case is a pure function of
+a small picklable descriptor (a case name, a program text, a config).
+:func:`run_sweep` runs such a sweep either in-process (``jobs <= 1``,
+the exact serial code path) or across a ``multiprocessing`` spawn pool,
+and in both modes returns ``(payload, counters)`` pairs *in descriptor
+order*, so callers render byte-identical output regardless of ``jobs``.
+
+Observability composes across the process boundary: each worker runs its
+case inside its own :func:`repro.obs.session`, ships the resulting
+metrics snapshot back (snapshots are plain dicts, picklable by
+construction), and the parent folds it into its active registry via
+:meth:`MetricsRegistry.merge_snapshot` — the same merge discipline the
+``obs.collect_into`` collector uses inside one process.  Trace *events*
+are per-process and not forwarded; counters and histograms are.
+
+Spawn-safety: workers are module-level functions (pickled by qualified
+name) over primitive descriptors, so the pool works identically under
+``fork`` and ``spawn`` start methods; ``spawn`` is used explicitly to
+keep every platform on the strictest semantics.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from multiprocessing import get_context
+from typing import Callable, Sequence
+
+from . import obs
+from .obs.metrics import diff_snapshots
+
+#: One sweep result: the worker's payload plus the counters its case
+#: produced (empty when no observability session was active in serial
+#: mode).
+SweepResult = tuple[object, dict]
+
+
+def default_jobs() -> int:
+    """A sensible ``--jobs`` default: the machine's CPU count."""
+    return os.cpu_count() or 1
+
+
+def run_sweep(worker: Callable[[object], object],
+              descriptors: Sequence[object],
+              jobs: int = 1) -> list[SweepResult]:
+    """Run ``worker`` over ``descriptors``, serially or in a pool.
+
+    ``worker`` must be a module-level (picklable) function; descriptors
+    must be picklable.  Results preserve descriptor order.  With
+    ``jobs <= 1`` (or a single descriptor) no pool is created and the
+    worker runs in-process — inside the caller's observability session
+    when one is active.
+    """
+    items = list(descriptors)
+    if jobs <= 1 or len(items) <= 1:
+        return _run_serial(worker, items)
+    return _run_parallel(worker, items, jobs)
+
+
+def _run_serial(worker, items) -> list[SweepResult]:
+    registry = obs.metrics()
+    results: list[SweepResult] = []
+    for descriptor in items:
+        if registry is None:
+            results.append((worker(descriptor), {}))
+        else:
+            before = registry.snapshot()
+            payload = worker(descriptor)
+            delta = diff_snapshots(before, registry.snapshot())
+            results.append((payload, delta["counters"]))
+    return results
+
+
+def _subprocess_entry(task):
+    """Pool entry point: run one case inside a fresh obs session."""
+    worker, descriptor = task
+    with obs.session() as session:
+        payload = worker(descriptor)
+        snapshot = session.metrics.snapshot()
+    return payload, snapshot
+
+
+def _run_parallel(worker, items, jobs: int) -> list[SweepResult]:
+    registry = obs.metrics()
+    context = get_context("spawn")
+    tasks = [(worker, descriptor) for descriptor in items]
+    results: list[SweepResult] = []
+    with context.Pool(processes=min(jobs, len(items))) as pool:
+        for payload, snapshot in pool.imap(_subprocess_entry, tasks):
+            if registry is not None:
+                registry.merge_snapshot(snapshot)
+            counters = {name: value
+                        for name, value in snapshot["counters"].items()
+                        if value}
+            results.append((payload, counters))
+    return results
+
+
+# ---------------------------------------------------------------------------
+# Workers (module-level so the spawn pool can pickle them by name)
+# ---------------------------------------------------------------------------
+
+
+def litmus_case_worker(name: str) -> dict:
+    """Check one transformation case of the catalog by name.
+
+    Returns a plain-dict row (the CLI's JSON row plus ``time_s``) so the
+    result crosses the process boundary without dragging verdict
+    objects along.
+    """
+    from .litmus import case_by_name
+    from .seq import check_transformation
+
+    case = case_by_name(name)
+    started = time.perf_counter()
+    verdict = check_transformation(case.source, case.target)
+    elapsed = time.perf_counter() - started
+    measured = verdict.notion if verdict.valid else "invalid"
+    return {
+        "case": case.name,
+        "expected": case.expected,
+        "measured": measured,
+        "agree": measured == case.expected,
+        "complete": verdict.complete,
+        "incomplete_reasons": list(verdict.incomplete_reasons),
+        "game_states": verdict.game_states,
+        "time_s": elapsed,
+    }
+
+
+def adequacy_context_worker(descriptor) -> tuple[str, bool, bool]:
+    """Check Theorem 6.2 for one concurrent context.
+
+    The descriptor is ``(source_text, target_text, context_name,
+    thread_texts, config)`` — programs travel as WHILE source, the
+    config as a (picklable) :class:`PsConfig`.
+    """
+    from .adequacy import Context, check_one_context
+    from .lang.parser import parse
+
+    source_text, target_text, context_name, thread_texts, config = descriptor
+    source = parse(source_text)
+    target = parse(target_text)
+    context = Context(context_name,
+                      tuple(parse(text) for text in thread_texts))
+    result = check_one_context(source, target, context, config)
+    return (context_name, bool(result.verdict.refines),
+            bool(result.verdict.complete))

@@ -145,14 +145,22 @@ class _Game:
     """One refinement game for a fixed initial configuration pair."""
 
     def __init__(self, universe: SeqUniverse, advanced: bool,
-                 defaults: Optional[OracleDefaults], limits: Limits) -> None:
+                 defaults: Optional[OracleDefaults], limits: Limits,
+                 caching: bool = True) -> None:
         self.universe = universe
         self.advanced = advanced
         self.defaults = defaults or OracleDefaults()
         self.limits = limits
+        self.caching = caching
         self.complete = True
         self._escape_cache: dict[tuple[SeqConfig, frozenset[StrippedLabel]],
                                  _Escape] = {}
+        # Closure memoization + frontier interning: games revisit the
+        # same pre-closure frontier through different target paths, and
+        # interned (identical) frontiers make the `seen` keys compare by
+        # identity first.  Both are per-game (fixed universe/limits).
+        self._closure_cache: dict[frozenset[_Item], frozenset[_Item]] = {}
+        self._frontier_intern: dict[frozenset[_Item], frozenset[_Item]] = {}
         self.game_states = 0
         # Search counters, kept as plain locals-on-self (cheap increments)
         # and flushed into the obs registry by the check_* entry points.
@@ -160,6 +168,7 @@ class _Game:
         self.dedup_hits = 0
         self.escape_searches = 0
         self.escape_cache_hits = 0
+        self.closure_cache_hits = 0
         self.oracle_queries = 0
         self.obligations = {"bottom-prune": 0, "terminal": 0,
                             "partial": 0, "label": 0}
@@ -171,9 +180,19 @@ class _Game:
     # -- source closures -------------------------------------------------
 
     def _close(self, items: Iterable[_Item]) -> frozenset[_Item]:
-        """Unlabeled closure of frontier items (silent + non-atomic steps)."""
+        """Unlabeled closure of frontier items (silent + non-atomic steps).
+
+        Memoized per pre-closure frontier, and the resulting frontier is
+        interned so value-equal frontiers are one object game-wide.
+        """
+        base = frozenset(items)
+        if self.caching:
+            cached = self._closure_cache.get(base)
+            if cached is not None:
+                self.closure_cache_hits += 1
+                return cached
         self.closures += 1
-        seen: set[_Item] = set(items)
+        seen: set[_Item] = set(base)
         stack = list(seen)
         while stack:
             if len(seen) > self.limits.max_closure_states:
@@ -190,7 +209,11 @@ class _Game:
                     if candidate not in seen:
                         seen.add(candidate)
                         stack.append(candidate)
-        return frozenset(seen)
+        result = frozenset(seen)
+        if self.caching:
+            result = self._frontier_intern.setdefault(result, result)
+            self._closure_cache[base] = result
+        return result
 
     def _suffix_allowed(self, label: SeqLabel,
                         script: frozenset[StrippedLabel]) -> bool:
@@ -454,6 +477,7 @@ class _Game:
         registry.inc("seq.game.dedup_hits", self.dedup_hits)
         registry.inc("seq.game.escape_searches", self.escape_searches)
         registry.inc("seq.game.escape_cache_hits", self.escape_cache_hits)
+        registry.inc("seq.game.closure_cache_hits", self.closure_cache_hits)
         registry.inc("seq.game.oracle_queries", self.oracle_queries)
         for kind, count in self.obligations.items():
             if count:
@@ -508,15 +532,18 @@ def _as_config(program: Stmt | SeqConfig,
 
 def check_simple_refinement(source: Stmt, target: Stmt,
                             universe: Optional[SeqUniverse] = None,
-                            limits: Limits = Limits()) -> Verdict:
+                            limits: Limits = Limits(),
+                            caching: bool = True) -> Verdict:
     """Check ``σ_tgt ⊑ σ_src`` (Def 2.4) over all initial ⟨P, F, M⟩.
 
     ``source {~> target`` is a valid transformation iff this returns
-    REFINES.
+    REFINES.  ``caching=False`` disables the game's closure/frontier
+    caches (ablation and correctness testing only).
     """
     if universe is None:
         universe = universe_for(source, target)
-    game = _Game(universe, advanced=False, defaults=None, limits=limits)
+    game = _Game(universe, advanced=False, defaults=None, limits=limits,
+                 caching=caching)
     states = 0
     with obs.span("seq.check.simple"):
         cex = None
@@ -540,7 +567,8 @@ def check_advanced_refinement(source: Stmt, target: Stmt,
                               universe: Optional[SeqUniverse] = None,
                               limits: Limits = Limits(),
                               family: Optional[tuple[OracleDefaults, ...]]
-                              = None) -> Verdict:
+                              = None,
+                              caching: bool = True) -> Verdict:
     """Check ``σ_tgt ⊑w σ_src`` (Def 3.3) against an oracle family.
 
     A VIOLATES verdict exhibits a genuine oracle + behavior witness; a
@@ -557,7 +585,7 @@ def check_advanced_refinement(source: Stmt, target: Stmt,
     with obs.span("seq.check.advanced"):
         for defaults in family:
             game = _Game(universe, advanced=True, defaults=defaults,
-                         limits=limits)
+                         limits=limits, caching=caching)
             for tgt0 in iter_initial_configs(target, universe):
                 src0 = SeqConfig.initial(source, tgt0.perms, tgt0.memory,
                                          tgt0.written)
@@ -622,18 +650,20 @@ class TransformationVerdict:
 
 def check_transformation(source: Stmt, target: Stmt,
                          universe: Optional[SeqUniverse] = None,
-                         limits: Limits = Limits()) -> TransformationVerdict:
+                         limits: Limits = Limits(),
+                         caching: bool = True) -> TransformationVerdict:
     """Validate ``source {~> target``: try simple, then advanced.
 
     By Prop 3.4 simple refinement implies advanced refinement, so the
     advanced check only runs when the simple one fails.
     """
-    simple = check_simple_refinement(source, target, universe, limits)
+    simple = check_simple_refinement(source, target, universe, limits,
+                                     caching=caching)
     if simple.refines:
         verdict = TransformationVerdict(simple, None)
     else:
         advanced = check_advanced_refinement(source, target, universe,
-                                             limits)
+                                             limits, caching=caching)
         verdict = TransformationVerdict(simple, advanced)
     obs.inc("seq.check.transformations")
     obs.inc(f"seq.check.notion.{verdict.notion}")
