@@ -1,73 +1,48 @@
 #!/usr/bin/env python3
-"""A mini fuzzing campaign over the optimizer.
+"""A mini fuzzing campaign, driven through :mod:`repro.fuzz`.
 
 "Our results ... give grounds for development, verification, and testing
-of optimizations based on a sequential model" (§1).  This example is that
-testing story: generate seeded random WHILE programs, optimize each with
-the extended pipeline, and check every run three ways —
+of optimizations based on a sequential model" (§1).  This example is the
+library entry point to that testing story — the same engine behind
+``repro fuzz`` and CI's ``fuzz-smoke`` job: seeded random WHILE programs
+and parallel compositions, cross-checked by the full differential oracle
+matrix (SEQ translation validation, concrete-vs-SC-vs-PS^na execution,
+the DRF guarantee, and the adequacy direction of Theorem 6.2).
 
-1. translation validation in SEQ (the sequential model);
-2. differential concrete execution (single-thread reference runs);
-3. differential SC exploration (all freeze resolutions).
+Run:  python examples/fuzz_campaign.py [budget] [--inject-bug]
 
-Run: python examples/fuzz_campaign.py [count]
+With ``--inject-bug``, the DSE pass's non-atomic guard is disabled and
+the campaign demonstrates the failure path: the bug is caught by
+translation validation and delta-debugged to a litmus-sized repro.
 """
 
 import sys
 import time
 
-from repro.lang.run import run_program
-from repro.litmus.generator import GeneratorConfig, ProgramGenerator
-from repro.opt import EXTENDED_PASSES, Optimizer
-from repro.psna import explore_sc
-from repro.psna.explore import behavior_leq
-from repro.seq import Limits, check_transformation
-
-CONFIG = GeneratorConfig(na_locs=("x",), atomic_locs=("y",),
-                         registers=("a", "b", "c"), values=(0, 1))
-LIMITS = Limits(max_game_states=8_000)
+from repro.fuzz import run_campaign
 
 
 def main() -> int:
-    count = int(sys.argv[1]) if len(sys.argv) > 1 else 40
-    optimizer = Optimizer(passes=EXTENDED_PASSES)
-    stats = {"changed": 0, "validated": 0, "ran": 0, "explored": 0}
+    argv = [a for a in sys.argv[1:] if not a.startswith("--")]
+    budget = int(argv[0]) if argv else 40
+    inject = "dse-unguarded" if "--inject-bug" in sys.argv else "none"
+
     start = time.perf_counter()
-
-    for seed in range(count):
-        program = ProgramGenerator(CONFIG, seed).program(length=6)
-        optimized = optimizer.optimize(program).optimized
-
-        if optimized != program:
-            stats["changed"] += 1
-
-        # 1. sequential-model certificate
-        verdict = check_transformation(program, optimized, limits=LIMITS)
-        assert verdict.valid, f"seed {seed}: SEQ validation failed!"
-        stats["validated"] += 1
-
-        # 2. concrete differential run
-        before = run_program(program, seed=seed, choose_values=(1,))
-        after = run_program(optimized, seed=seed, choose_values=(1,))
-        if not before.is_ub:
-            assert after.is_ub or after.value == before.value, seed
-        stats["ran"] += 1
-
-        # 3. SC behavior containment
-        source = explore_sc([program], values=(0, 1))
-        target = explore_sc([optimized], values=(0, 1))
-        for behavior in target.behaviors:
-            assert any(behavior_leq(behavior, candidate)
-                       for candidate in source.behaviors), seed
-        stats["explored"] += 1
-
+    result = run_campaign(seed=0, budget=budget, inject=inject,
+                          corpus_dir=None)
     elapsed = time.perf_counter() - start
-    print(f"fuzzed {count} programs in {elapsed:.1f}s")
-    print(f"  programs changed by the optimizer : {stats['changed']}")
-    print(f"  SEQ-validated                      : {stats['validated']}")
-    print(f"  concrete differential runs         : {stats['ran']}")
-    print(f"  SC behavior-containment checks     : {stats['explored']}")
-    print("no unsound optimization found")
+
+    print(result.summary())
+    print(f"[{elapsed:.1f}s]", file=sys.stderr)
+    if inject == "none":
+        if result.ok:
+            print("no unsound optimization found")
+        return 0 if result.ok else 1
+    # Injected-bug mode inverts the gate: the mutant *must* be caught.
+    if result.ok:
+        print("ERROR: campaign missed the injected bug", file=sys.stderr)
+        return 1
+    print("injected bug caught and minimized, as expected")
     return 0
 
 

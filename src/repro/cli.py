@@ -9,6 +9,7 @@ Subcommands::
     repro adequacy SOURCE TARGET   # Theorem 6.2 differential check
     repro coverage                 # which operational rules ever fired
     repro explain ...              # narrate a witness / counterexample
+    repro fuzz                     # differential fuzzing campaign / replay
 
 Each PROGRAM/SOURCE/TARGET argument is a path to a WHILE file, or inline
 WHILE source (detected when the argument is not an existing file).
@@ -24,7 +25,7 @@ Every subcommand accepts the observability flags:
 ``--profile``
     print span timings (where the wall-clock time went).
 
-``litmus``, ``adequacy``, and ``coverage`` additionally accept
+``litmus``, ``adequacy``, ``coverage``, and ``fuzz`` additionally accept
 ``--jobs N`` to fan their independent cases across a process pool
 (:mod:`repro.runner`); worker metrics merge back into the parent's
 session, and the rendered output is byte-identical to ``--jobs 1``
@@ -329,6 +330,72 @@ def _cmd_explain(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_fuzz(args: argparse.Namespace) -> int:
+    """Run a fuzz campaign, or replay one corpus entry."""
+    from . import fuzz
+
+    if args.replay is not None:
+        return _fuzz_replay(args)
+    result = fuzz.run_campaign(
+        seed=args.seed, budget=args.budget, jobs=args.jobs,
+        inject=args.inject_bug,
+        corpus_dir=None if args.no_corpus else args.corpus)
+    print(result.summary())
+    print(f"# campaign wall time: {result.elapsed_s:.1f}s", file=sys.stderr)
+    obs.event("result", command="fuzz", seed=args.seed, budget=args.budget,
+              inject=args.inject_bug, cases=result.cases,
+              failures=len(result.failures),
+              oracles=[f.oracle for f in result.failures])
+    return 0 if result.ok else 1
+
+
+def _fuzz_replay(args: argparse.Namespace) -> int:
+    from . import fuzz
+
+    try:
+        entry = fuzz.load_entry(args.replay)
+    except (OSError, ValueError) as error:
+        print(f"repro: error: cannot replay: {error}", file=sys.stderr)
+        return 2
+    outcomes = fuzz.replay(entry)
+    failed = [o for o in outcomes if o.status == "fail"]
+    for outcome in outcomes:
+        detail = f" — {outcome.detail}" if outcome.detail else ""
+        print(f"{outcome.oracle:20s} {outcome.status}{detail}")
+    for outcome in outcomes:
+        if outcome.status == "skip":
+            _warn(f"oracle {outcome.oracle!r} skipped ({outcome.detail}); "
+                  f"raise the exploration budgets to make it judge")
+    verdict = "FAIL" if failed else "pass"
+    print(f"replay {args.replay}: {verdict}")
+    if args.explain:
+        timeline = _fuzz_timeline(entry, failed)
+        print()
+        print(obs_explain.render_text(timeline))
+    obs.event("result", command="fuzz", replay=args.replay,
+              outcomes={o.oracle: o.status for o in outcomes})
+    return 1 if failed else 0
+
+
+def _fuzz_timeline(entry, failed):
+    """An explainer timeline for a replayed corpus entry.
+
+    A SEQ-refinement failure narrates the refinement-game
+    counterexample; anything else narrates a PS^na witness execution of
+    the recorded composition.
+    """
+    for outcome in failed:
+        context = outcome.context or {}
+        if context.get("counterexample") is not None:
+            return obs_explain.explain_counterexample(
+                context["source"], context["target"],
+                context["counterexample"],
+                title=f"counterexample: {entry.path} ({outcome.oracle})")
+    return obs_explain.explain_witness(
+        list(entry.threads),
+        title=f"witness: {entry.path} ({len(entry.threads)} thread(s))")
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -431,6 +498,38 @@ def build_parser() -> argparse.ArgumentParser:
                           help="fan the context library across N worker "
                                "processes")
     adequacy.set_defaults(fn=_cmd_adequacy)
+
+    from .fuzz.bugs import INJECT_CHOICES
+    from .fuzz.corpus import DEFAULT_CORPUS_DIR
+
+    fuzz_cmd = sub.add_parser(
+        "fuzz", parents=[common],
+        help="differentially fuzz the machines, checkers, and optimizer")
+    fuzz_cmd.add_argument("--seed", type=int, default=0,
+                          help="master seed of the campaign (case i runs "
+                               "with seed*1000003+i)")
+    fuzz_cmd.add_argument("--budget", type=int, default=100, metavar="N",
+                          help="number of generated cases")
+    fuzz_cmd.add_argument("--jobs", type=int, default=1, metavar="N",
+                          help="fan cases across N worker processes "
+                               "(summary is identical across values)")
+    fuzz_cmd.add_argument("--corpus", metavar="DIR",
+                          default=DEFAULT_CORPUS_DIR,
+                          help="where minimized failures are written "
+                               f"(default: {DEFAULT_CORPUS_DIR})")
+    fuzz_cmd.add_argument("--no-corpus", action="store_true",
+                          help="do not write failure repro files")
+    fuzz_cmd.add_argument("--inject-bug", choices=INJECT_CHOICES,
+                          default="none",
+                          help="swap a known-broken pass into the "
+                               "pipeline (validates the fuzzer itself)")
+    fuzz_cmd.add_argument("--replay", metavar="FILE.repro", default=None,
+                          help="re-run every oracle of one corpus entry "
+                               "instead of fuzzing")
+    fuzz_cmd.add_argument("--explain", action="store_true",
+                          help="with --replay: narrate a witness or "
+                               "counterexample timeline")
+    fuzz_cmd.set_defaults(fn=_cmd_fuzz)
 
     return parser
 

@@ -1,0 +1,59 @@
+"""Differential fuzzing of the SEQ/PS^na machines and the optimizer.
+
+The paper's claims are universally quantified over programs; the
+hand-written litmus catalog samples that space 64 times.  This package
+samples it millions of times: seeded random WHILE programs and program
+pairs (:mod:`.gen`), cross-checked by differential oracles
+(:mod:`.oracles`) — SEQ refinement vs. PS^na exploration vs. concrete
+interpretation, optimizer output vs. translation validation, and the
+adequacy direction of Theorem 6.2 — with every failure minimized by a
+delta-debugging shrinker (:mod:`.shrink`) into a litmus-sized repro
+file committed under ``corpus/regressions/`` (:mod:`.corpus`) and
+replayed by the tier-1 suite forever.
+
+Entry points: ``repro fuzz`` on the command line, or::
+
+    from repro.fuzz import run_campaign
+    result = run_campaign(seed=0, budget=200)
+    print(result.summary())
+"""
+
+from .bugs import INJECT_CHOICES, INJECTABLE_BUGS, passes_with_injection
+from .campaign import (
+    CampaignResult,
+    FuzzFailure,
+    fuzz_case_worker,
+    run_campaign,
+)
+from .corpus import (
+    DEFAULT_CORPUS_DIR,
+    ReproEntry,
+    iter_corpus,
+    load_entry,
+    parse_entry,
+    render_entry,
+    replay,
+    write_entry,
+)
+from .gen import (
+    KINDS,
+    FuzzCase,
+    FuzzConfig,
+    build_case,
+    case_seed,
+    kind_of,
+    plan_campaign,
+)
+from .oracles import ORACLE_NAMES, OracleOutcome, first_failure, run_oracles
+from .shrink import shrink_composition, shrink_program, statement_count
+
+__all__ = [
+    "INJECT_CHOICES", "INJECTABLE_BUGS", "passes_with_injection",
+    "CampaignResult", "FuzzFailure", "fuzz_case_worker", "run_campaign",
+    "DEFAULT_CORPUS_DIR", "ReproEntry", "iter_corpus", "load_entry",
+    "parse_entry", "render_entry", "replay", "write_entry",
+    "KINDS", "FuzzCase", "FuzzConfig", "build_case", "case_seed",
+    "kind_of", "plan_campaign",
+    "ORACLE_NAMES", "OracleOutcome", "first_failure", "run_oracles",
+    "shrink_composition", "shrink_program", "statement_count",
+]

@@ -1,0 +1,127 @@
+"""Intentionally broken optimizer passes (fuzzer self-validation).
+
+A differential fuzzer that never finds anything is indistinguishable
+from one that checks nothing.  These mutated passes re-introduce the
+exact soundness conditions the paper's passes rely on, so injecting one
+into the pipeline must make the campaign report failures — that is what
+the tier-1 suite and the CI smoke job assert.
+
+``dse-unguarded``
+    DSE with the non-atomic guard disabled: it also deletes *atomic*
+    stores whose location is later overwritten.  Unsound because atomic
+    writes are observable events in SEQ (and release writes synchronize)
+    — Fig 8b only ever deletes non-atomic stores.
+
+``slf-blind``
+    Store-to-load forwarding that forwards across an intervening store
+    to the same location, reading back a stale value.  Unsound even
+    sequentially.
+"""
+
+from __future__ import annotations
+
+from ..lang.ast import (
+    Assign,
+    If,
+    Load,
+    Rmw,
+    Seq,
+    Skip,
+    Stmt,
+    Store,
+    While,
+)
+from ..lang.events import NA
+from ..opt.absval import expr_may_fail
+from ..opt.dse import DsePass, DseState, DseToken
+from ..opt.pipeline import DEFAULT_PASSES, EXTENDED_PASSES, Pass
+
+
+class _UnguardedDsePass(DsePass):
+    """DSE with the non-atomic guard disabled on both sides.
+
+    The stock pass is mode-aware twice over: only *non-atomic* stores
+    mark a location as overwritten-ahead (transfer), and only
+    non-atomic stores are ever deleted (rewrite).  This mutant treats
+    every store like a non-atomic one, so ``y_rlx := 1; y_rlx := 0``
+    deletes the first relaxed store — unsound, because intermediate
+    atomic writes are observable SEQ events (and release writes
+    synchronize).
+    """
+
+    def transfer(self, stmt: Stmt, state) -> "DseState":
+        if isinstance(stmt, Store):
+            return state.set(stmt.loc, DseToken.BEFORE)
+        return super().transfer(stmt, state)
+
+    def rewrite(self, stmt: Stmt, state) -> Stmt:
+        if (isinstance(stmt, Store)
+                and state.get(stmt.loc) in (DseToken.BEFORE, DseToken.AFTER)
+                and not expr_may_fail(stmt.expr)):
+            return Skip()
+        return stmt
+
+
+def unguarded_dse_pass(stmt: Stmt) -> Stmt:
+    return _UnguardedDsePass().run(stmt)
+
+
+def _blind_slf(stmt: Stmt) -> tuple[Stmt, dict[str, Stmt]]:
+    """Forward the *first* store's expression to every later non-atomic
+    load of the location, ignoring intervening stores (the bug)."""
+
+    def rewrite(node: Stmt, known: dict) -> Stmt:
+        if isinstance(node, Seq):
+            out = []
+            for sub in node.stmts:
+                out.append(rewrite(sub, known))
+            return Seq(tuple(out))
+        if isinstance(node, Store) and node.mode is NA:
+            # The bug: only the first store is remembered; later stores
+            # do not invalidate (or update) the forwarding table.
+            known.setdefault(node.loc, node.expr)
+            return node
+        if isinstance(node, Load) and node.mode is NA and node.loc in known:
+            return Assign(node.reg, known[node.loc])
+        if isinstance(node, (If, While)):
+            # Branches may or may not run: a sound pass would merge; the
+            # blind one just stops forwarding into control flow.
+            return node
+        if isinstance(node, Rmw):
+            return node
+        return node
+
+    table: dict[str, Stmt] = {}
+    return rewrite(stmt, table), table
+
+
+def blind_slf_pass(stmt: Stmt) -> Stmt:
+    rewritten, _ = _blind_slf(stmt)
+    return rewritten
+
+
+#: Injectable bug registry: name -> (pass name to replace, broken pass).
+INJECTABLE_BUGS: dict[str, tuple[str, Pass]] = {
+    "dse-unguarded": ("dse", unguarded_dse_pass),
+    "slf-blind": ("slf", blind_slf_pass),
+}
+
+#: CLI choices (``none`` means the stock pipeline).
+INJECT_CHOICES: tuple[str, ...] = ("none",) + tuple(INJECTABLE_BUGS)
+
+
+def passes_with_injection(inject: str,
+                          extended: bool = True,
+                          ) -> tuple[tuple[str, Pass], ...]:
+    """The optimizer pipeline with ``inject`` swapped in (if any)."""
+    base = EXTENDED_PASSES if extended else DEFAULT_PASSES
+    if inject in ("none", "", None):
+        return base
+    try:
+        victim, broken = INJECTABLE_BUGS[inject]
+    except KeyError:
+        raise ValueError(
+            f"unknown injectable bug {inject!r}; "
+            f"choices: {', '.join(INJECT_CHOICES)}") from None
+    return tuple((name, broken if name == victim else fn)
+                 for name, fn in base)

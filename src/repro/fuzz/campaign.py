@@ -1,0 +1,206 @@
+"""The fuzz campaign driver: plan, sweep, shrink, record.
+
+A campaign is ``budget`` cases planned upfront (:func:`plan_campaign`),
+checked by :func:`fuzz_case_worker` — serially or across a process pool
+via :mod:`repro.runner`, with worker observability merging back into
+the parent session either way — and post-processed in the parent:
+every failing case is minimized by the delta-debugging shrinker and
+written into the regression corpus.
+
+The rendered summary is a pure function of ``(seed, budget, inject,
+config)``: results come back in plan order, all iteration is over
+sorted data, and no timing appears on stdout.  Two runs of the same
+command therefore produce byte-identical summaries, which is itself a
+CI-checked property (the fuzzer must be reproducible before its
+failures are worth committing).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Optional
+
+from .. import obs, runner
+from ..lang.ast import Stmt
+from ..lang.parser import parse
+from ..lang.pretty import to_source
+from .corpus import ReproEntry, write_entry
+from .gen import (
+    KINDS,
+    FuzzCase,
+    FuzzConfig,
+    build_case,
+    plan_campaign,
+)
+from .oracles import first_failure, run_oracles
+from .shrink import shrink_composition, statement_count
+
+
+@dataclass
+class FuzzFailure:
+    """One failing case, before and after minimization."""
+
+    index: int
+    seed: int
+    kind: str
+    oracle: str
+    detail: str
+    threads: tuple[Stmt, ...]
+    minimized: tuple[Stmt, ...] = ()
+    shrink_checks: int = 0
+    corpus_path: str = ""
+
+    @property
+    def minimized_statements(self) -> int:
+        return sum(statement_count(thread) for thread in self.minimized)
+
+
+@dataclass
+class CampaignResult:
+    """Everything a campaign produced, timing kept off the summary."""
+
+    seed: int
+    budget: int
+    inject: str
+    cases: int = 0
+    kind_cases: dict[str, int] = field(default_factory=dict)
+    kind_failures: dict[str, int] = field(default_factory=dict)
+    kind_skips: dict[str, int] = field(default_factory=dict)
+    failures: list[FuzzFailure] = field(default_factory=list)
+    elapsed_s: float = 0.0
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures
+
+    def summary(self) -> str:
+        """The deterministic campaign report (no timing, sorted rows)."""
+        lines = [f"fuzz campaign: seed={self.seed} budget={self.budget} "
+                 f"inject={self.inject}",
+                 f"{'kind':12s} {'cases':>6s} {'failures':>9s} "
+                 f"{'skipped':>8s}"]
+        for kind in KINDS:
+            if not self.kind_cases.get(kind):
+                continue
+            lines.append(f"{kind:12s} {self.kind_cases[kind]:>6d} "
+                         f"{self.kind_failures.get(kind, 0):>9d} "
+                         f"{self.kind_skips.get(kind, 0):>8d}")
+        lines.append(f"total: {self.cases} cases, "
+                     f"{len(self.failures)} failure(s)")
+        for failure in self.failures:
+            lines.append("")
+            lines.append(f"FAILURE {failure.oracle} (kind={failure.kind}, "
+                         f"case #{failure.index}, seed={failure.seed})")
+            lines.append(f"  {failure.detail}")
+            lines.append(f"  minimized to {failure.minimized_statements} "
+                         f"statement(s)"
+                         + (f" -> {failure.corpus_path}"
+                            if failure.corpus_path else ""))
+            for index, thread in enumerate(failure.minimized):
+                label = (f"  --- thread {index} ---"
+                         if len(failure.minimized) > 1
+                         else "  --- program ---")
+                lines.append(label)
+                for line in to_source(thread).splitlines():
+                    lines.append(f"  {line}")
+        return "\n".join(lines)
+
+
+def fuzz_case_worker(descriptor) -> dict:
+    """Check one planned case; module-level so spawn pools can pickle it.
+
+    The descriptor is ``(index, seed, kind, inject, config)``.  The
+    payload is a plain dict (sources as text) so it crosses the process
+    boundary without dragging AST or verdict objects along.
+    """
+    index, seed, kind, inject, config = descriptor
+    case = build_case(index, seed, kind, config, inject)
+    started = time.perf_counter()
+    outcomes = run_oracles(case, config)
+    failure = first_failure(outcomes)
+    return {
+        "index": index,
+        "seed": seed,
+        "kind": kind,
+        "status": ("fail" if failure is not None else
+                   "skip" if any(o.status == "skip" for o in outcomes)
+                   else "pass"),
+        "oracle": failure.oracle if failure is not None else "",
+        "detail": failure.detail if failure is not None else "",
+        "skipped": sorted(o.oracle for o in outcomes
+                          if o.status == "skip"),
+        "threads": [to_source(thread) for thread in case.threads],
+        "time_s": time.perf_counter() - started,
+    }
+
+
+def _still_fails_factory(kind: str, inject: str, config: FuzzConfig,
+                         oracle: str):
+    """A shrink predicate: does ``oracle`` still fail on the candidate?"""
+
+    def still_fails(threads: tuple[Stmt, ...]) -> bool:
+        case = FuzzCase(0, 0, kind, tuple(threads), inject)
+        outcomes = run_oracles(case, config)
+        return any(outcome.failed and outcome.oracle == oracle
+                   for outcome in outcomes)
+
+    return still_fails
+
+
+def run_campaign(seed: int, budget: int, jobs: int = 1,
+                 inject: str = "none",
+                 config: Optional[FuzzConfig] = None,
+                 corpus_dir: Optional[str] = None) -> CampaignResult:
+    """Run a full campaign; see the module docstring for the phases."""
+    if config is None:
+        config = FuzzConfig()
+    result = CampaignResult(seed=seed, budget=budget, inject=inject)
+    started = time.perf_counter()
+    plan = plan_campaign(seed, budget, config, inject)
+    with obs.span("fuzz.campaign", budget=budget, inject=inject):
+        sweep = runner.run_sweep(fuzz_case_worker, plan, jobs=jobs)
+        for payload, _counters in sweep:
+            kind = payload["kind"]
+            result.cases += 1
+            result.kind_cases[kind] = result.kind_cases.get(kind, 0) + 1
+            if payload["status"] == "skip":
+                result.kind_skips[kind] = (
+                    result.kind_skips.get(kind, 0) + 1)
+            if payload["status"] != "fail":
+                continue
+            result.kind_failures[kind] = (
+                result.kind_failures.get(kind, 0) + 1)
+            failure = FuzzFailure(
+                index=payload["index"], seed=payload["seed"], kind=kind,
+                oracle=payload["oracle"], detail=payload["detail"],
+                threads=tuple(parse(text) for text in payload["threads"]))
+            result.failures.append(failure)
+        for failure in result.failures:
+            _shrink_and_record(failure, inject, config, corpus_dir)
+    result.elapsed_s = time.perf_counter() - started
+    registry = obs.metrics()
+    if registry is not None:
+        registry.inc("fuzz.campaign.runs")
+        registry.inc("fuzz.campaign.cases", result.cases)
+        registry.inc("fuzz.campaign.failures", len(result.failures))
+        for kind, count in sorted(result.kind_cases.items()):
+            registry.inc(f"fuzz.kind.{kind}.cases", count)
+    obs.event("fuzz.campaign", seed=seed, budget=budget, inject=inject,
+              cases=result.cases, failures=len(result.failures))
+    return result
+
+
+def _shrink_and_record(failure: FuzzFailure, inject: str,
+                       config: FuzzConfig,
+                       corpus_dir: Optional[str]) -> None:
+    still_fails = _still_fails_factory(failure.kind, inject, config,
+                                       failure.oracle)
+    failure.minimized, failure.shrink_checks = shrink_composition(
+        failure.threads, still_fails, max_checks=config.shrink_max_checks)
+    if corpus_dir:
+        entry = ReproEntry(
+            kind=failure.kind, seed=failure.seed,
+            threads=failure.minimized, inject=inject,
+            oracle=failure.oracle, detail=failure.detail)
+        failure.corpus_path = write_entry(corpus_dir, entry)

@@ -1,0 +1,144 @@
+"""The regression corpus: self-contained repro files, replayed forever.
+
+When a campaign finds a failure it writes the *minimized* case as a
+``.repro`` file.  Files found under ``corpus/regressions/`` are replayed
+by the tier-1 suite (and by ``repro fuzz --replay``): a replay re-runs
+every oracle of the entry's kind and expects all of them to pass — so a
+freshly-committed failure keeps CI red until the bug is fixed, and then
+guards against its regression forever.
+
+Format (``repro-fuzz/1``)::
+
+    # repro-fuzz/1
+    # kind: concurrent
+    # seed: 17000051
+    # inject: none
+    # oracle: conc-sc-in-psna
+    # detail: SC behavior ... has no PS^na counterpart
+    === thread 0
+    r := y_rlx;
+    return r;
+    === thread 1
+    y_rlx := 1;
+    return 0;
+
+Only ``kind``, ``seed`` and the thread sources are load-bearing —
+``oracle``/``detail`` document what originally failed, and ``inject``
+(non-``none`` only in scratch corpora used to validate the fuzzer
+itself) selects the bug-injected pipeline on replay.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+from typing import Iterator, Optional
+
+from ..lang.ast import Stmt
+from ..lang.parser import parse
+from ..lang.pretty import to_source
+from .gen import KINDS, FuzzCase, FuzzConfig
+from .oracles import OracleOutcome, run_oracles
+
+SCHEMA = "repro-fuzz/1"
+
+#: Default committed corpus location, relative to the repo root.
+DEFAULT_CORPUS_DIR = os.path.join("corpus", "regressions")
+
+
+@dataclass(frozen=True)
+class ReproEntry:
+    """One parsed ``.repro`` file."""
+
+    kind: str
+    seed: int
+    threads: tuple[Stmt, ...]
+    inject: str = "none"
+    oracle: str = ""
+    detail: str = ""
+    path: str = ""
+
+    def case(self) -> FuzzCase:
+        return FuzzCase(0, self.seed, self.kind, self.threads, self.inject)
+
+
+def render_entry(entry: ReproEntry) -> str:
+    lines = [f"# {SCHEMA}",
+             f"# kind: {entry.kind}",
+             f"# seed: {entry.seed}",
+             f"# inject: {entry.inject}"]
+    if entry.oracle:
+        lines.append(f"# oracle: {entry.oracle}")
+    if entry.detail:
+        lines.append(f"# detail: {entry.detail.splitlines()[0]}")
+    for index, thread in enumerate(entry.threads):
+        lines.append(f"=== thread {index}")
+        lines.append(to_source(thread))
+    return "\n".join(lines) + "\n"
+
+
+def parse_entry(text: str, path: str = "") -> ReproEntry:
+    meta: dict[str, str] = {}
+    sources: list[list[str]] = []
+    lines = text.splitlines()
+    if not lines or SCHEMA not in lines[0]:
+        raise ValueError(
+            f"{path or '<repro>'}: not a {SCHEMA} file (bad header)")
+    for line in lines[1:]:
+        if line.startswith("=== thread"):
+            sources.append([])
+        elif sources:
+            sources[-1].append(line)
+        elif line.startswith("#"):
+            body = line.lstrip("#").strip()
+            if ":" in body:
+                key, _, value = body.partition(":")
+                meta[key.strip()] = value.strip()
+    kind = meta.get("kind", "")
+    if kind not in KINDS:
+        raise ValueError(f"{path or '<repro>'}: unknown kind {kind!r}")
+    if not sources:
+        raise ValueError(f"{path or '<repro>'}: no thread sources")
+    threads = tuple(parse("\n".join(chunk)) for chunk in sources)
+    return ReproEntry(
+        kind=kind,
+        seed=int(meta.get("seed", "0")),
+        threads=threads,
+        inject=meta.get("inject", "none"),
+        oracle=meta.get("oracle", ""),
+        detail=meta.get("detail", ""),
+        path=path)
+
+
+def load_entry(path: str) -> ReproEntry:
+    with open(path) as handle:
+        return parse_entry(handle.read(), path)
+
+
+def entry_name(entry: ReproEntry) -> str:
+    oracle = entry.oracle or entry.kind
+    return f"{oracle}-seed{entry.seed}.repro"
+
+
+def write_entry(directory: str, entry: ReproEntry) -> str:
+    """Write ``entry`` into ``directory`` (created if missing)."""
+    os.makedirs(directory, exist_ok=True)
+    path = os.path.join(directory, entry_name(entry))
+    with open(path, "w") as handle:
+        handle.write(render_entry(entry))
+    return path
+
+
+def iter_corpus(directory: str = DEFAULT_CORPUS_DIR) -> Iterator[str]:
+    """Paths of every ``.repro`` file under ``directory``, sorted."""
+    if not os.path.isdir(directory):
+        return iter(())
+    return iter(sorted(
+        os.path.join(directory, name)
+        for name in os.listdir(directory) if name.endswith(".repro")))
+
+
+def replay(entry: ReproEntry,
+           config: Optional[FuzzConfig] = None) -> list[OracleOutcome]:
+    """Re-run every oracle of the entry's kind on its recorded programs."""
+    return run_oracles(entry.case(), config)

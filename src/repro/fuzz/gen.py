@@ -1,0 +1,161 @@
+"""Seeded generation of fuzz cases.
+
+A *fuzz case* is a small WHILE program (or parallel composition of
+programs) plus the descriptor needed to rebuild it anywhere: a case
+kind, a case seed, and the generator configuration.  Cases are a pure
+function of ``(kind, seed, config)`` — the worker that checks a case in
+a subprocess regenerates it from the descriptor rather than pickling
+ASTs, and a regression file only needs to record source text to be
+self-contained.
+
+Seed policy: a campaign with master seed ``s`` assigns case ``i`` the
+case seed ``s * 1_000_003 + i`` (a fixed odd multiplier so campaigns
+with nearby master seeds do not share case streams).  Everything
+downstream — program shape, per-thread register streams, the concrete
+executor's freeze choices — derives from the case seed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..lang.ast import Stmt
+from ..litmus.generator import GeneratorConfig, ProgramGenerator
+
+#: Case kinds, in the order the campaign cycles through them.
+#: ``opt`` and ``exec`` are cheap and get double weight.
+KIND_CYCLE: tuple[str, ...] = (
+    "opt", "exec", "concurrent", "adequacy", "opt", "exec")
+
+KINDS: tuple[str, ...] = ("opt", "exec", "concurrent", "adequacy")
+
+#: Fixed odd multiplier of the seed policy (see module docstring).
+SEED_STRIDE = 1_000_003
+
+
+@dataclass(frozen=True)
+class FuzzConfig:
+    """Knobs of the generated-program universe, all picklable primitives.
+
+    The defaults keep every exploration a fuzz oracle runs exhaustive
+    (value universe {0, 1}, short loop-free concurrent threads), so a
+    ``skip`` outcome — an oracle declining to judge a truncated search —
+    is rare rather than routine.
+    """
+
+    na_locs: tuple[str, ...] = ("x", "w")
+    atomic_locs: tuple[str, ...] = ("y", "z")
+    registers: tuple[str, ...] = ("a", "b", "c")
+    values: tuple[int, ...] = (0, 1)
+    opt_length: int = 6
+    exec_length: int = 5
+    concurrent_threads: int = 2
+    concurrent_length: int = 3
+    adequacy_length: int = 4
+    loop_depth: int = 1
+    atomic_probability: float = 0.3
+    # Oracle budgets.  The game budget is deliberately small: refinement
+    # games on random loopy programs grow superlinearly, and a truncated
+    # game is a loud ``skip``, not a silent pass — throughput across many
+    # seeds buys more evidence than depth on a few.
+    max_game_states: int = 2_500
+    sc_max_states: int = 40_000
+    psna_max_states: int = 40_000
+    shrink_max_checks: int = 400
+
+
+@dataclass(frozen=True)
+class FuzzCase:
+    """One generated case: descriptor fields plus the rebuilt programs."""
+
+    index: int
+    seed: int
+    kind: str
+    threads: tuple[Stmt, ...]
+    inject: str = "none"
+
+    @property
+    def program(self) -> Stmt:
+        """The single program of a one-program kind (opt/exec/adequacy)."""
+        assert len(self.threads) == 1, self.kind
+        return self.threads[0]
+
+
+def case_seed(master_seed: int, index: int) -> int:
+    """The seed policy: case ``index`` of a campaign with ``master_seed``."""
+    return master_seed * SEED_STRIDE + index
+
+
+def kind_of(index: int) -> str:
+    """The kind the campaign assigns to case ``index`` (fixed cycle)."""
+    return KIND_CYCLE[index % len(KIND_CYCLE)]
+
+
+def _generator(config: FuzzConfig, seed: int,
+               concurrent: bool) -> ProgramGenerator:
+    """A :class:`ProgramGenerator` for one case.
+
+    Concurrent and adequacy kinds are loop- and branch-free: their
+    oracles explore *compositions* exhaustively, and a single bounded
+    loop per thread already multiplies the interleaving space past the
+    point where every case stays exhaustive.
+    """
+    gen_config = GeneratorConfig(
+        na_locs=config.na_locs,
+        atomic_locs=config.atomic_locs,
+        registers=config.registers,
+        values=config.values,
+        max_depth=0 if concurrent else config.loop_depth,
+        loop_probability=0.0 if concurrent else 0.15,
+        branch_probability=0.0 if concurrent else 0.25,
+        atomic_probability=(0.5 if concurrent
+                            else config.atomic_probability))
+    return ProgramGenerator(gen_config, seed)
+
+
+def build_case(index: int, seed: int, kind: str,
+               config: Optional[FuzzConfig] = None,
+               inject: str = "none") -> FuzzCase:
+    """Rebuild the case for a descriptor (deterministic)."""
+    if config is None:
+        config = FuzzConfig()
+    if kind == "opt":
+        program = _generator(config, seed, False).program(config.opt_length)
+        return FuzzCase(index, seed, kind, (program,), inject)
+    if kind == "exec":
+        program = _generator(config, seed, False).program(config.exec_length)
+        return FuzzCase(index, seed, kind, (program,), inject)
+    if kind == "concurrent":
+        generator = _generator(config, seed, True)
+        # Every 5th concurrent case gets a third thread but shorter
+        # programs: interleaving count is exponential in total length.
+        if seed % 5 == 0:
+            count = config.concurrent_threads + 1
+            length = max(2, config.concurrent_length - 1)
+        else:
+            count = config.concurrent_threads
+            length = config.concurrent_length
+        threads = generator.threads(count, length=length)
+        return FuzzCase(index, seed, kind, threads, inject)
+    if kind == "adequacy":
+        program = _generator(config, seed, True).program(
+            config.adequacy_length)
+        return FuzzCase(index, seed, kind, (program,), inject)
+    raise ValueError(f"unknown fuzz case kind {kind!r}")
+
+
+def plan_campaign(master_seed: int, budget: int,
+                  config: Optional[FuzzConfig] = None,
+                  inject: str = "none") -> list[tuple]:
+    """The campaign's case descriptors, in order.
+
+    Descriptors are plain picklable tuples ``(index, seed, kind,
+    inject, config)`` — exactly what :func:`repro.runner.run_sweep`
+    fans across worker processes.
+    """
+    if config is None:
+        config = FuzzConfig()
+    return [(index, case_seed(master_seed, index), kind_of(index),
+             inject, config)
+            for index in range(budget)]

@@ -1,0 +1,322 @@
+"""Differential oracles for generated fuzz cases.
+
+Each oracle cross-checks two independent implementations on the same
+case and reports one of three outcomes:
+
+* ``pass`` — the implementations agree (within ``⊑``);
+* ``fail`` — a genuine disagreement, with enough detail to reproduce;
+* ``skip`` — a bounded exploration truncated, so no judgement is made
+  (loud in the campaign summary; a fuzzer that silently skips is a
+  fuzzer that silently checks nothing).
+
+The oracle matrix, by case kind:
+
+==============  =====================================================
+kind            oracles
+==============  =====================================================
+``opt``         ``opt-seq-validate`` — the (possibly bug-injected)
+                pipeline's output must pass ``check_transformation``;
+                ``opt-concrete-diff`` — seeded concrete runs of source
+                and optimized program must agree on the return value.
+``exec``        ``exec-interp-vs-sc`` — each seeded concrete run's
+                outcome must appear among the SC behaviors;
+                ``exec-sc-vs-psna`` — SC behaviors must all be
+                reproducible by the (promise-free) PS^na machine.
+``concurrent``  ``conc-sc-in-psna`` — every SC interleaving behavior
+                of the composition is a PS^na behavior;
+                ``conc-drf`` — if no SC execution races, the PS^na
+                behaviors (promises on) must not exceed the SC ones
+                (the empirical DRF guarantee of §5).
+``adequacy``    ``adequacy`` — Theorem 6.2 direction on the pair
+                (program, optimized program): SEQ-valid must imply
+                PS^na refinement under the standard context library.
+==============  =====================================================
+
+All oracles are pure functions of the case and the campaign config, so
+the shrinker can re-run them on candidate reductions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+from .. import obs
+from ..adequacy import check_adequacy
+from ..lang.ast import Stmt
+from ..lang.run import run_program
+from ..psna import PsConfig, explore, behavior_leq, explore_sc
+from ..psna.explore import PsBehavior, PsBottom
+from ..seq import check_transformation
+from ..seq.refinement import Limits
+from .bugs import passes_with_injection
+from .gen import FuzzCase, FuzzConfig
+
+#: Concrete-run freeze schedules probed per case (seed offsets).
+_RUN_PROBES: tuple[int, ...] = (0, 1, 2)
+
+
+@dataclass(frozen=True)
+class OracleOutcome:
+    """One oracle's judgement on one case."""
+
+    oracle: str
+    status: str                      # "pass" | "fail" | "skip"
+    detail: str = ""
+    #: Checker payload for the explainer (SEQ counterexample, pair, ...).
+    context: Optional[dict] = None
+
+    @property
+    def failed(self) -> bool:
+        return self.status == "fail"
+
+
+def _pass(oracle: str) -> OracleOutcome:
+    return OracleOutcome(oracle, "pass")
+
+
+def _skip(oracle: str, why: str) -> OracleOutcome:
+    return OracleOutcome(oracle, "skip", why)
+
+
+def _fail(oracle: str, detail: str,
+          context: Optional[dict] = None) -> OracleOutcome:
+    return OracleOutcome(oracle, "fail", detail, context)
+
+
+def _behavior_repr(behavior) -> str:
+    return repr(behavior)
+
+
+def _optimize(program: Stmt, inject: str) -> Stmt:
+    from ..opt import Optimizer
+
+    passes = passes_with_injection(inject)
+    return Optimizer(passes=passes).optimize(program).optimized
+
+
+# ---------------------------------------------------------------------------
+# opt: the optimizer pipeline as the system under test
+# ---------------------------------------------------------------------------
+
+
+def _oracle_opt(case: FuzzCase, config: FuzzConfig) -> list[OracleOutcome]:
+    program = case.program
+    optimized = _optimize(program, case.inject)
+    outcomes: list[OracleOutcome] = []
+
+    limits = Limits(max_game_states=config.max_game_states)
+    verdict = check_transformation(program, optimized, limits=limits)
+    if not verdict.valid:
+        cex = (verdict.advanced.counterexample if verdict.advanced is not None
+               else verdict.simple.counterexample)
+        reason = cex.reason if cex is not None else "no refinement notion"
+        outcomes.append(_fail(
+            "opt-seq-validate",
+            f"optimizer output does not refine its input: {reason}",
+            {"source": program, "target": optimized,
+             "counterexample": cex}))
+    elif not verdict.complete:
+        outcomes.append(_skip(
+            "opt-seq-validate",
+            "refinement game truncated: "
+            + ",".join(verdict.incomplete_reasons)))
+    else:
+        outcomes.append(_pass("opt-seq-validate"))
+
+    for probe in _RUN_PROBES:
+        before = run_program(program, seed=case.seed + probe,
+                             choose_values=(1,))
+        after = run_program(optimized, seed=case.seed + probe,
+                            choose_values=(1,))
+        if before.is_ub:
+            continue  # source UB matches anything
+        if after.is_ub or after.value != before.value:
+            got = "⊥" if after.is_ub else repr(after.value)
+            outcomes.append(_fail(
+                "opt-concrete-diff",
+                f"concrete run diverged (probe {probe}): source returned "
+                f"{before.value!r}, optimized returned {got}",
+                {"source": program, "target": optimized}))
+            break
+    else:
+        outcomes.append(_pass("opt-concrete-diff"))
+    return outcomes
+
+
+# ---------------------------------------------------------------------------
+# exec: three single-threaded executors against each other
+# ---------------------------------------------------------------------------
+
+
+def _oracle_exec(case: FuzzCase, config: FuzzConfig) -> list[OracleOutcome]:
+    program = case.program
+    outcomes: list[OracleOutcome] = []
+    sc = explore_sc([program], values=config.values,
+                    max_states=config.sc_max_states)
+    if not sc.complete:
+        return [_skip("exec-interp-vs-sc",
+                      f"SC exploration truncated: {sc.incomplete_reason}"),
+                _skip("exec-sc-vs-psna",
+                      f"SC exploration truncated: {sc.incomplete_reason}")]
+
+    diverged = False
+    for probe in _RUN_PROBES:
+        result = run_program(program, seed=case.seed + probe,
+                             choose_values=(0, 1))
+        observed = (PsBottom(tuple(("print", v) for v in result.prints))
+                    if result.is_ub else
+                    PsBehavior((result.value,),
+                               tuple(("print", v) for v in result.prints)))
+        if not any(behavior_leq(observed, candidate)
+                   for candidate in sc.behaviors):
+            outcomes.append(_fail(
+                "exec-interp-vs-sc",
+                f"concrete outcome {observed!r} (probe {probe}) is not an "
+                f"SC behavior",
+                {"threads": case.threads}))
+            diverged = True
+            break
+    if not diverged:
+        outcomes.append(_pass("exec-interp-vs-sc"))
+
+    ps_config = PsConfig(values=config.values, allow_promises=False,
+                         promise_budget=0,
+                         max_states=config.psna_max_states)
+    ps = explore([program], ps_config)
+    if not ps.complete:
+        outcomes.append(_skip(
+            "exec-sc-vs-psna",
+            f"PS^na exploration truncated: {ps.incomplete_reason}"))
+        return outcomes
+    for behavior in sorted(sc.behaviors, key=repr):
+        if not any(behavior_leq(behavior, candidate)
+                   for candidate in ps.behaviors):
+            outcomes.append(_fail(
+                "exec-sc-vs-psna",
+                f"SC behavior {behavior!r} is not reproducible in PS^na",
+                {"threads": case.threads}))
+            return outcomes
+    outcomes.append(_pass("exec-sc-vs-psna"))
+    return outcomes
+
+
+# ---------------------------------------------------------------------------
+# concurrent: SC vs PS^na on parallel compositions
+# ---------------------------------------------------------------------------
+
+
+def _oracle_concurrent(case: FuzzCase,
+                       config: FuzzConfig) -> list[OracleOutcome]:
+    threads = list(case.threads)
+    outcomes: list[OracleOutcome] = []
+    sc = explore_sc(threads, values=config.values,
+                    max_states=config.sc_max_states)
+    ps_config = PsConfig(values=config.values, promise_budget=1,
+                         max_states=config.psna_max_states)
+    ps = explore(threads, ps_config)
+
+    if not sc.complete or not ps.complete:
+        why = (f"SC complete={sc.complete}, PS^na complete={ps.complete}")
+        return [_skip("conc-sc-in-psna", why), _skip("conc-drf", why)]
+
+    for behavior in sorted(sc.behaviors, key=repr):
+        if not any(behavior_leq(behavior, candidate)
+                   for candidate in ps.behaviors):
+            outcomes.append(_fail(
+                "conc-sc-in-psna",
+                f"SC behavior {behavior!r} has no PS^na counterpart",
+                {"threads": case.threads}))
+            break
+    else:
+        outcomes.append(_pass("conc-sc-in-psna"))
+
+    if sc.racy:
+        outcomes.append(_pass("conc-drf"))  # guarantee predicates race-free
+        return outcomes
+    sc_returns = sc.returns()
+    for behavior in sorted(ps.behaviors, key=repr):
+        if isinstance(behavior, PsBottom):
+            outcomes.append(_fail(
+                "conc-drf",
+                "race-free composition reaches ⊥ under PS^na",
+                {"threads": case.threads}))
+            return outcomes
+        if behavior.returns not in sc_returns:
+            outcomes.append(_fail(
+                "conc-drf",
+                f"race-free composition shows non-SC behavior "
+                f"{behavior!r} under PS^na",
+                {"threads": case.threads}))
+            return outcomes
+    outcomes.append(_pass("conc-drf"))
+    return outcomes
+
+
+# ---------------------------------------------------------------------------
+# adequacy: Theorem 6.2 direction on (program, optimized) pairs
+# ---------------------------------------------------------------------------
+
+
+def _oracle_adequacy(case: FuzzCase,
+                     config: FuzzConfig) -> list[OracleOutcome]:
+    source = case.program
+    target = _optimize(source, case.inject)
+    ps_config = PsConfig(values=config.values, allow_promises=False,
+                         promise_budget=0,
+                         max_states=config.psna_max_states)
+    report = check_adequacy(source, target, config=ps_config)
+    if not report.seq.complete:
+        return [_skip("adequacy", "SEQ verdict truncated: "
+                      + ",".join(report.seq.incomplete_reasons))]
+    incomplete = [result.context.name for result in report.contexts
+                  if not result.verdict.complete]
+    if incomplete:
+        return [_skip("adequacy", "PS^na exploration truncated under "
+                      f"contexts: {', '.join(sorted(incomplete))}")]
+    if not report.adequate:
+        witness = report.witnessed
+        name = witness.name if witness is not None else "?"
+        return [_fail(
+            "adequacy",
+            f"SEQ-valid pair violates PS^na refinement under context "
+            f"{name!r}",
+            {"source": source, "target": target})]
+    return [_pass("adequacy")]
+
+
+_ORACLES: dict[str, Callable[[FuzzCase, FuzzConfig], list[OracleOutcome]]] = {
+    "opt": _oracle_opt,
+    "exec": _oracle_exec,
+    "concurrent": _oracle_concurrent,
+    "adequacy": _oracle_adequacy,
+}
+
+#: Every oracle name, for summaries and schema validation.
+ORACLE_NAMES: tuple[str, ...] = (
+    "opt-seq-validate", "opt-concrete-diff",
+    "exec-interp-vs-sc", "exec-sc-vs-psna",
+    "conc-sc-in-psna", "conc-drf",
+    "adequacy",
+)
+
+
+def run_oracles(case: FuzzCase,
+                config: Optional[FuzzConfig] = None) -> list[OracleOutcome]:
+    """Run every oracle of the case's kind; never raises on judgement."""
+    if config is None:
+        config = FuzzConfig()
+    with obs.span("fuzz.case", kind=case.kind, index=case.index):
+        outcomes = _ORACLES[case.kind](case, config)
+    registry = obs.metrics()
+    if registry is not None:
+        for outcome in outcomes:
+            registry.inc(f"fuzz.oracle.{outcome.oracle}.{outcome.status}")
+    return outcomes
+
+
+def first_failure(outcomes: list[OracleOutcome]) -> Optional[OracleOutcome]:
+    for outcome in outcomes:
+        if outcome.failed:
+            return outcome
+    return None

@@ -74,6 +74,23 @@ class ProgramGenerator:
         stmts.append(Return(self._pure_expr()))
         return Seq.of(*stmts)
 
+    def threads(self, count: int, length: int = 3) -> tuple[Stmt, ...]:
+        """``count`` independent thread programs for a parallel composition.
+
+        All threads draw from the same location universe (so they can
+        actually communicate) but each gets its own register/loop-counter
+        stream seeded from this generator's RNG, keeping the whole
+        composition a pure function of the original seed.  Because every
+        thread uses the same ``na_locs``/``atomic_locs`` split, the
+        composition respects SEQ's location discipline by construction.
+        """
+        programs = []
+        for _ in range(count):
+            sub = ProgramGenerator(self.config,
+                                   seed=self.rng.randrange(2 ** 32))
+            programs.append(sub.program(length=length))
+        return tuple(programs)
+
     def loop_nest(self, depth: int = 2, body_length: int = 3) -> Stmt:
         """Nested bounded loops around memory accesses (for LICM/fixpoint
         benchmarks)."""

@@ -1,0 +1,252 @@
+"""Tests for the differential fuzzer: generation, oracles, campaigns,
+the regression corpus, and the ``repro fuzz`` CLI.
+
+The two load-bearing properties here mirror the CI gates:
+
+* a small campaign on the current code is deterministic and clean, and
+* injecting a deliberately broken pass makes the same campaign fail,
+  with every failure minimized to a litmus-sized counterexample.
+"""
+
+import os
+
+import pytest
+
+from repro.cli import main
+from repro.fuzz import (
+    INJECT_CHOICES,
+    FuzzConfig,
+    build_case,
+    case_seed,
+    iter_corpus,
+    kind_of,
+    load_entry,
+    parse_entry,
+    passes_with_injection,
+    plan_campaign,
+    render_entry,
+    replay,
+    run_campaign,
+    run_oracles,
+    statement_count,
+)
+from repro.fuzz.corpus import DEFAULT_CORPUS_DIR, ReproEntry, write_entry
+from repro.lang.parser import parse
+from repro.lang.pretty import to_source
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+CORPUS_DIR = os.path.join(REPO_ROOT, DEFAULT_CORPUS_DIR)
+
+#: Small-but-representative budget: covers every kind at least twice.
+SMOKE_BUDGET = 12
+
+
+class TestGeneration:
+    def test_case_seed_policy(self):
+        assert case_seed(0, 0) == 0
+        assert case_seed(0, 7) == 7
+        assert case_seed(3, 2) == 3 * 1_000_003 + 2
+
+    def test_kind_cycle_covers_all_kinds(self):
+        kinds = {kind_of(i) for i in range(6)}
+        assert kinds == {"opt", "exec", "concurrent", "adequacy"}
+
+    def test_build_case_is_deterministic(self):
+        a = build_case(4, case_seed(0, 4), kind_of(4))
+        b = build_case(4, case_seed(0, 4), kind_of(4))
+        assert [to_source(t) for t in a.threads] == \
+            [to_source(t) for t in b.threads]
+
+    def test_concurrent_cases_have_multiple_threads(self):
+        config = FuzzConfig()
+        for index in range(0, 24):
+            if kind_of(index) != "concurrent":
+                continue
+            case = build_case(index, case_seed(1, index), "concurrent",
+                              config)
+            assert len(case.threads) >= 2
+
+    def test_plan_is_picklable_descriptors(self):
+        import pickle
+        plan = plan_campaign(0, 6)
+        assert len(plan) == 6
+        pickle.dumps(plan)  # must cross a spawn-pool boundary
+
+    def test_locations_stay_mode_disjoint(self):
+        """No generated program mixes atomic and non-atomic access to
+        one location (the language's location discipline)."""
+        from repro.lang.ast import Load, Store, walk
+        from repro.lang.events import NA
+        config = FuzzConfig()
+        for index in range(12):
+            case = build_case(index, case_seed(2, index), kind_of(index),
+                              config)
+            na, atomic = set(), set()
+            for thread in case.threads:
+                for node in walk(thread):
+                    if isinstance(node, (Load, Store)):
+                        (na if node.mode is NA else atomic).add(node.loc)
+            assert not (na & atomic)
+
+
+class TestOracles:
+    def test_clean_case_passes_all_oracles(self):
+        case = build_case(0, case_seed(0, 0), "opt")
+        outcomes = run_oracles(case, FuzzConfig())
+        assert outcomes
+        assert all(o.status in ("pass", "skip") for o in outcomes)
+
+    def test_exec_oracles_on_handwritten_program(self):
+        case = build_case(
+            0, 0, "exec").__class__(
+            index=0, seed=0, kind="exec",
+            threads=(parse("x_na := 1; a := x_na; print(a); return a;"),))
+        outcomes = run_oracles(case, FuzzConfig())
+        assert all(o.status == "pass" for o in outcomes)
+
+    def test_broken_dse_is_caught_directly(self):
+        """The unguarded DSE mutant really fires and really gets
+        rejected by translation validation."""
+        from repro.fuzz.campaign import FuzzCase
+        case = FuzzCase(
+            index=0, seed=0, kind="opt",
+            threads=(parse("y_rlx := 1; y_rlx := 0; return 0;"),),
+            inject="dse-unguarded")
+        outcomes = run_oracles(case, FuzzConfig())
+        failed = [o for o in outcomes if o.failed]
+        assert failed and failed[0].oracle == "opt-seq-validate"
+
+    def test_inject_choices_registry(self):
+        assert "none" in INJECT_CHOICES
+        assert "dse-unguarded" in INJECT_CHOICES
+        stock = passes_with_injection("none")
+        broken = passes_with_injection("dse-unguarded")
+        assert [name for name, _ in stock] == [name for name, _ in broken]
+        assert dict(stock)["dse"] is not dict(broken)["dse"]
+        with pytest.raises(ValueError):
+            passes_with_injection("no-such-bug")
+
+
+class TestCampaign:
+    def test_smoke_campaign_is_clean_and_deterministic(self):
+        first = run_campaign(seed=0, budget=SMOKE_BUDGET, corpus_dir=None)
+        second = run_campaign(seed=0, budget=SMOKE_BUDGET, corpus_dir=None)
+        assert first.ok, first.summary()
+        assert first.summary() == second.summary()
+        assert first.cases == SMOKE_BUDGET
+
+    def test_summary_has_no_timing(self):
+        result = run_campaign(seed=1, budget=6, corpus_dir=None)
+        summary = result.summary()
+        assert "seed=1 budget=6" in summary
+        assert "s]" not in summary and "elapsed" not in summary
+
+    def test_injected_dse_bug_is_caught_and_shrunk(self, tmp_path):
+        """Acceptance criterion: with the non-atomic DSE guard disabled,
+        the campaign reports failures and minimizes each to a
+        counterexample of at most 6 statements."""
+        result = run_campaign(seed=0, budget=40, inject="dse-unguarded",
+                              corpus_dir=str(tmp_path))
+        assert not result.ok
+        for failure in result.failures:
+            assert failure.oracle == "opt-seq-validate"
+            assert 0 < failure.minimized_statements <= 6
+            assert failure.corpus_path
+            entry = load_entry(failure.corpus_path)
+            assert entry.inject == "dse-unguarded"
+            assert any(o.failed for o in replay(entry))
+
+    def test_campaign_jobs_parity(self):
+        serial = run_campaign(seed=2, budget=6, jobs=1, corpus_dir=None)
+        parallel = run_campaign(seed=2, budget=6, jobs=2, corpus_dir=None)
+        assert serial.summary() == parallel.summary()
+
+
+class TestCorpus:
+    def test_render_parse_round_trip(self):
+        entry = ReproEntry(
+            kind="concurrent", seed=41,
+            threads=(parse("x_na := 1; return 0;"),
+                     parse("a := x_na; return a;")),
+            inject="none", oracle="conc-drf", detail="round trip")
+        text = render_entry(entry)
+        back = parse_entry(text, "<test>")
+        assert back.kind == entry.kind
+        assert back.seed == entry.seed
+        assert back.oracle == entry.oracle
+        assert [to_source(t) for t in back.threads] == \
+            [to_source(t) for t in entry.threads]
+
+    def test_write_entry_names_are_stable(self, tmp_path):
+        entry = ReproEntry(kind="opt", seed=9,
+                           threads=(parse("return 0;"),),
+                           oracle="opt-seq-validate", detail="d")
+        path = write_entry(str(tmp_path), entry)
+        assert os.path.basename(path) == "opt-seq-validate-seed9.repro"
+        assert load_entry(path).seed == 9
+
+    def test_committed_corpus_replays_clean(self):
+        """Every committed regression file must replay with all oracles
+        of its kind passing — this is the forever-guard."""
+        paths = list(iter_corpus(CORPUS_DIR))
+        assert paths, f"no .repro files under {CORPUS_DIR}"
+        for path in paths:
+            entry = load_entry(path)
+            if entry.inject != "none":
+                continue  # injected-bug repros fail by design
+            outcomes = replay(entry)
+            bad = [o for o in outcomes if o.failed]
+            assert not bad, (path, bad)
+
+    def test_committed_corpus_parses_deterministically(self):
+        for path in iter_corpus(CORPUS_DIR):
+            entry = load_entry(path)
+            assert render_entry(entry) == render_entry(
+                parse_entry(render_entry(entry), path))
+
+
+class TestCli:
+    def test_fuzz_smoke(self, capsys):
+        assert main(["fuzz", "--seed", "0", "--budget", "6",
+                     "--no-corpus"]) == 0
+        out = capsys.readouterr().out
+        assert "fuzz campaign: seed=0 budget=6" in out
+        assert "0 failure(s)" in out
+
+    def test_fuzz_deterministic_stdout(self, capsys):
+        main(["fuzz", "--seed", "3", "--budget", "6", "--no-corpus"])
+        first = capsys.readouterr().out
+        main(["fuzz", "--seed", "3", "--budget", "6", "--no-corpus"])
+        second = capsys.readouterr().out
+        assert first == second
+
+    def test_fuzz_inject_fails(self, capsys, tmp_path):
+        code = main(["fuzz", "--seed", "0", "--budget", "12",
+                     "--inject-bug", "dse-unguarded",
+                     "--corpus", str(tmp_path)])
+        assert code == 1
+        out = capsys.readouterr().out
+        assert "FAILURE opt-seq-validate" in out
+        assert list(iter_corpus(str(tmp_path)))
+
+    def test_fuzz_replay_pass(self, capsys):
+        path = os.path.join(CORPUS_DIR, "opt-dse-across-release.repro")
+        assert main(["fuzz", "--replay", path]) == 0
+        out = capsys.readouterr().out
+        assert "pass" in out and "opt-seq-validate" in out
+
+    def test_fuzz_replay_missing_file(self, capsys):
+        assert main(["fuzz", "--replay", "/nonexistent.repro"]) == 2
+
+    def test_fuzz_replay_explain(self, capsys):
+        path = os.path.join(CORPUS_DIR, "conc-message-passing.repro")
+        assert main(["fuzz", "--replay", path, "--explain"]) == 0
+        out = capsys.readouterr().out
+        assert "thread" in out.lower()
+
+    def test_fuzz_stats_on_stderr(self, capsys):
+        assert main(["fuzz", "--budget", "6", "--no-corpus",
+                     "--stats"]) == 0
+        captured = capsys.readouterr()
+        assert "fuzz.campaign" in captured.err
+        assert "fuzz.campaign" not in captured.out
