@@ -21,13 +21,14 @@ from __future__ import annotations
 
 import math
 import os
-import platform
+import statistics
 import time
 from collections import defaultdict
 
 import pytest
 
 from repro.obs import report
+from repro.obs.provenance import provenance_meta
 
 ROUNDS = max(1, int(os.environ.get("REPRO_BENCH_ROUNDS", "3")))
 
@@ -77,6 +78,7 @@ class BenchmarkFixture:
             "rounds": len(timings),
             "min_s": min(timings),
             "mean_s": mean,
+            "median_s": statistics.median(timings),
             "max_s": max(timings),
             "stddev_s": math.sqrt(variance),
             "extra": dict(self.extra_info),
@@ -93,7 +95,10 @@ def benchmark(request):
 
 def pytest_sessionfinish(session, exitstatus):
     root = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
-    meta = {"rounds": ROUNDS, "python": platform.python_version()}
+    # git_sha/created_at/python come from repro.obs.provenance — injected
+    # via REPRO_GIT_SHA/REPRO_CREATED_AT when set, so CI can pin them to
+    # the checkout instead of whatever the workspace happens to be.
+    meta = {"rounds": ROUNDS, **provenance_meta(root)}
     for module, entries in sorted(_RESULTS.items()):
         name = module.removeprefix("bench_")
         path = os.path.join(root, f"BENCH_{name}.json")

@@ -10,6 +10,7 @@ Subcommands::
     repro coverage                 # which operational rules ever fired
     repro explain ...              # narrate a witness / counterexample
     repro fuzz                     # differential fuzzing campaign / replay
+    repro attrib                   # time attribution of a workload
 
 Each PROGRAM/SOURCE/TARGET argument is a path to a WHILE file, or inline
 WHILE source (detected when the argument is not an existing file).
@@ -23,13 +24,19 @@ Every subcommand accepts the observability flags:
     export the run as a JSONL trace; the final event of each command is
     a ``result`` event carrying the same data the command printed;
 ``--profile``
-    print span timings (where the wall-clock time went).
+    print span timings (where the wall-clock time went) plus the
+    per-stack attribution hotspots (:mod:`repro.obs.attrib`);
+``--folded FILE``
+    export the attribution as folded stacks (``a;b;c <µs>``) for
+    speedscope / ``flamegraph.pl``.
 
 ``litmus``, ``adequacy``, ``coverage``, and ``fuzz`` additionally accept
 ``--jobs N`` to fan their independent cases across a process pool
 (:mod:`repro.runner`); worker metrics merge back into the parent's
 session, and the rendered output is byte-identical to ``--jobs 1``
-modulo timing columns.
+modulo timing columns.  ``litmus``, ``coverage``, and ``fuzz`` accept
+``--progress`` for a periodic stderr heartbeat (off by default; never
+mixed into stdout).
 
 Incomplete explorations are *never* silent: when a bound truncates the
 search, a warning naming the exhausted bound goes to stderr and the
@@ -52,6 +59,11 @@ from .lang.pretty import to_source
 from .litmus import ALL_TRANSFORMATION_CASES, EXTENDED_CASES, case_by_name
 from .obs import coverage as obs_coverage
 from .obs import explain as obs_explain
+from .obs.attrib import (
+    attrib_payload,
+    render_attrib_table,
+    write_folded,
+)
 from .obs.report import render_profile, render_stats_table, stats_payload
 from .opt import DEFAULT_PASSES, EXTENDED_PASSES, Optimizer
 from .psna import PsConfig, explore, explore_sc, promise_free_config
@@ -176,8 +188,15 @@ def _cmd_litmus(args: argparse.Namespace) -> int:
     # One worker call per case, serial or pooled; payloads and counters
     # come back in catalog order either way, so the rendered table is
     # byte-identical across --jobs values (modulo the timing column).
+    heartbeat = runner.Heartbeat(
+        "litmus", len(cases),
+        is_failure=lambda payload: not payload["agree"],
+    ) if getattr(args, "progress", False) else None
     sweep = runner.run_sweep(runner.litmus_case_worker,
-                             [case.name for case in cases], jobs=jobs)
+                             [case.name for case in cases], jobs=jobs,
+                             progress=heartbeat)
+    if heartbeat is not None:
+        heartbeat.finish()
     for payload, counters in sweep:
         row = {key: payload[key]
                for key in ("case", "expected", "measured", "agree",
@@ -260,8 +279,13 @@ def _cmd_coverage(args: argparse.Namespace) -> int:
                                                extended=args.extended)
             cases = EXTENDED_CASES if args.extended \
                 else ALL_TRANSFORMATION_CASES
+            heartbeat = runner.Heartbeat("coverage", len(cases)) \
+                if getattr(args, "progress", False) else None
             runner.run_sweep(runner.litmus_case_worker,
-                             [case.name for case in cases], jobs=jobs)
+                             [case.name for case in cases], jobs=jobs,
+                             progress=heartbeat)
+            if heartbeat is not None:
+                heartbeat.finish()
         else:
             obs_coverage.run_coverage_workload(litmus=args.litmus,
                                                extended=args.extended)
@@ -339,7 +363,8 @@ def _cmd_fuzz(args: argparse.Namespace) -> int:
     result = fuzz.run_campaign(
         seed=args.seed, budget=args.budget, jobs=args.jobs,
         inject=args.inject_bug,
-        corpus_dir=None if args.no_corpus else args.corpus)
+        corpus_dir=None if args.no_corpus else args.corpus,
+        progress=getattr(args, "progress", False))
     print(result.summary())
     print(f"# campaign wall time: {result.elapsed_s:.1f}s", file=sys.stderr)
     obs.event("result", command="fuzz", seed=args.seed, budget=args.budget,
@@ -396,6 +421,44 @@ def _fuzz_timeline(entry, failed):
         title=f"witness: {entry.path} ({len(entry.threads)} thread(s))")
 
 
+def _cmd_attrib(args: argparse.Namespace) -> int:
+    """Run a workload under attribution and print the hotspot table.
+
+    ``main`` always opens the observability session with attribution on
+    for this command, so the recorder is guaranteed here.
+    """
+    jobs = args.jobs
+    if args.case is not None:
+        try:
+            case = case_by_name(args.case)
+        except KeyError:
+            print(f"repro: error: unknown litmus case {args.case!r}",
+                  file=sys.stderr)
+            return 2
+        runner.run_sweep(runner.litmus_case_worker, [case.name], jobs=1)
+    elif args.workload == "coverage":
+        obs_coverage.run_coverage_workload(litmus=False, extended=False)
+    else:
+        cases = ALL_TRANSFORMATION_CASES
+        runner.run_sweep(runner.litmus_case_worker,
+                         [case.name for case in cases], jobs=jobs)
+    recorder = obs.attribution()
+    snapshot = obs.metrics().snapshot()
+    payload = attrib_payload(recorder, snapshot["counters"],
+                             meta={"command": "attrib",
+                                   "workload": args.case or args.workload})
+    print(render_attrib_table(payload, top=args.top))
+    if args.json:
+        with open(args.json, "w") as handle:
+            json.dump(payload, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"attribution payload written to {args.json}",
+              file=sys.stderr)
+    obs.event("result", command="attrib", frames=len(payload["frames"]),
+              rules=len(payload["rules"]), total_s=payload["total_s"])
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -410,7 +473,11 @@ def build_parser() -> argparse.ArgumentParser:
     group.add_argument("--trace", metavar="FILE.jsonl", default=None,
                        help="export a JSONL trace of the run")
     group.add_argument("--profile", action="store_true",
-                       help="print span timings after the run")
+                       help="print span timings and attribution hotspots "
+                            "after the run")
+    group.add_argument("--folded", metavar="FILE", default=None,
+                       help="export attribution as folded stacks "
+                            "(speedscope / flamegraph.pl input)")
 
     validate = sub.add_parser(
         "validate", parents=[common],
@@ -454,6 +521,8 @@ def build_parser() -> argparse.ArgumentParser:
                         help="fan cases across N worker processes "
                              "(1 = in-process; output is identical "
                              "modulo the timing column)")
+    litmus.add_argument("--progress", action="store_true",
+                        help="periodic one-line heartbeat on stderr")
     litmus.set_defaults(fn=_cmd_litmus)
 
     coverage = sub.add_parser(
@@ -470,6 +539,9 @@ def build_parser() -> argparse.ArgumentParser:
     coverage.add_argument("--jobs", type=int, default=1, metavar="N",
                           help="with --litmus: fan the catalog across N "
                                "worker processes")
+    coverage.add_argument("--progress", action="store_true",
+                          help="periodic one-line heartbeat on stderr "
+                               "(pooled --litmus sweep only)")
     coverage.set_defaults(fn=_cmd_coverage)
 
     explain = sub.add_parser(
@@ -529,14 +601,37 @@ def build_parser() -> argparse.ArgumentParser:
     fuzz_cmd.add_argument("--explain", action="store_true",
                           help="with --replay: narrate a witness or "
                                "counterexample timeline")
+    fuzz_cmd.add_argument("--progress", action="store_true",
+                          help="periodic one-line heartbeat on stderr "
+                               "(cases done, failures, elapsed)")
     fuzz_cmd.set_defaults(fn=_cmd_fuzz)
+
+    attrib = sub.add_parser(
+        "attrib", parents=[common],
+        help="attribute wall-time to phases and semantic rules")
+    what = attrib.add_mutually_exclusive_group()
+    what.add_argument("--case", metavar="NAME", default=None,
+                      help="attribute one litmus case by name")
+    what.add_argument("--workload", choices=("litmus", "coverage"),
+                      default="litmus",
+                      help="attribute a whole workload (default: litmus)")
+    attrib.add_argument("--top", type=int, default=20, metavar="N",
+                        help="hotspot rows to print (default: 20)")
+    attrib.add_argument("--json", metavar="FILE", default=None,
+                        help="write the repro-attrib/1 payload")
+    attrib.add_argument("--jobs", type=int, default=1, metavar="N",
+                        help="fan the workload across N worker processes "
+                             "(stack set is identical across values)")
+    attrib.set_defaults(fn=_cmd_attrib)
 
     return parser
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
     args = build_parser().parse_args(argv)
-    wants_obs = args.stats or args.profile or args.trace is not None
+    wants_attrib = (args.profile or args.folded is not None
+                    or args.command == "attrib")
+    wants_obs = args.stats or args.trace is not None or wants_attrib
     if not wants_obs:
         return args.fn(args)
     if args.trace is not None:
@@ -546,10 +641,11 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             print(f"repro: error: cannot write trace file: {error}",
                   file=sys.stderr)
             return 2
-    with obs.session(trace=args.trace,
-                     meta={"command": args.command}) as session:
+    with obs.session(trace=args.trace, meta={"command": args.command},
+                     attrib=wants_attrib) as session:
         status = args.fn(args)
         snapshot = session.metrics.snapshot()
+        frames = session.attrib.frames if session.attrib else {}
     if args.stats:
         print(render_stats_table(
             stats_payload(snapshot, meta={"command": args.command}),
@@ -558,6 +654,22 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         print(render_profile(snapshot,
                              title=f"profile: repro {args.command}"),
               file=sys.stderr)
+    if wants_attrib and (frames or args.folded is not None):
+        payload = attrib_payload(frames, snapshot["counters"],
+                                 meta={"command": args.command})
+        if args.profile and frames:
+            print(render_attrib_table(
+                payload, title=f"attribution: repro {args.command}"),
+                file=sys.stderr)
+        if args.folded is not None:
+            try:
+                write_folded(args.folded, payload)
+            except OSError as error:
+                print(f"repro: error: cannot write folded stacks: {error}",
+                      file=sys.stderr)
+                return 2
+            print(f"folded stacks written to {args.folded}",
+                  file=sys.stderr)
     return status
 
 

@@ -151,15 +151,27 @@ def _still_fails_factory(kind: str, inject: str, config: FuzzConfig,
 def run_campaign(seed: int, budget: int, jobs: int = 1,
                  inject: str = "none",
                  config: Optional[FuzzConfig] = None,
-                 corpus_dir: Optional[str] = None) -> CampaignResult:
-    """Run a full campaign; see the module docstring for the phases."""
+                 corpus_dir: Optional[str] = None,
+                 progress: bool = False) -> CampaignResult:
+    """Run a full campaign; see the module docstring for the phases.
+
+    ``progress`` turns on the stderr heartbeat (cases done, failures,
+    elapsed); the stdout summary is unaffected.
+    """
     if config is None:
         config = FuzzConfig()
     result = CampaignResult(seed=seed, budget=budget, inject=inject)
     started = time.perf_counter()
     plan = plan_campaign(seed, budget, config, inject)
+    heartbeat = runner.Heartbeat(
+        "fuzz", len(plan),
+        is_failure=lambda payload: payload["status"] == "fail",
+    ) if progress else None
     with obs.span("fuzz.campaign", budget=budget, inject=inject):
-        sweep = runner.run_sweep(fuzz_case_worker, plan, jobs=jobs)
+        sweep = runner.run_sweep(fuzz_case_worker, plan, jobs=jobs,
+                                 progress=heartbeat)
+        if heartbeat is not None:
+            heartbeat.finish()
         for payload, _counters in sweep:
             kind = payload["kind"]
             result.cases += 1

@@ -307,7 +307,8 @@ def run_oracles(case: FuzzCase,
     if config is None:
         config = FuzzConfig()
     with obs.span("fuzz.case", kind=case.kind, index=case.index):
-        outcomes = _ORACLES[case.kind](case, config)
+        with obs.span(f"fuzz.oracle.{case.kind}"):
+            outcomes = _ORACLES[case.kind](case, config)
     registry = obs.metrics()
     if registry is not None:
         for outcome in outcomes:

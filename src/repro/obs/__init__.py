@@ -31,6 +31,7 @@ from contextlib import contextmanager
 from typing import Iterator, Optional, Union
 
 from . import report
+from .attrib import AttribRecorder
 from .metrics import Histogram, MetricsRegistry, diff_snapshots
 from .trace import (
     NULL_SINK,
@@ -47,10 +48,10 @@ from .trace import (
 __all__ = [
     "Histogram", "MetricsRegistry", "diff_snapshots",
     "JsonlSink", "MemorySink", "NullSink", "TraceSink", "read_trace",
-    "TRACE_SCHEMA", "report",
+    "TRACE_SCHEMA", "report", "AttribRecorder",
     "ObsSession", "session", "start", "stop", "active", "enabled",
     "metrics", "span", "event", "inc", "gauge", "observe",
-    "collect_into",
+    "collect_into", "attribution",
 ]
 
 
@@ -58,10 +59,13 @@ class ObsSession:
     """One observability session: a metrics registry plus a trace sink."""
 
     def __init__(self, sink: TraceSink = NULL_SINK,
-                 meta: Optional[dict] = None) -> None:
+                 meta: Optional[dict] = None,
+                 attrib: bool = False) -> None:
         self.metrics = MetricsRegistry()
         self.sink = sink
         self.span_stack: list[str] = []
+        self.attrib: Optional[AttribRecorder] = (
+            AttribRecorder() if attrib else None)
         if sink.active:
             header = {"ev": "meta", "schema": TRACE_SCHEMA, "t": time.time()}
             if meta:
@@ -105,8 +109,13 @@ def collect_into(registry: Optional[MetricsRegistry],
 
 
 def start(trace: Union[str, TraceSink, None] = None,
-          meta: Optional[dict] = None) -> ObsSession:
-    """Activate a session; ``trace`` is a JSONL path, a sink, or None."""
+          meta: Optional[dict] = None,
+          attrib: bool = False) -> ObsSession:
+    """Activate a session; ``trace`` is a JSONL path, a sink, or None.
+
+    ``attrib`` additionally records per-stack time attribution
+    (:mod:`repro.obs.attrib`) — the ``--profile``/``--folded`` data.
+    """
     global _ACTIVE
     if _ACTIVE is not None:
         raise RuntimeError("an observability session is already active")
@@ -116,7 +125,7 @@ def start(trace: Union[str, TraceSink, None] = None,
         sink = trace
     else:
         sink = JsonlSink(trace)
-    _ACTIVE = ObsSession(sink, meta)
+    _ACTIVE = ObsSession(sink, meta, attrib=attrib)
     return _ACTIVE
 
 
@@ -133,8 +142,9 @@ def stop() -> Optional[ObsSession]:
 
 @contextmanager
 def session(trace: Union[str, TraceSink, None] = None,
-            meta: Optional[dict] = None) -> Iterator[ObsSession]:
-    current = start(trace, meta)
+            meta: Optional[dict] = None,
+            attrib: bool = False) -> Iterator[ObsSession]:
+    current = start(trace, meta, attrib=attrib)
     try:
         yield current
     finally:
@@ -153,6 +163,11 @@ def metrics() -> Optional[MetricsRegistry]:
     """The active registry, or None — instrumented code holds this in a
     local and guards each batch flush with one ``is not None`` check."""
     return None if _ACTIVE is None else _ACTIVE.metrics
+
+
+def attribution() -> Optional[AttribRecorder]:
+    """The active session's attribution recorder, if one is recording."""
+    return None if _ACTIVE is None else _ACTIVE.attrib
 
 
 def span(name: str, **fields):

@@ -8,11 +8,22 @@ Two modes::
         files.  Exits 0 when every file validates, 1 otherwise.  This is
         what the CI benchmark smoke-check runs over ``BENCH_*.json``.
 
-    python -m repro.obs diff OLD.json NEW.json [--tolerance 0.25]
-        Compare two ``repro-bench/1`` reports entry-by-entry on
-        ``min_s`` (see :mod:`repro.obs.diff`).  Exits 0 when no entry
-        regressed beyond the tolerance, 1 on a regression, 2 on usage or
-        unreadable input.  This is the CI perf-trajectory gate.
+    python -m repro.obs diff OLD NEW [--tolerance 0.25]
+        Compare two ``repro-bench/1`` reports (or two directories of
+        ``BENCH_*.json``) entry-by-entry on ``min_s`` (see
+        :mod:`repro.obs.diff`).  Exits 0 when no entry regressed beyond
+        the tolerance, 1 on a regression, 2 on usage or unreadable
+        input.  This is the CI perf-trajectory gate.
+
+    python -m repro.obs history {record,show,trend} ...
+        The append-only run-history ledger (see
+        :mod:`repro.obs.history`): ``record`` appends one record per
+        bench entry, ``show`` lists recent records, ``trend`` computes
+        rolling-median trends and exits 1 on a sustained regression.
+
+    python -m repro.obs dashboard --out dashboard.html [...]
+        Build the self-contained HTML dashboard over every artifact
+        found (see :mod:`repro.obs.dashboard`).
 
 With no arguments, prints this usage summary and exits 2.
 """
@@ -24,9 +35,16 @@ from .report import _main as _validate_main
 
 _USAGE = """\
 usage: python -m repro.obs FILE [FILE ...]
-           validate repro-stats/1 / repro-bench/1 / repro-coverage/1 files
-       python -m repro.obs diff OLD.json NEW.json [--tolerance 0.25]
-           compare two repro-bench/1 reports; exit 1 on perf regression\
+           validate repro-stats/1 / repro-bench/1 / repro-coverage/1 /
+           repro-attrib/1 files
+       python -m repro.obs diff OLD NEW [--tolerance 0.25]
+           compare two repro-bench/1 reports (or two directories of
+           BENCH_*.json); exit 1 on perf regression
+       python -m repro.obs history {record,show,trend} ...
+           append to / inspect the run-history ledger; trend exits 1
+           on a sustained regression
+       python -m repro.obs dashboard --out FILE [--root DIR]
+           build the self-contained HTML dashboard\
 """
 
 
@@ -36,6 +54,12 @@ def main(argv: list[str]) -> int:
         return 2
     if argv[0] == "diff":
         return _diff_main(argv[1:])
+    if argv[0] == "history":
+        from .history import main as _history_main
+        return _history_main(argv[1:])
+    if argv[0] == "dashboard":
+        from .dashboard import main as _dashboard_main
+        return _dashboard_main(argv[1:])
     return _validate_main(argv)
 
 

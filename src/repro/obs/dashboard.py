@@ -1,0 +1,433 @@
+"""The repro dashboard: one self-contained HTML page over the evidence
+layer.
+
+Aggregates every durable observability artifact into a single page with
+zero dependencies and zero external requests — inline CSS, inline SVG
+sparklines, all data embedded at build time — so the file works as a CI
+artifact, an email attachment, or a local ``file://`` open::
+
+    python -m repro.obs dashboard --out dashboard.html
+
+Sections (each renders a "no data" placeholder when its input is
+absent, so the page always builds):
+
+* **stat tiles** — benchmarks, ledger depth, rule coverage, attribution
+  total, fuzz verdict;
+* **benchmarks** — the entries of every ``BENCH_*.json`` with their
+  provenance stamps;
+* **run history** — per-series min_s sparklines over the
+  ``repro-history/1`` ledger, latest value and trend direction;
+* **rule coverage** — the ``repro-coverage/1`` universe as a heat
+  table, never-fired rules marked loudly;
+* **attribution** — the top-N self-time hotspots of a
+  ``repro-attrib/1`` payload as labeled bars;
+* **fuzz** — the latest campaign summary, verbatim.
+
+Colors follow the repo's validated default palette: categorical slot 1
+(blue) carries the single data series, the sequential blue ramp carries
+magnitude, and the reserved status colors mark regressions/failures —
+always paired with a text label, never color alone.  Light and dark
+render from the same roles via CSS custom properties.
+"""
+
+from __future__ import annotations
+
+import glob
+import html
+import json
+import math
+import os
+import re
+from typing import Optional, Sequence
+
+from .history import DEFAULT_LEDGER, compute_trends, read_ledger
+from .provenance import provenance_meta
+from .report import validate_bench_payload
+
+#: Default input locations probed under ``--root``.
+DEFAULT_COVERAGE = "coverage-rules.json"
+DEFAULT_ATTRIB = "attrib.json"
+DEFAULT_FUZZ = "fuzz-summary.txt"
+
+_CSS = """
+:root { color-scheme: light dark; }
+body {
+  margin: 0; padding: 24px;
+  font: 14px/1.5 system-ui, -apple-system, "Segoe UI", sans-serif;
+  background: var(--page); color: var(--ink);
+  --page: #f9f9f7; --surface: #fcfcfb; --ink: #0b0b0b;
+  --ink-2: #52514e; --muted: #898781; --grid: #e1e0d9;
+  --border: rgba(11,11,11,0.10);
+  --series-1: #2a78d6; --seq-rgb: 42,120,214;
+  --good: #0ca30c; --critical: #d03b3b; --warning: #fab219;
+}
+@media (prefers-color-scheme: dark) {
+  body {
+    --page: #0d0d0d; --surface: #1a1a19; --ink: #ffffff;
+    --ink-2: #c3c2b7; --muted: #898781; --grid: #2c2c2a;
+    --border: rgba(255,255,255,0.10);
+    --series-1: #3987e5; --seq-rgb: 57,135,229;
+  }
+}
+h1 { font-size: 20px; margin: 0 0 4px; }
+h2 { font-size: 15px; margin: 32px 0 8px; }
+.sub { color: var(--ink-2); margin: 0 0 20px; }
+.tiles { display: flex; flex-wrap: wrap; gap: 12px; }
+.tile {
+  background: var(--surface); border: 1px solid var(--border);
+  border-radius: 8px; padding: 12px 16px; min-width: 130px;
+}
+.tile .v { font-size: 24px; font-weight: 600; }
+.tile .l { color: var(--ink-2); font-size: 12px; }
+table {
+  border-collapse: collapse; background: var(--surface);
+  border: 1px solid var(--border); border-radius: 8px;
+  font-variant-numeric: tabular-nums;
+}
+th, td {
+  text-align: left; padding: 4px 12px;
+  border-bottom: 1px solid var(--grid); font-weight: normal;
+}
+th { color: var(--muted); font-size: 12px; }
+td.num, th.num { text-align: right; }
+tr:last-child td { border-bottom: none; }
+.status-bad { color: var(--critical); font-weight: 600; }
+.status-good { color: var(--good); }
+.status-warn { color: var(--warning); }
+.spark { vertical-align: middle; }
+.spark polyline {
+  fill: none; stroke: var(--series-1); stroke-width: 2;
+  stroke-linejoin: round; stroke-linecap: round;
+}
+.spark circle { fill: var(--series-1); }
+.bar-track { background: var(--grid); border-radius: 4px; height: 8px;
+  width: 220px; }
+.bar-fill { background: var(--series-1); border-radius: 4px;
+  height: 8px; }
+.none { color: var(--muted); font-style: italic; }
+pre {
+  background: var(--surface); border: 1px solid var(--border);
+  border-radius: 8px; padding: 12px; overflow-x: auto; font-size: 12px;
+}
+.heat { font-size: 12px; }
+.heat td.cell { border-radius: 4px; }
+"""
+
+
+def _esc(text) -> str:
+    return html.escape(str(text), quote=True)
+
+
+def _fmt_s(value: Optional[float]) -> str:
+    if value is None:
+        return "-"
+    return f"{value:.6f}"
+
+
+def sparkline_svg(points: Sequence[float], width: int = 120,
+                  height: int = 28, pad: int = 3) -> str:
+    """An inline-SVG sparkline of one series (slot-1 blue, 2px line).
+
+    A native ``<title>`` carries the values, so every sparkline has a
+    hover layer and a text alternative without any script.
+    """
+    title = f"<title>min_s: {', '.join(f'{p:.6f}' for p in points)}</title>"
+    if not points:
+        return ""
+    lo, hi = min(points), max(points)
+    span = (hi - lo) or 1.0
+    inner_w, inner_h = width - 2 * pad, height - 2 * pad
+    step = inner_w / max(1, len(points) - 1)
+    coords = [(pad + index * step,
+               pad + inner_h * (1.0 - (value - lo) / span))
+              for index, value in enumerate(points)]
+    dot = (f'<circle cx="{coords[-1][0]:.1f}" cy="{coords[-1][1]:.1f}" '
+           f'r="2.5"/>')
+    poly = ""
+    if len(coords) > 1:
+        path = " ".join(f"{x:.1f},{y:.1f}" for x, y in coords)
+        poly = f'<polyline points="{path}"/>'
+    return (f'<svg class="spark" width="{width}" height="{height}" '
+            f'role="img" aria-label="history sparkline">'
+            f"{title}{poly}{dot}</svg>")
+
+
+def _tile(value, label, status: str = "") -> str:
+    cls = f' class="v {status}"' if status else ' class="v"'
+    return (f'<div class="tile"><div{cls}>{_esc(value)}</div>'
+            f'<div class="l">{_esc(label)}</div></div>')
+
+
+def _section_tiles(benches, records, coverage, attrib, fuzz_ok) -> str:
+    entries = sum(len(payload["entries"]) for payload in benches)
+    tiles = [_tile(f"{len(benches)}", "bench reports"),
+             _tile(f"{entries}", "benchmark entries"),
+             _tile(f"{len(records)}", "ledger records")]
+    if coverage is not None:
+        covered = coverage.get("covered", 0)
+        total = coverage.get("total", 0)
+        status = "" if covered == total else "status-warn"
+        tiles.append(_tile(f"{covered}/{total}", "rules fired", status))
+    if attrib is not None:
+        tiles.append(_tile(f"{attrib.get('total_s', 0.0):.2f}s",
+                           "attributed self-time"))
+    if fuzz_ok is not None:
+        tiles.append(_tile("✓ pass" if fuzz_ok else "✗ FAIL",
+                           "latest fuzz campaign",
+                           "status-good" if fuzz_ok else "status-bad"))
+    return f'<div class="tiles">{"".join(tiles)}</div>'
+
+
+def _section_benches(benches: Sequence[dict]) -> str:
+    if not benches:
+        return '<p class="none">no BENCH_*.json reports found</p>'
+    parts = []
+    for payload in benches:
+        meta = payload.get("meta", {}) or {}
+        sha = (meta.get("git_sha") or "-")[:8]
+        stamp = meta.get("created_at", "-")
+        rows = "".join(
+            f"<tr><td>{_esc(entry['name'])}</td>"
+            f"<td class='num'>{entry['rounds']}</td>"
+            f"<td class='num'>{_fmt_s(entry['min_s'])}</td>"
+            f"<td class='num'>{_fmt_s(entry['mean_s'])}</td>"
+            f"<td class='num'>{_fmt_s(entry['max_s'])}</td></tr>"
+            for entry in payload["entries"])
+        parts.append(
+            f"<h2>{_esc(payload['bench'])} "
+            f"<small class='sub'>({_esc(sha)} · {_esc(stamp)})</small></h2>"
+            f"<table><tr><th>entry</th><th class='num'>rounds</th>"
+            f"<th class='num'>min_s</th><th class='num'>mean_s</th>"
+            f"<th class='num'>max_s</th></tr>{rows}</table>")
+    return "".join(parts)
+
+
+def _section_history(records: Sequence[dict]) -> str:
+    if not records:
+        return ('<p class="none">empty ledger — run '
+                '<code>python -m repro.obs history record</code></p>')
+    trends = compute_trends(records)
+    rows = []
+    for trend in trends:
+        status_cls = {"regression": "status-bad", "improved": "status-good",
+                      }.get(trend.status, "")
+        label = {"regression": "✗ regression", "improved": "✓ improved",
+                 "ok": "ok", "n/a": "n/a"}[trend.status]
+        ratio = f"{trend.ratio:.2f}×" if trend.ratio is not None else "-"
+        rows.append(
+            f"<tr><td>{_esc(trend.series)}</td>"
+            f"<td>{sparkline_svg(trend.points)}</td>"
+            f"<td class='num'>{len(trend.points)}</td>"
+            f"<td class='num'>{_fmt_s(trend.latest)}</td>"
+            f"<td class='num'>{ratio}</td>"
+            f"<td class='{status_cls}'>{label}</td></tr>")
+    return ("<table><tr><th>series</th><th>min_s trend</th>"
+            "<th class='num'>points</th><th class='num'>rolling median</th>"
+            "<th class='num'>ratio</th><th>status</th></tr>"
+            + "".join(rows) + "</table>")
+
+
+def _heat_cell(count: int, max_count: int) -> str:
+    if not count:
+        return ("<td class='cell status-bad'>✗ never</td>")
+    # Sequential magnitude as an alpha ramp of the series hue, capped so
+    # the in-cell count stays readable on both surfaces (the number is
+    # the authoritative encoding; color is reinforcement).
+    alpha = 0.08 + 0.37 * (math.log1p(count) / math.log1p(max_count))
+    return (f"<td class='cell num' "
+            f"style='background: rgba(var(--seq-rgb),{alpha:.2f})'>"
+            f"{count}</td>")
+
+
+def _section_coverage(coverage: Optional[dict]) -> str:
+    if coverage is None:
+        return ('<p class="none">no coverage report — run '
+                '<code>repro coverage --litmus --json '
+                'coverage-rules.json</code></p>')
+    rules = coverage.get("rules", [])
+    max_count = max((rule["count"] for rule in rules), default=0) or 1
+    layers: dict[str, list[dict]] = {}
+    for rule in rules:
+        layers.setdefault(rule["layer"], []).append(rule)
+    parts = [f"<p class='sub'>{coverage.get('covered', 0)}/"
+             f"{coverage.get('total', 0)} rules fired"]
+    missing = coverage.get("uncovered", [])
+    if missing:
+        parts.append(f" — <span class='status-bad'>✗ {len(missing)} "
+                     f"never fired</span>")
+    parts.append("</p><table class='heat'><tr><th>layer</th>"
+                 "<th>rule</th><th class='num'>firings</th></tr>")
+    for layer, layer_rules in layers.items():
+        for index, rule in enumerate(layer_rules):
+            layer_cell = (f"<td rowspan='{len(layer_rules)}'>"
+                          f"{_esc(layer)}</td>") if index == 0 else ""
+            parts.append(f"<tr>{layer_cell}"
+                         f"<td title='{_esc(rule['description'])}'>"
+                         f"{_esc(rule['id'])}</td>"
+                         f"{_heat_cell(rule['count'], max_count)}</tr>")
+    parts.append("</table>")
+    return "".join(parts)
+
+
+def _section_attrib(attrib: Optional[dict], top: int) -> str:
+    if attrib is None:
+        return ('<p class="none">no attribution payload — run '
+                '<code>repro attrib --json attrib.json</code></p>')
+    rows = ([(tuple(row["stack"]), row["self_s"], row["visits"], False)
+             for row in attrib.get("frames", [])]
+            + [(tuple(row["stack"]), row["est_s"], row["visits"], True)
+               for row in attrib.get("rules", [])])
+    rows.sort(key=lambda r: (-r[1], r[0]))
+    total = attrib.get("total_s", 0.0) or 0.0
+    shown = rows[:top]
+    cells = []
+    for stack, self_s, visits, is_rule in shown:
+        share = (self_s / total) if total > 0 else 0.0
+        kind = "rule (estimated)" if is_rule else "span"
+        cells.append(
+            f"<tr><td>{_esc(';'.join(stack))}</td>"
+            f"<td><div class='bar-track'><div class='bar-fill' "
+            f"style='width:{share * 100:.1f}%'></div></div></td>"
+            f"<td class='num'>{self_s:.4f}</td>"
+            f"<td class='num'>{share * 100:.1f}%</td>"
+            f"<td class='num'>{visits}</td>"
+            f"<td>{kind}</td></tr>")
+    return (f"<p class='sub'>top {len(shown)}/{len(rows)} frames of "
+            f"{total:.4f}s attributed self-time</p>"
+            "<table><tr><th>stack</th><th>share</th>"
+            "<th class='num'>self_s</th><th class='num'>%</th>"
+            "<th class='num'>visits</th><th>kind</th></tr>"
+            + "".join(cells) + "</table>")
+
+
+def _section_fuzz(summary: Optional[str]) -> str:
+    if not summary:
+        return ('<p class="none">no fuzz summary — save one with '
+                '<code>repro fuzz ... &gt; fuzz-summary.txt</code></p>')
+    return f"<pre>{_esc(summary.rstrip())}</pre>"
+
+
+def build_dashboard(benches: Sequence[dict], records: Sequence[dict],
+                    coverage: Optional[dict] = None,
+                    attrib: Optional[dict] = None,
+                    fuzz_summary: Optional[str] = None,
+                    meta: Optional[dict] = None,
+                    top: int = 20) -> str:
+    """Render the full page; every argument is optional data."""
+    meta = meta or {}
+    fuzz_ok: Optional[bool] = None
+    if fuzz_summary and "failure(s)" in fuzz_summary:
+        fuzz_ok = re.search(r"(?<!\d)0 failure\(s\)",
+                            fuzz_summary) is not None
+    provenance = " · ".join(
+        _esc(part) for part in (
+            (meta.get("git_sha") or "")[:12], meta.get("created_at"),
+            meta.get("python") and f"python {meta['python']}")
+        if part)
+    sections = [
+        ("Run history", _section_history(records)),
+        ("Rule coverage", _section_coverage(coverage)),
+        ("Attribution hotspots", _section_attrib(attrib, top)),
+        ("Latest fuzz campaign", _section_fuzz(fuzz_summary)),
+        ("Benchmarks", _section_benches(benches)),
+    ]
+    body = "".join(f"<h2>{_esc(title)}</h2>{content}"
+                   for title, content in sections)
+    return (
+        "<!doctype html>\n<html lang='en'><head><meta charset='utf-8'>"
+        "<meta name='viewport' content='width=device-width, "
+        "initial-scale=1'>"
+        "<title>repro dashboard</title>"
+        f"<style>{_CSS}</style></head><body>"
+        "<h1>repro dashboard</h1>"
+        f"<p class='sub'>{provenance or 'no provenance recorded'}</p>"
+        + _section_tiles(benches, records, coverage, attrib, fuzz_ok)
+        + body + "</body></html>\n")
+
+
+# ---------------------------------------------------------------------------
+# CLI
+# ---------------------------------------------------------------------------
+
+
+def _load_json(path: str) -> Optional[dict]:
+    try:
+        with open(path) as handle:
+            return json.load(handle)
+    except (OSError, json.JSONDecodeError):
+        return None
+
+
+def collect_inputs(root: str, ledger: Optional[str] = None,
+                   coverage: Optional[str] = None,
+                   attrib: Optional[str] = None,
+                   fuzz: Optional[str] = None) -> dict:
+    """Gather every dashboard input under ``root`` (missing = None)."""
+    benches = []
+    for path in sorted(glob.glob(os.path.join(root, "BENCH_*.json"))):
+        payload = _load_json(path)
+        if payload is not None and not validate_bench_payload(payload):
+            benches.append(payload)
+    ledger_path = ledger or os.path.join(root, DEFAULT_LEDGER)
+    records: list[dict] = []
+    if os.path.exists(ledger_path):
+        records, _problems = read_ledger(ledger_path)
+    coverage_path = coverage or os.path.join(root, DEFAULT_COVERAGE)
+    attrib_path = attrib or os.path.join(root, DEFAULT_ATTRIB)
+    fuzz_path = fuzz or os.path.join(root, DEFAULT_FUZZ)
+    fuzz_summary = None
+    if os.path.exists(fuzz_path):
+        try:
+            with open(fuzz_path) as handle:
+                fuzz_summary = handle.read()
+        except OSError:
+            fuzz_summary = None
+    return {
+        "benches": benches,
+        "records": records,
+        "coverage": _load_json(coverage_path),
+        "attrib": _load_json(attrib_path),
+        "fuzz_summary": fuzz_summary,
+    }
+
+
+def main(argv: Sequence[str]) -> int:
+    """``dashboard --out FILE [--root DIR] [...]``; exit 0/2."""
+    args = list(argv)
+    options = {"--out": None, "--root": ".", "--ledger": None,
+               "--coverage": None, "--attrib": None, "--fuzz": None,
+               "--top": "20"}
+    for name in list(options):
+        if name in args:
+            index = args.index(name)
+            try:
+                options[name] = args[index + 1]
+            except IndexError:
+                print(f"dashboard: {name} needs a value")
+                return 2
+            del args[index:index + 2]
+    if args or not options["--out"]:
+        print("usage: python -m repro.obs dashboard --out FILE "
+              "[--root DIR] [--ledger FILE] [--coverage FILE] "
+              "[--attrib FILE] [--fuzz FILE] [--top N]")
+        return 2
+    inputs = collect_inputs(options["--root"], ledger=options["--ledger"],
+                            coverage=options["--coverage"],
+                            attrib=options["--attrib"],
+                            fuzz=options["--fuzz"])
+    page = build_dashboard(inputs["benches"], inputs["records"],
+                           coverage=inputs["coverage"],
+                           attrib=inputs["attrib"],
+                           fuzz_summary=inputs["fuzz_summary"],
+                           meta=provenance_meta(options["--root"]),
+                           top=int(options["--top"]))
+    try:
+        with open(options["--out"], "w") as handle:
+            handle.write(page)
+    except OSError as error:
+        print(f"dashboard: cannot write {options['--out']}: {error}")
+        return 2
+    print(f"dashboard written to {options['--out']} "
+          f"({len(inputs['benches'])} bench report(s), "
+          f"{len(inputs['records'])} ledger record(s))")
+    return 0

@@ -6,6 +6,12 @@ consumer: it compares two bench reports entry-by-entry and fails loudly
 when a benchmark got slower than the tolerance allows::
 
     python -m repro.obs diff OLD.json NEW.json [--tolerance 0.25]
+    python -m repro.obs diff OLD_DIR/ NEW_DIR/ [--tolerance 0.25]
+
+In directory mode both arguments are directories of ``BENCH_*.json``
+files: the intersection (by file name) is diffed pairwise, files
+present on only one side produce a warning but never fail the diff,
+and the exit code aggregates across all pairs.
 
 Entries pair by ``name``.  The compared statistic is ``min_s`` — the
 minimum over rounds is the standard low-noise point estimate for
@@ -18,7 +24,9 @@ or unreadable/invalid input).
 
 from __future__ import annotations
 
+import glob
 import json
+import os
 from dataclasses import dataclass
 from typing import Optional, Sequence
 
@@ -130,8 +138,49 @@ def _load_bench(path: str) -> tuple[Optional[dict], list[str]]:
     return payload, [f"{path}: {problem}" for problem in problems]
 
 
+def _diff_files(old_path: str, new_path: str, tolerance: float) -> int:
+    old, old_problems = _load_bench(old_path)
+    new, new_problems = _load_bench(new_path)
+    for problem in old_problems + new_problems:
+        print(problem)
+    if old is None or new is None or old_problems or new_problems:
+        return 2
+    diff = diff_bench_payloads(old, new, tolerance)
+    print(render_diff_table(diff))
+    return 0 if diff.ok else 1
+
+
+def _diff_directories(old_dir: str, new_dir: str, tolerance: float) -> int:
+    """Diff the BENCH_*.json intersection of two directories.
+
+    Asymmetric files warn but never fail; the exit code is the worst
+    per-pair code (2 dominates 1 dominates 0), preserving the
+    single-file semantics.
+    """
+    old_names = {os.path.basename(path) for path
+                 in glob.glob(os.path.join(old_dir, "BENCH_*.json"))}
+    new_names = {os.path.basename(path) for path
+                 in glob.glob(os.path.join(new_dir, "BENCH_*.json"))}
+    for name in sorted(old_names - new_names):
+        print(f"warning: {name} only in {old_dir} (skipped)")
+    for name in sorted(new_names - old_names):
+        print(f"warning: {name} only in {new_dir} (skipped)")
+    shared = sorted(old_names & new_names)
+    if not shared:
+        print(f"diff: no common BENCH_*.json files between "
+              f"{old_dir} and {new_dir}")
+        return 2
+    worst = 0
+    for name in shared:
+        code = _diff_files(os.path.join(old_dir, name),
+                           os.path.join(new_dir, name), tolerance)
+        worst = max(worst, code)
+    return worst
+
+
 def main(argv: Sequence[str]) -> int:
-    """CLI: ``diff OLD.json NEW.json [--tolerance T]``; exit 0/1/2."""
+    """CLI: ``diff OLD NEW [--tolerance T]`` over files or directories;
+    exit 0/1/2."""
     args = list(argv)
     tolerance = DEFAULT_TOLERANCE
     if "--tolerance" in args:
@@ -143,15 +192,15 @@ def main(argv: Sequence[str]) -> int:
             return 2
         del args[index:index + 2]
     if len(args) != 2:
-        print("usage: python -m repro.obs diff OLD.json NEW.json "
-              "[--tolerance 0.25]")
+        print("usage: python -m repro.obs diff OLD NEW "
+              "[--tolerance 0.25]  (OLD/NEW: two bench files or two "
+              "directories of BENCH_*.json)")
         return 2
-    old, old_problems = _load_bench(args[0])
-    new, new_problems = _load_bench(args[1])
-    for problem in old_problems + new_problems:
-        print(problem)
-    if old is None or new is None or old_problems or new_problems:
+    old_is_dir, new_is_dir = os.path.isdir(args[0]), os.path.isdir(args[1])
+    if old_is_dir != new_is_dir:
+        print(f"diff: {args[0]} and {args[1]} must both be files or "
+              f"both be directories")
         return 2
-    diff = diff_bench_payloads(old, new, tolerance)
-    print(render_diff_table(diff))
-    return 0 if diff.ok else 1
+    if old_is_dir:
+        return _diff_directories(args[0], args[1], tolerance)
+    return _diff_files(args[0], args[1], tolerance)

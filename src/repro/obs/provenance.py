@@ -1,0 +1,90 @@
+"""Run provenance: git SHA, creation timestamp, interpreter version.
+
+Every durable artifact the observability layer writes — ``BENCH_*.json``
+bench reports, ``repro-history/1`` ledger records, dashboard pages —
+carries the same three provenance fields so artifacts produced at
+different times remain comparable and attributable to a commit.
+
+The values are *injected, not ambient*: each helper takes an explicit
+override and honors an environment variable before falling back to the
+live system, so CI (and tests) can pin provenance deterministically::
+
+    REPRO_GIT_SHA=abc123 REPRO_CREATED_AT=2026-08-06T00:00:00Z ...
+
+``created_at`` follows the ``repro-bench/1`` convention of ISO-8601 UTC
+with a trailing ``Z``.  ``git_sha`` is the full 40-hex commit hash, or
+``None`` when the working tree is not a git checkout and no override is
+given — callers record the absence rather than inventing a value.
+"""
+
+from __future__ import annotations
+
+import os
+import platform
+import re
+import subprocess
+import time
+from typing import Optional
+
+#: Environment overrides, checked before touching git or the clock.
+GIT_SHA_ENV = "REPRO_GIT_SHA"
+CREATED_AT_ENV = "REPRO_CREATED_AT"
+
+_SHA_RE = re.compile(r"^[0-9a-f]{7,40}$")
+
+
+def git_sha(root: Optional[str] = None,
+            override: Optional[str] = None) -> Optional[str]:
+    """The current commit hash, or None outside a git checkout.
+
+    Resolution order: explicit ``override`` argument, the
+    ``REPRO_GIT_SHA`` environment variable, then ``git rev-parse HEAD``
+    run in ``root`` (default: the current directory).  Malformed
+    overrides are rejected rather than recorded.
+    """
+    for candidate in (override, os.environ.get(GIT_SHA_ENV)):
+        if candidate:
+            candidate = candidate.strip().lower()
+            if not _SHA_RE.match(candidate):
+                raise ValueError(f"not a git SHA: {candidate!r}")
+            return candidate
+    try:
+        completed = subprocess.run(
+            ["git", "rev-parse", "HEAD"], cwd=root or ".",
+            capture_output=True, text=True, timeout=10)
+    except (OSError, subprocess.TimeoutExpired):
+        return None
+    if completed.returncode != 0:
+        return None
+    sha = completed.stdout.strip().lower()
+    return sha if _SHA_RE.match(sha) else None
+
+
+def created_at(override: Optional[str] = None,
+               now: Optional[float] = None) -> str:
+    """An ISO-8601 UTC timestamp (``2026-08-06T12:00:00Z``).
+
+    Resolution order: explicit ``override``, the ``REPRO_CREATED_AT``
+    environment variable, an injected epoch ``now``, then the wall
+    clock.  Overrides must already be ISO-8601-shaped.
+    """
+    for candidate in (override, os.environ.get(CREATED_AT_ENV)):
+        if candidate:
+            candidate = candidate.strip()
+            if not re.match(r"^\d{4}-\d{2}-\d{2}T\d{2}:\d{2}:\d{2}",
+                            candidate):
+                raise ValueError(f"not an ISO-8601 timestamp: {candidate!r}")
+            return candidate
+    stamp = time.time() if now is None else now
+    return time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime(stamp))
+
+
+def provenance_meta(root: Optional[str] = None,
+                    sha: Optional[str] = None,
+                    stamp: Optional[str] = None) -> dict:
+    """The provenance triple stamped into bench reports and ledgers."""
+    return {
+        "git_sha": git_sha(root, override=sha),
+        "created_at": created_at(override=stamp),
+        "python": platform.python_version(),
+    }

@@ -182,14 +182,19 @@ def validate_report_file(path: str) -> list[str]:
     elif schema == STATS_SCHEMA:
         problems = validate_stats_payload(payload)
     else:
-        # Lazy import: coverage pulls in the instrumented machines, which
-        # plain stats/bench validation must not need.
-        from .coverage import COVERAGE_SCHEMA, validate_coverage_payload
+        from .attrib import ATTRIB_SCHEMA, validate_attrib_payload
 
-        if schema == COVERAGE_SCHEMA:
-            problems = validate_coverage_payload(payload)
+        if schema == ATTRIB_SCHEMA:
+            problems = validate_attrib_payload(payload)
         else:
-            problems = [f"unknown schema {schema!r}"]
+            # Lazy import: coverage pulls in the instrumented machines,
+            # which plain stats/bench validation must not need.
+            from .coverage import COVERAGE_SCHEMA, validate_coverage_payload
+
+            if schema == COVERAGE_SCHEMA:
+                problems = validate_coverage_payload(payload)
+            else:
+                problems = [f"unknown schema {schema!r}"]
     return [f"{path}: {problem}" for problem in problems]
 
 

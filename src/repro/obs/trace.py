@@ -123,16 +123,22 @@ class Span:
         self.depth = 0
 
     def __enter__(self) -> "Span":
-        self.depth = len(self._session.span_stack)
-        self._session.span_stack.append(self.name)
+        session = self._session
+        self.depth = len(session.span_stack)
+        session.span_stack.append(self.name)
+        if session.attrib is not None:
+            session.attrib.on_enter()
         self._wall = time.time()
         self._t0 = time.perf_counter()
         return self
 
     def __exit__(self, *exc) -> None:
         duration = time.perf_counter() - self._t0
-        self._session.span_stack.pop()
-        self._session.metrics.observe(f"span.{self.name}", duration)
+        session = self._session
+        if session.attrib is not None:
+            session.attrib.on_exit(tuple(session.span_stack), duration)
+        session.span_stack.pop()
+        session.metrics.observe(f"span.{self.name}", duration)
         sink = self._session.sink
         if sink.active:
             event = {"ev": "span", "name": self.name, "t": self._wall,

@@ -144,7 +144,8 @@ class Optimizer:
 
     def _run_pass(self, name: str, pass_fn: Pass, current: Stmt) -> PassRecord:
         started = time.perf_counter()
-        candidate = pass_fn(current)
+        with obs.span(f"opt.pass.{name}"):
+            candidate = pass_fn(current)
         record = PassRecord(name, current, candidate,
                             duration_s=time.perf_counter() - started,
                             size_before=node_count(current),

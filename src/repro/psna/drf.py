@@ -144,38 +144,41 @@ def explore_sc(programs: list[Stmt | ThreadState],
     depth_bound_hit = False
     rule_counts: dict[str, int] = {}
     counting = obs.metrics() is not None
-    while stack:
-        state, depth = stack.pop()
-        states += 1
-        if states > max_states:
-            state_bound_hit = True
-            break
-        actions = [thread.peek() for thread in state.threads]
-        for a, b in itertools.combinations(actions, 2):
-            if _conflicting(a, b):
-                racy = True
-                if counting:
-                    rule_counts["race"] = rule_counts.get("race", 0) + 1
-        if all(isinstance(action, RetAction) for action in actions):
-            behaviors.add(PsBehavior(
-                tuple(action.value for action in actions), state.syscalls))
-            continue
-        if depth == 0:
-            depth_bound_hit = True
-            continue
-        for index, action in enumerate(actions):
-            fired = False
-            for successor in _sc_thread_steps(state, index, action, values):
-                fired = True
-                if successor is BOTTOM:
-                    behaviors.add(PsBottom(state.syscalls))
-                elif successor not in seen:
-                    seen.add(successor)
-                    stack.append((successor, depth - 1))
-            if counting and fired:
-                rule = _sc_rule(action)
-                if rule is not None:
-                    rule_counts[rule] = rule_counts.get(rule, 0) + 1
+    with obs.span("psna.sc"):
+        while stack:
+            state, depth = stack.pop()
+            states += 1
+            if states > max_states:
+                state_bound_hit = True
+                break
+            actions = [thread.peek() for thread in state.threads]
+            for a, b in itertools.combinations(actions, 2):
+                if _conflicting(a, b):
+                    racy = True
+                    if counting:
+                        rule_counts["race"] = rule_counts.get("race", 0) + 1
+            if all(isinstance(action, RetAction) for action in actions):
+                behaviors.add(PsBehavior(
+                    tuple(action.value for action in actions),
+                    state.syscalls))
+                continue
+            if depth == 0:
+                depth_bound_hit = True
+                continue
+            for index, action in enumerate(actions):
+                fired = False
+                for successor in _sc_thread_steps(state, index, action,
+                                                  values):
+                    fired = True
+                    if successor is BOTTOM:
+                        behaviors.add(PsBottom(state.syscalls))
+                    elif successor not in seen:
+                        seen.add(successor)
+                        stack.append((successor, depth - 1))
+                if counting and fired:
+                    rule = _sc_rule(action)
+                    if rule is not None:
+                        rule_counts[rule] = rule_counts.get(rule, 0) + 1
     reason = ("state-bound" if state_bound_hit
               else "depth-bound" if depth_bound_hit else None)
     registry = obs.metrics()

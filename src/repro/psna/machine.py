@@ -144,21 +144,22 @@ def certifiable(thread: ThreadLts, memory: Memory, config: PsConfig,
     stack: list[tuple[ThreadLts, Memory, int]] = [
         (thread, memory, config.cert_depth)]
     certified = False
-    while stack:
-        current, mem, depth = stack.pop()
-        if not current.promises:
-            certified = True
-            break
-        if depth == 0 or current.is_bottom() or current.is_terminated():
-            continue
-        seen_key = (current, frozenset(mem.messages))
-        if seen_key in seen:
-            continue
-        seen.add(seen_key)
-        for step in thread_steps(current, mem, cert_config):
-            if step.thread.is_bottom():
-                continue  # UB does not certify
-            stack.append((step.thread, step.memory, depth - 1))
+    with obs.span("psna.cert"):
+        while stack:
+            current, mem, depth = stack.pop()
+            if not current.promises:
+                certified = True
+                break
+            if depth == 0 or current.is_bottom() or current.is_terminated():
+                continue
+            seen_key = (current, frozenset(mem.messages))
+            if seen_key in seen:
+                continue
+            seen.add(seen_key)
+            for step in thread_steps(current, mem, cert_config):
+                if step.thread.is_bottom():
+                    continue  # UB does not certify
+                stack.append((step.thread, step.memory, depth - 1))
     if cache is not None:
         cache.entries[key] = certified
     registry = obs.metrics()

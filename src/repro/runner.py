@@ -25,12 +25,13 @@ keep every platform on the strictest semantics.
 from __future__ import annotations
 
 import os
+import sys
 import time
 from multiprocessing import get_context
-from typing import Callable, Sequence
+from typing import Callable, Optional, Sequence
 
 from . import obs
-from .obs.metrics import diff_snapshots
+from .obs.attrib import merge_frames
 
 #: One sweep result: the worker's payload plus the counters its case
 #: produced (empty when no observability session was active in serial
@@ -43,59 +44,123 @@ def default_jobs() -> int:
     return os.cpu_count() or 1
 
 
+class Heartbeat:
+    """The ``--progress`` reporter: a periodic one-liner on stderr.
+
+    Deliberately boring: a plain ``\\r``-free line every ``interval_s``
+    seconds (so CI logs stay readable), counting cases done, failures
+    (per the caller's ``is_failure`` predicate), and elapsed wall-clock.
+    Writes to stderr only — stdout summaries stay machine-parseable.
+    Use as the ``progress`` callback of :func:`run_sweep`.
+    """
+
+    def __init__(self, label: str, total: int,
+                 is_failure: Optional[Callable[[object], bool]] = None,
+                 interval_s: float = 2.0, stream=None) -> None:
+        self.label = label
+        self.total = total
+        self.is_failure = is_failure
+        self.interval_s = interval_s
+        self.stream = stream if stream is not None else sys.stderr
+        self.done = 0
+        self.failures = 0
+        self._started = time.monotonic()
+        self._last_emit = self._started
+
+    def __call__(self, payload) -> None:
+        self.done += 1
+        if self.is_failure is not None and self.is_failure(payload):
+            self.failures += 1
+        now = time.monotonic()
+        if now - self._last_emit >= self.interval_s:
+            self._last_emit = now
+            self.emit()
+
+    def emit(self) -> None:
+        elapsed = time.monotonic() - self._started
+        print(f"{self.label}: {self.done}/{self.total} done, "
+              f"{self.failures} failure(s), {elapsed:.0f}s elapsed",
+              file=self.stream)
+
+    def finish(self) -> None:
+        """One final line so short runs still report something."""
+        self.emit()
+
+
 def run_sweep(worker: Callable[[object], object],
               descriptors: Sequence[object],
-              jobs: int = 1) -> list[SweepResult]:
+              jobs: int = 1,
+              progress: Optional[Callable[[object], None]] = None,
+              ) -> list[SweepResult]:
     """Run ``worker`` over ``descriptors``, serially or in a pool.
 
     ``worker`` must be a module-level (picklable) function; descriptors
     must be picklable.  Results preserve descriptor order.  With
     ``jobs <= 1`` (or a single descriptor) no pool is created and the
     worker runs in-process — inside the caller's observability session
-    when one is active.
+    when one is active.  ``progress`` (e.g. a :class:`Heartbeat`) is
+    called once per completed case, in completion order, with the
+    case's payload.
     """
     items = list(descriptors)
     if jobs <= 1 or len(items) <= 1:
-        return _run_serial(worker, items)
-    return _run_parallel(worker, items, jobs)
+        return _run_serial(worker, items, progress)
+    return _run_parallel(worker, items, jobs, progress)
 
 
-def _run_serial(worker, items) -> list[SweepResult]:
+def _run_serial(worker, items, progress=None) -> list[SweepResult]:
     registry = obs.metrics()
     results: list[SweepResult] = []
     for descriptor in items:
         if registry is None:
-            results.append((worker(descriptor), {}))
+            payload = worker(descriptor)
+            results.append((payload, {}))
         else:
             before = registry.snapshot()
             payload = worker(descriptor)
-            delta = diff_snapshots(before, registry.snapshot())
+            delta = obs.diff_snapshots(before, registry.snapshot())
             results.append((payload, delta["counters"]))
+        if progress is not None:
+            progress(payload)
     return results
 
 
 def _subprocess_entry(task):
-    """Pool entry point: run one case inside a fresh obs session."""
-    worker, descriptor = task
-    with obs.session() as session:
+    """Pool entry point: run one case inside a fresh obs session.
+
+    The worker session mirrors the parent's attribution setting: spans
+    record against a fresh (empty) span stack, which matches the serial
+    CLI path — commands do not wrap sweeps in an enclosing span — so
+    frame stacks are identical across ``--jobs`` values.
+    """
+    worker, descriptor, want_attrib = task
+    with obs.session(attrib=want_attrib) as session:
         payload = worker(descriptor)
         snapshot = session.metrics.snapshot()
-    return payload, snapshot
+        frames = session.attrib.snapshot() if session.attrib else {}
+    return payload, snapshot, frames
 
 
-def _run_parallel(worker, items, jobs: int) -> list[SweepResult]:
+def _run_parallel(worker, items, jobs: int,
+                  progress=None) -> list[SweepResult]:
     registry = obs.metrics()
+    recorder = obs.attribution()
     context = get_context("spawn")
-    tasks = [(worker, descriptor) for descriptor in items]
+    tasks = [(worker, descriptor, recorder is not None)
+             for descriptor in items]
     results: list[SweepResult] = []
     with context.Pool(processes=min(jobs, len(items))) as pool:
-        for payload, snapshot in pool.imap(_subprocess_entry, tasks):
+        for payload, snapshot, frames in pool.imap(_subprocess_entry, tasks):
             if registry is not None:
                 registry.merge_snapshot(snapshot)
+            if recorder is not None and frames:
+                merge_frames(recorder, frames)
             counters = {name: value
                         for name, value in snapshot["counters"].items()
                         if value}
             results.append((payload, counters))
+            if progress is not None:
+                progress(payload)
     return results
 
 

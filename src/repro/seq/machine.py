@@ -366,17 +366,18 @@ def unlabeled_closure(configs: frozenset[SeqConfig], universe: SeqUniverse,
     seen: set[SeqConfig] = set(configs)
     stack = list(configs)
     complete = True
-    while stack:
-        if len(seen) > max_states:
-            complete = False
-            break
-        current = stack.pop()
-        if current.is_bottom() or current.is_terminated():
-            continue
-        for label, successor in seq_steps(current, universe):
-            if label is None and successor not in seen:
-                seen.add(successor)
-                stack.append(successor)
+    with obs.span("seq.closure"):
+        while stack:
+            if len(seen) > max_states:
+                complete = False
+                break
+            current = stack.pop()
+            if current.is_bottom() or current.is_terminated():
+                continue
+            for label, successor in seq_steps(current, universe):
+                if label is None and successor not in seen:
+                    seen.add(successor)
+                    stack.append(successor)
     registry = obs.metrics()
     if registry is not None:
         registry.inc("seq.closure.runs")

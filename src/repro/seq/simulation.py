@@ -29,6 +29,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Optional
 
+from .. import obs
 from ..lang.ast import Expr, If, Seq, Stmt, While
 from .machine import SeqUniverse, universe_for
 from .refinement import (
@@ -64,13 +65,15 @@ def check_simulation(source: Stmt, target: Stmt,
     """
     if universe is None:
         universe = universe_for(source, target)
-    simple = check_simple_refinement(source, target, universe, limits)
-    if simple.refines:
-        return SimulationResult(True, "simple", simple)
-    advanced = check_advanced_refinement(source, target, universe, limits)
-    if advanced.refines:
-        return SimulationResult(True, "advanced", simple, advanced)
-    return SimulationResult(False, "none", simple, advanced)
+    with obs.span("seq.simulation"):
+        simple = check_simple_refinement(source, target, universe, limits)
+        if simple.refines:
+            return SimulationResult(True, "simple", simple)
+        advanced = check_advanced_refinement(source, target, universe,
+                                             limits)
+        if advanced.refines:
+            return SimulationResult(True, "advanced", simple, advanced)
+        return SimulationResult(False, "none", simple, advanced)
 
 
 # ---------------------------------------------------------------------------

@@ -1,0 +1,124 @@
+"""The self-contained HTML dashboard: sections, data, zero deps."""
+
+import json
+
+from repro.obs import dashboard, history
+from repro.obs.attrib import attrib_payload
+from repro.obs.report import bench_payload
+
+SECTIONS = ("Run history", "Rule coverage", "Attribution hotspots",
+            "Latest fuzz campaign", "Benchmarks")
+
+
+def _entry(name, min_s):
+    return {"name": name, "rounds": 3, "min_s": min_s,
+            "mean_s": min_s * 1.1, "median_s": min_s, "max_s": min_s * 1.3,
+            "extra": {}}
+
+
+def _fixture_inputs(tmp_path):
+    bench = bench_payload("demo", [_entry("fast", 0.01),
+                                   _entry("slow", 2.0)])
+    bench["meta"] = {"git_sha": "abc1234", "created_at":
+                     "2026-08-06T00:00:00Z"}
+    ledger = str(tmp_path / "ledger.jsonl")
+    for min_s in (0.010, 0.011, 0.012, 0.010):
+        history.append_records(
+            ledger, history.ledger_records(
+                bench_payload("demo", [_entry("fast", min_s)]),
+                sha="abc1234", stamp="2026-08-06T00:00:00Z"))
+    records, _ = history.read_ledger(ledger)
+    coverage = {
+        "schema": "repro-coverage/1", "total": 2, "covered": 1,
+        "uncovered": ["seq.machine.never"],
+        "rules": [
+            {"id": "psna.thread.read", "layer": "psna",
+             "description": "thread read step", "count": 42},
+            {"id": "seq.machine.never", "layer": "seq",
+             "description": "never fired", "count": 0},
+        ],
+    }
+    attrib = attrib_payload({("psna.explore",): [0.8, 1.0, 3],
+                             ("psna.explore", "psna.cert"): [0.2, 0.2, 9]},
+                            {"rule.psna.cert.success": 5})
+    fuzz = "fuzz campaign seed=0 budget=10\n10 case(s), 0 failure(s)"
+    return {"benches": [bench], "records": records, "coverage": coverage,
+            "attrib": attrib, "fuzz_summary": fuzz}
+
+
+class TestBuildDashboard:
+    def test_all_sections_render_from_fixtures(self, tmp_path):
+        inputs = _fixture_inputs(tmp_path)
+        page = dashboard.build_dashboard(
+            inputs["benches"], inputs["records"],
+            coverage=inputs["coverage"], attrib=inputs["attrib"],
+            fuzz_summary=inputs["fuzz_summary"],
+            meta={"git_sha": "abc1234", "python": "3.12.0"})
+        for section in SECTIONS:
+            assert section in page
+        # Populated, not placeholders:
+        assert "no data" not in page
+        assert "class=\"none\"" not in page
+        assert "<svg" in page  # history sparkline
+        assert "psna.explore" in page  # attribution stack
+        assert "✗ never" in page  # uncovered rule marked with icon+label
+        assert "0 failure(s)" in page
+
+    def test_standalone_html(self, tmp_path):
+        inputs = _fixture_inputs(tmp_path)
+        page = dashboard.build_dashboard(inputs["benches"],
+                                         inputs["records"])
+        assert page.startswith("<!doctype html>")
+        assert page.count("<html") == page.count("</html>") == 1
+        assert page.count("<body") == page.count("</body>") == 1
+        assert "<style>" in page
+        # Self-contained: no external fetches of any kind.
+        for needle in ("http://", "https://", "<script", "@import",
+                       "url("):
+            assert needle not in page
+
+    def test_empty_inputs_still_build(self):
+        page = dashboard.build_dashboard([], [])
+        for section in SECTIONS:
+            assert section in page
+        assert "empty ledger" in page
+
+    def test_untrusted_text_is_escaped(self):
+        bench = bench_payload("<img src=x>", [_entry("<b>evil</b>", 0.1)])
+        page = dashboard.build_dashboard([bench], [])
+        assert "<img src=x>" not in page
+        assert "<b>evil</b>" not in page
+
+
+class TestSparkline:
+    def test_series_renders_polyline_and_endpoint(self):
+        svg = dashboard.sparkline_svg([1.0, 2.0, 1.5])
+        assert "<polyline" in svg and "<circle" in svg
+
+    def test_single_point_renders_dot_only(self):
+        svg = dashboard.sparkline_svg([1.0])
+        assert "<polyline" not in svg and "<circle" in svg
+
+    def test_flat_series_does_not_divide_by_zero(self):
+        assert "<polyline" in dashboard.sparkline_svg([2.0, 2.0, 2.0])
+
+
+class TestDashboardCli:
+    def test_writes_file_from_artifact_directory(self, tmp_path, capsys):
+        bench = bench_payload("demo", [_entry("fast", 0.01)])
+        (tmp_path / "BENCH_demo.json").write_text(json.dumps(bench))
+        ledger = tmp_path / history.DEFAULT_LEDGER
+        history.append_records(
+            str(ledger), history.ledger_records(bench, sha="abc",
+                                                stamp="2026-08-06T00:00:00Z"))
+        out = tmp_path / "dashboard.html"
+        assert dashboard.main(["--out", str(out),
+                               "--root", str(tmp_path)]) == 0
+        page = out.read_text()
+        assert "repro dashboard" in page
+        assert "fast" in page
+        assert "1 ledger record(s)" in capsys.readouterr().out
+
+    def test_missing_out_is_usage_error(self, capsys):
+        assert dashboard.main([]) == 2
+        assert "usage" in capsys.readouterr().out

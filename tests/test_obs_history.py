@@ -1,0 +1,183 @@
+"""The append-only run-history ledger and its trend gate."""
+
+import json
+
+from repro.obs import history
+from repro.obs.report import bench_payload
+
+
+def _entry(name, min_s, rounds=3, extra=None):
+    return {"name": name, "rounds": rounds, "min_s": min_s,
+            "mean_s": min_s * 1.1, "median_s": min_s * 1.05,
+            "max_s": min_s * 1.3, "extra": extra or {}}
+
+
+def _ledger_with(tmp_path, series):
+    """Write a ledger where ``series`` maps entry name -> min_s points."""
+    path = tmp_path / "ledger.jsonl"
+    for index in range(max(len(points) for points in series.values())):
+        payload = bench_payload(
+            "demo", [_entry(name, points[index])
+                     for name, points in series.items()
+                     if index < len(points)])
+        history.append_records(
+            str(path), history.ledger_records(payload, sha=f"c{index}",
+                                              stamp="2026-08-06T00:00:00Z"))
+    return str(path)
+
+
+class TestLedgerRoundTrip:
+    def test_append_then_read_round_trips(self, tmp_path):
+        payload = bench_payload("demo", [_entry("a", 0.5), _entry("b", 0.1)])
+        path = tmp_path / "ledger.jsonl"
+        records = history.ledger_records(payload, sha="abc1234",
+                                         stamp="2026-08-06T12:00:00Z")
+        assert history.append_records(str(path), records) == 2
+        loaded, problems = history.read_ledger(str(path))
+        assert problems == []
+        assert loaded == records
+        for record in loaded:
+            assert record["schema"] == history.HISTORY_SCHEMA
+            assert record["git_sha"] == "abc1234"
+            assert record["incomplete"] is False
+
+    def test_append_is_append_only(self, tmp_path):
+        payload = bench_payload("demo", [_entry("a", 0.5)])
+        path = tmp_path / "ledger.jsonl"
+        for sha in ("aaa", "bbb"):
+            history.append_records(
+                str(path),
+                history.ledger_records(payload, sha=sha,
+                                       stamp="2026-08-06T00:00:00Z"))
+        loaded, _ = history.read_ledger(str(path))
+        assert [record["git_sha"] for record in loaded] == ["aaa", "bbb"]
+
+    def test_malformed_lines_skip_and_report(self, tmp_path):
+        payload = bench_payload("demo", [_entry("a", 0.5)])
+        path = tmp_path / "ledger.jsonl"
+        history.append_records(
+            str(path), history.ledger_records(payload, sha="aaa",
+                                              stamp="2026-08-06T00:00:00Z"))
+        with open(path, "a") as handle:
+            handle.write("{truncated\n")
+            handle.write(json.dumps({"schema": "wrong/9"}) + "\n")
+        loaded, problems = history.read_ledger(str(path))
+        assert len(loaded) == 1
+        assert len(problems) == 2
+
+    def test_digest_tracks_workload_shape(self):
+        plain = _entry("a", 0.5)
+        assert (history.entry_digest(plain)
+                == history.entry_digest(_entry("a", 99.0)))  # timing-free
+        assert (history.entry_digest(plain)
+                != history.entry_digest(_entry("a", 0.5, rounds=5)))
+        assert (history.entry_digest(plain)
+                != history.entry_digest(_entry("a", 0.5,
+                                               extra={"states": 12})))
+
+
+class TestTrendMath:
+    def test_flat_series_is_ok(self, tmp_path):
+        path = _ledger_with(tmp_path, {"a": [0.5] * 6})
+        records, _ = history.read_ledger(path)
+        (trend,) = history.compute_trends(records)
+        assert trend.status == "ok"
+        assert trend.ratio == 1.0
+
+    def test_sustained_slowdown_regresses(self, tmp_path):
+        path = _ledger_with(tmp_path, {"a": [0.5, 0.5, 0.5, 1.0, 1.0, 1.0]})
+        records, _ = history.read_ledger(path)
+        (trend,) = history.compute_trends(records)
+        assert trend.status == "regression"
+        assert trend.ratio == 2.0
+
+    def test_single_spike_does_not_regress(self, tmp_path):
+        path = _ledger_with(tmp_path, {"a": [0.5, 0.5, 0.5, 0.5, 5.0, 0.5]})
+        records, _ = history.read_ledger(path)
+        (trend,) = history.compute_trends(records)
+        assert trend.status == "ok"
+
+    def test_improvement_is_reported_not_fatal(self, tmp_path):
+        path = _ledger_with(tmp_path, {"a": [1.0, 1.0, 1.0, 0.2, 0.2, 0.2]})
+        records, _ = history.read_ledger(path)
+        (trend,) = history.compute_trends(records)
+        assert trend.status == "improved"
+
+    def test_short_series_is_na(self, tmp_path):
+        path = _ledger_with(tmp_path, {"a": [0.5, 0.5, 0.5]})
+        records, _ = history.read_ledger(path)
+        (trend,) = history.compute_trends(records)
+        assert trend.status == "n/a"
+        assert trend.baseline is None
+
+    def test_digest_change_resets_the_series(self, tmp_path):
+        # Same entry name, but the workload shape changed mid-series: the
+        # old points must not count as baseline for the new shape.
+        path = tmp_path / "ledger.jsonl"
+        for min_s, rounds in [(0.1, 3)] * 5 + [(0.9, 5)] * 3:
+            payload = bench_payload("demo",
+                                    [_entry("a", min_s, rounds=rounds)])
+            history.append_records(
+                str(path),
+                history.ledger_records(payload, sha="x",
+                                       stamp="2026-08-06T00:00:00Z"))
+        records, _ = history.read_ledger(str(path))
+        (trend,) = history.compute_trends(records)
+        assert len(trend.points) == 3  # only the new-shape points
+        assert trend.status == "n/a"
+
+    def test_tolerance_is_respected(self, tmp_path):
+        path = _ledger_with(tmp_path, {"a": [1.0, 1.0, 1.0, 1.2, 1.2, 1.2]})
+        records, _ = history.read_ledger(path)
+        (trend,) = history.compute_trends(records, tolerance=0.25)
+        assert trend.status == "ok"
+        (trend,) = history.compute_trends(records, tolerance=0.1)
+        assert trend.status == "regression"
+
+
+class TestHistoryCli:
+    def _bench_file(self, tmp_path, name="BENCH_demo.json", min_s=0.5):
+        payload = bench_payload("demo", [_entry("a", min_s)])
+        payload["meta"] = {"git_sha": "feed1234",
+                           "created_at": "2026-08-06T09:00:00Z"}
+        path = tmp_path / name
+        path.write_text(json.dumps(payload))
+        return str(path)
+
+    def test_record_then_trend_round_trip(self, tmp_path, capsys):
+        bench = self._bench_file(tmp_path)
+        ledger = str(tmp_path / "ledger.jsonl")
+        assert history.main(["record", bench, "--ledger", ledger]) == 0
+        assert history.main(["show", "--ledger", ledger]) == 0
+        assert history.main(["trend", "--ledger", ledger]) == 0
+        out = capsys.readouterr().out
+        assert "recorded 1 entry" in out
+        assert "feed1234"[:8] in out  # meta provenance reused
+
+    def test_trend_exit_code_on_regression(self, tmp_path, capsys):
+        ledger = _ledger_with(tmp_path,
+                              {"a": [0.5, 0.5, 0.5, 2.0, 2.0, 2.0]})
+        assert history.main(["trend", "--ledger", ledger]) == 1
+        assert "REGRESSION" in capsys.readouterr().out
+
+    def test_explicit_sha_beats_bench_meta(self, tmp_path, capsys):
+        bench = self._bench_file(tmp_path)
+        ledger = str(tmp_path / "ledger.jsonl")
+        assert history.main(["record", bench, "--ledger", ledger,
+                             "--sha", "beef5678",
+                             "--created-at", "2026-08-06T10:00:00Z"]) == 0
+        records, _ = history.read_ledger(ledger)
+        assert records[0]["git_sha"] == "beef5678"
+        assert records[0]["created_at"] == "2026-08-06T10:00:00Z"
+
+    def test_usage_errors_exit_2(self, tmp_path, capsys):
+        assert history.main([]) == 2
+        assert history.main(["frobnicate"]) == 2
+        missing = str(tmp_path / "absent.jsonl")
+        assert history.main(["trend", "--ledger", missing]) == 2
+
+    def test_invalid_bench_file_exits_2(self, tmp_path):
+        path = tmp_path / "BENCH_bad.json"
+        path.write_text(json.dumps({"schema": "wrong/1"}))
+        assert history.main(["record", str(path),
+                             "--ledger", str(tmp_path / "l.jsonl")]) == 2
