@@ -11,6 +11,8 @@ Subcommands::
     repro explain ...              # narrate a witness / counterexample
     repro fuzz                     # differential fuzzing campaign / replay
     repro attrib                   # time attribution of a workload
+    repro query ARTIFACT           # filter/aggregate trace, event, and
+                                   # graph artifacts offline
 
 Each PROGRAM/SOURCE/TARGET argument is a path to a WHILE file, or inline
 WHILE source (detected when the argument is not an existing file).
@@ -28,15 +30,30 @@ Every subcommand accepts the observability flags:
     per-stack attribution hotspots (:mod:`repro.obs.attrib`);
 ``--folded FILE``
     export the attribution as folded stacks (``a;b;c <µs>``) for
-    speedscope / ``flamegraph.pl``.
+    speedscope / ``flamegraph.pl``;
+``--stream FILE|-``
+    write a live ``repro-events/1`` NDJSON stream as the run happens
+    (flushed per line) — crashes additionally print the flight-recorder
+    tail (last events, open spans, last rule) to stderr;
+``--graph FILE.json``
+    record state-space graph telemetry and write a ``repro-graph/1``
+    report (nodes deduped by canonical key, edges labeled with the
+    ``rule.*`` that fired);
+``--graph-stats``
+    record graph telemetry and print the aggregate statistics table
+    (plus, for ``litmus``, a timing-free per-case column block that is
+    byte-identical across ``--jobs`` values).
 
 ``litmus``, ``adequacy``, ``coverage``, and ``fuzz`` additionally accept
 ``--jobs N`` to fan their independent cases across a process pool
 (:mod:`repro.runner`); worker metrics merge back into the parent's
 session, and the rendered output is byte-identical to ``--jobs 1``
-modulo timing columns.  ``litmus``, ``coverage``, and ``fuzz`` accept
-``--progress`` for a periodic stderr heartbeat (off by default; never
-mixed into stdout).
+modulo timing columns.  ``litmus``, ``coverage``, ``fuzz`` (campaign
+*and* ``--replay``), and ``explain`` accept ``--progress`` for a
+periodic stderr heartbeat (off by default; never mixed into stdout).
+
+``repro --version`` prints the package version plus run provenance
+(git SHA, creation timestamp, interpreter) and exits.
 
 Incomplete explorations are *never* silent: when a bound truncates the
 search, a warning naming the exhausted bound goes to stderr and the
@@ -51,7 +68,7 @@ import os
 import sys
 from typing import Optional, Sequence
 
-from . import obs, runner
+from . import __version__, obs, runner
 from .adequacy import check_adequacy
 from .lang.ast import Stmt
 from .lang.parser import parse
@@ -59,12 +76,20 @@ from .lang.pretty import to_source
 from .litmus import ALL_TRANSFORMATION_CASES, EXTENDED_CASES, case_by_name
 from .obs import coverage as obs_coverage
 from .obs import explain as obs_explain
+from .obs import query as obs_query
 from .obs.attrib import (
     attrib_payload,
     render_attrib_table,
     write_folded,
 )
+from .obs.events import render_flight
+from .obs.provenance import provenance_meta
 from .obs.report import render_profile, render_stats_table, stats_payload
+from .obs.statespace import (
+    graph_payload,
+    render_graph_table,
+    write_graph_report,
+)
 from .opt import DEFAULT_PASSES, EXTENDED_PASSES, Optimizer
 from .psna import PsConfig, explore, explore_sc, promise_free_config
 from .seq import check_transformation
@@ -180,9 +205,11 @@ def _cmd_litmus(args: argparse.Namespace) -> int:
     cases = EXTENDED_CASES if args.extended else ALL_TRANSFORMATION_CASES
     as_json = getattr(args, "format", "table") == "json"
     jobs = getattr(args, "jobs", 1)
+    graph_stats = getattr(args, "graph_stats", False)
     mismatches = 0
     incomplete_cases: list[tuple[str, tuple[str, ...]]] = []
     case_stats: list[tuple[str, int, float, float]] = []
+    graph_rows: list[tuple[str, int, int, int, int]] = []
     registry = obs.metrics()
     rows = []
     # One worker call per case, serial or pooled; payloads and counters
@@ -212,12 +239,26 @@ def _cmd_litmus(args: argparse.Namespace) -> int:
         if not row["complete"]:
             incomplete_cases.append(
                 (row["case"], tuple(row["incomplete_reasons"])))
-        if registry is not None:
+        # Timing rows only under --stats: a graph-only session must not
+        # pull wall-clock numbers into (byte-stable) stdout.
+        if registry is not None and getattr(args, "stats", False):
             hits = counters.get("seq.game.dedup_hits", 0)
             explored = counters.get("seq.game.states", 0)
             rate = hits / (hits + explored) if hits + explored else 0.0
             case_stats.append((row["case"], row["game_states"], rate,
                                payload["time_s"]))
+        if graph_stats:
+            # Pure-integer counters flushed by the game's graph builder;
+            # identical across --jobs values by construction, so this
+            # block (unlike the timing table) is byte-stable.
+            graph = (counters.get("graph.seq.game.states", 0),
+                     counters.get("graph.seq.game.edges", 0),
+                     counters.get("graph.seq.game.dedup_hits", 0),
+                     counters.get("graph.seq.game.dedup_misses", 0))
+            graph_rows.append((row["case"],) + graph)
+            row["graph"] = {"states": graph[0], "edges": graph[1],
+                            "dedup_hits": graph[2],
+                            "dedup_misses": graph[3]}
     if as_json:
         print(json.dumps({"command": "litmus", "total": len(cases),
                           "mismatches": mismatches, "cases": rows},
@@ -234,6 +275,23 @@ def _cmd_litmus(args: argparse.Namespace) -> int:
         for name, states, rate, elapsed in case_stats:
             print(f"{name:36s} {states:>8d} {rate * 100:>6.1f}% "
                   f"{elapsed * 1e3:>9.2f}")
+    if graph_rows and not as_json:
+        print()
+        print(f"{'case':36s} {'gstates':>8s} {'gedges':>8s} "
+              f"{'gdedup%':>8s}")
+        totals = [0, 0, 0, 0]
+        for name, states, edges, hits, misses in graph_rows:
+            rate = hits / (hits + misses) if hits + misses else 0.0
+            print(f"{name:36s} {states:>8d} {edges:>8d} "
+                  f"{rate * 100:>7.1f}%")
+            totals[0] += states
+            totals[1] += edges
+            totals[2] += hits
+            totals[3] += misses
+        total_rate = totals[2] / (totals[2] + totals[3]) \
+            if totals[2] + totals[3] else 0.0
+        print(f"{'TOTAL':36s} {totals[0]:>8d} {totals[1]:>8d} "
+              f"{total_rate * 100:>7.1f}%")
     obs.event("result", command="litmus", cases=len(cases),
               mismatches=mismatches,
               incomplete=[name for name, _ in incomplete_cases],
@@ -311,39 +369,53 @@ def _cmd_coverage(args: argparse.Namespace) -> int:
 
 def _cmd_explain(args: argparse.Namespace) -> int:
     """Narrate a witness, a counterexample, or a recorded trace."""
-    if args.trace_file is not None:
-        try:
-            timeline = obs_explain.explain_trace(
-                args.trace_file, title=f"trace: {args.trace_file}")
-        except OSError as error:
-            print(f"repro: error: unreadable trace file: {error}",
-                  file=sys.stderr)
-            return 2
-    elif args.case is not None:
-        try:
-            case = case_by_name(args.case)
-        except KeyError:
-            print(f"repro: error: unknown litmus case {args.case!r}",
-                  file=sys.stderr)
-            return 2
-        verdict = check_transformation(case.source, case.target)
-        measured = verdict.notion if verdict.valid else "invalid"
-        print(f"case {case.name} ({case.paper_ref}): {measured}")
-        if verdict.valid:
-            timeline = obs_explain.explain_witness(
-                [case.target],
-                title=f"witness: {case.name} target-program execution")
+    heartbeat = runner.Heartbeat("explain") \
+        if getattr(args, "progress", False) else None
+    if heartbeat is not None:
+        # The witness search reports searched-state counts; every other
+        # phase (game replay, trace rendering) has no internal hook, so
+        # the ticker keeps the heartbeat alive regardless.
+        heartbeat.start_ticker()
+    witness_progress = heartbeat.update if heartbeat is not None else None
+    try:
+        if args.trace_file is not None:
+            try:
+                timeline = obs_explain.explain_trace(
+                    args.trace_file, title=f"trace: {args.trace_file}")
+            except OSError as error:
+                print(f"repro: error: unreadable trace file: {error}",
+                      file=sys.stderr)
+                return 2
+        elif args.case is not None:
+            try:
+                case = case_by_name(args.case)
+            except KeyError:
+                print(f"repro: error: unknown litmus case {args.case!r}",
+                      file=sys.stderr)
+                return 2
+            verdict = check_transformation(case.source, case.target)
+            measured = verdict.notion if verdict.valid else "invalid"
+            print(f"case {case.name} ({case.paper_ref}): {measured}")
+            if verdict.valid:
+                timeline = obs_explain.explain_witness(
+                    [case.target],
+                    title=f"witness: {case.name} target-program execution",
+                    progress=witness_progress)
+            else:
+                cex = (verdict.advanced.counterexample
+                       if verdict.advanced is not None
+                       else verdict.simple.counterexample)
+                timeline = obs_explain.explain_counterexample(
+                    case.source, case.target, cex,
+                    title=f"counterexample: {case.name}")
         else:
-            cex = (verdict.advanced.counterexample
-                   if verdict.advanced is not None
-                   else verdict.simple.counterexample)
-            timeline = obs_explain.explain_counterexample(
-                case.source, case.target, cex,
-                title=f"counterexample: {case.name}")
-    else:
-        programs = [_load(argument) for argument in args.witness]
-        timeline = obs_explain.explain_witness(
-            programs, title=f"witness: {len(programs)} thread(s)")
+            programs = [_load(argument) for argument in args.witness]
+            timeline = obs_explain.explain_witness(
+                programs, title=f"witness: {len(programs)} thread(s)",
+                progress=witness_progress)
+    finally:
+        if heartbeat is not None:
+            heartbeat.finish()
     print(obs_explain.render_text(timeline))
     if args.html:
         with open(args.html, "w") as handle:
@@ -382,7 +454,19 @@ def _fuzz_replay(args: argparse.Namespace) -> int:
     except (OSError, ValueError) as error:
         print(f"repro: error: cannot replay: {error}", file=sys.stderr)
         return 2
-    outcomes = fuzz.replay(entry)
+    heartbeat = runner.Heartbeat(f"replay {args.replay}") \
+        if getattr(args, "progress", False) else None
+    if heartbeat is not None:
+        # Replay runs each oracle once with no per-oracle callback; the
+        # ticker still shows elapsed wall-clock for slow explorations.
+        heartbeat.start_ticker()
+    try:
+        outcomes = fuzz.replay(entry)
+        if heartbeat is not None:
+            heartbeat.done = len(outcomes)
+    finally:
+        if heartbeat is not None:
+            heartbeat.finish()
     failed = [o for o in outcomes if o.status == "fail"]
     for outcome in outcomes:
         detail = f" — {outcome.detail}" if outcome.detail else ""
@@ -459,11 +543,38 @@ def _cmd_attrib(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_query(args: argparse.Namespace) -> int:
+    """Query a trace/event/graph artifact (see :mod:`repro.obs.query`)."""
+    return obs_query.run(args)
+
+
+class _VersionAction(argparse.Action):
+    """``--version``: package version plus run provenance, lazily.
+
+    Provenance (git SHA, timestamp) is only computed when the flag is
+    actually given — a plain ``version=`` string would shell out to git
+    on every parser construction.
+    """
+
+    def __init__(self, option_strings, dest, **kwargs):
+        super().__init__(option_strings, dest, nargs=0,
+                         help="print version and provenance, then exit")
+
+    def __call__(self, parser, namespace, values, option_string=None):
+        provenance = provenance_meta()
+        print(f"repro {__version__}")
+        print(f"  git sha    : {provenance.get('git_sha') or '(unknown)'}")
+        print(f"  created at : {provenance.get('created_at')}")
+        print(f"  python     : {provenance.get('python')}")
+        parser.exit(0)
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Sequential reasoning for optimizing compilers under "
                     "weak memory concurrency (PLDI 2022 reproduction)")
+    parser.add_argument("--version", action=_VersionAction)
     sub = parser.add_subparsers(dest="command", required=True)
 
     common = argparse.ArgumentParser(add_help=False)
@@ -478,6 +589,16 @@ def build_parser() -> argparse.ArgumentParser:
     group.add_argument("--folded", metavar="FILE", default=None,
                        help="export attribution as folded stacks "
                             "(speedscope / flamegraph.pl input)")
+    group.add_argument("--stream", metavar="FILE|-", default=None,
+                       help="write a live repro-events/1 NDJSON stream "
+                            "('-' for stdout); also arms the flight "
+                            "recorder printed on crashes")
+    group.add_argument("--graph", metavar="FILE.json", default=None,
+                       help="record state-space graph telemetry and "
+                            "write a repro-graph/1 report")
+    group.add_argument("--graph-stats", action="store_true",
+                       help="record graph telemetry and print the "
+                            "aggregate statistics table")
 
     validate = sub.add_parser(
         "validate", parents=[common],
@@ -559,6 +680,9 @@ def build_parser() -> argparse.ArgumentParser:
                            "parallel composition")
     explain.add_argument("--html", metavar="FILE.html", default=None,
                          help="also write a self-contained HTML page")
+    explain.add_argument("--progress", action="store_true",
+                         help="periodic one-line heartbeat on stderr "
+                              "(states searched, elapsed)")
     explain.set_defaults(fn=_cmd_explain)
 
     adequacy = sub.add_parser(
@@ -624,51 +748,113 @@ def build_parser() -> argparse.ArgumentParser:
                              "(stack set is identical across values)")
     attrib.set_defaults(fn=_cmd_attrib)
 
+    query = sub.add_parser(
+        "query",
+        help="filter/aggregate trace, event, and graph artifacts")
+    query.add_argument("artifact", help="path to the artifact file")
+    query.add_argument("--kind", help="filter: event kind (ev field)")
+    query.add_argument("--span", help="filter: span/name field")
+    query.add_argument("--rule", help="filter: rule id substring")
+    query.add_argument("--case", type=int,
+                       help="filter: sweep case index (merged streams)")
+    query.add_argument("--top", type=int, metavar="N",
+                       help="aggregate: N most frequent values of --by")
+    query.add_argument("--by", default="rules",
+                       help="aggregate field for --top (default: rules)")
+    query.add_argument("--graph-name",
+                       help="graph to query in a multi-graph report "
+                            "(default: the only/first one)")
+    query.add_argument("--path-to", metavar="SELECTOR",
+                       help="extract a witness path to the first node "
+                            "whose flag equals or label contains SELECTOR")
+    query.add_argument("--limit", type=int, default=50,
+                       help="max filtered lines to print (default: 50)")
+    query.set_defaults(fn=_cmd_query)
+
     return parser
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
     args = build_parser().parse_args(argv)
-    wants_attrib = (args.profile or args.folded is not None
+    profile = getattr(args, "profile", False)
+    folded = getattr(args, "folded", None)
+    stats = getattr(args, "stats", False)
+    trace = getattr(args, "trace", None)
+    stream = getattr(args, "stream", None)
+    graph_file = getattr(args, "graph", None)
+    wants_attrib = (profile or folded is not None
                     or args.command == "attrib")
-    wants_obs = args.stats or args.trace is not None or wants_attrib
+    wants_graph = graph_file is not None \
+        or getattr(args, "graph_stats", False)
+    wants_obs = (stats or trace is not None or wants_attrib
+                 or wants_graph or stream is not None)
     if not wants_obs:
         return args.fn(args)
-    if args.trace is not None:
+    for path, what in ((trace, "trace"), (graph_file, "graph report"),
+                       (stream if stream != "-" else None, "stream")):
+        if path is None:
+            continue
         try:
-            open(args.trace, "w").close()
+            open(path, "w").close()
         except OSError as error:
-            print(f"repro: error: cannot write trace file: {error}",
+            print(f"repro: error: cannot write {what} file: {error}",
                   file=sys.stderr)
             return 2
-    with obs.session(trace=args.trace, meta={"command": args.command},
-                     attrib=wants_attrib) as session:
-        status = args.fn(args)
+    meta = {"command": args.command}
+    with obs.session(trace=trace, meta=meta, attrib=wants_attrib,
+                     graph=wants_graph,
+                     stream=stream) as session:
+        try:
+            status = args.fn(args)
+        except BaseException:
+            # The flight recorder's whole point: a crashed or
+            # interrupted run still says where it was.
+            if session.events is not None:
+                print(render_flight(session.events.flight_dump()),
+                      file=sys.stderr)
+            raise
         snapshot = session.metrics.snapshot()
         frames = session.attrib.frames if session.attrib else {}
-    if args.stats:
+        recorder = session.graph
+    if stats:
         print(render_stats_table(
-            stats_payload(snapshot, meta={"command": args.command}),
+            stats_payload(snapshot, meta=meta),
             title=f"stats: repro {args.command}"), file=sys.stderr)
-    if args.profile:
+    if profile:
         print(render_profile(snapshot,
                              title=f"profile: repro {args.command}"),
               file=sys.stderr)
-    if wants_attrib and (frames or args.folded is not None):
+    if wants_attrib and (frames or folded is not None):
         payload = attrib_payload(frames, snapshot["counters"],
-                                 meta={"command": args.command})
-        if args.profile and frames:
+                                 meta=meta)
+        if profile and frames:
             print(render_attrib_table(
                 payload, title=f"attribution: repro {args.command}"),
                 file=sys.stderr)
-        if args.folded is not None:
+        if folded is not None:
             try:
-                write_folded(args.folded, payload)
+                write_folded(folded, payload)
             except OSError as error:
                 print(f"repro: error: cannot write folded stacks: {error}",
                       file=sys.stderr)
                 return 2
-            print(f"folded stacks written to {args.folded}",
+            print(f"folded stacks written to {folded}",
+                  file=sys.stderr)
+    if recorder is not None:
+        if getattr(args, "graph_stats", False):
+            # Stats only (no timings, no elements): byte-identical
+            # across --jobs values.
+            print(render_graph_table(
+                graph_payload(recorder, include_elements=False)))
+        if graph_file is not None:
+            try:
+                write_graph_report(graph_file, recorder,
+                                   meta={**meta, **provenance_meta()})
+            except OSError as error:
+                print(f"repro: error: cannot write graph report: {error}",
+                      file=sys.stderr)
+                return 2
+            print(f"graph report written to {graph_file}",
                   file=sys.stderr)
     return status
 

@@ -32,7 +32,9 @@ from typing import Iterator, Optional, Union
 
 from . import report
 from .attrib import AttribRecorder
+from .events import EVENTS_SCHEMA, EventStream, read_events
 from .metrics import Histogram, MetricsRegistry, diff_snapshots
+from .statespace import GRAPH_SCHEMA, GraphRecorder
 from .trace import (
     NULL_SINK,
     NULL_SPAN,
@@ -48,24 +50,35 @@ from .trace import (
 __all__ = [
     "Histogram", "MetricsRegistry", "diff_snapshots",
     "JsonlSink", "MemorySink", "NullSink", "TraceSink", "read_trace",
-    "TRACE_SCHEMA", "report", "AttribRecorder",
+    "TRACE_SCHEMA", "EVENTS_SCHEMA", "GRAPH_SCHEMA", "report",
+    "AttribRecorder", "EventStream", "GraphRecorder", "read_events",
     "ObsSession", "session", "start", "stop", "active", "enabled",
     "metrics", "span", "event", "inc", "gauge", "observe",
-    "collect_into", "attribution",
+    "collect_into", "attribution", "graph", "stream",
 ]
 
 
 class ObsSession:
-    """One observability session: a metrics registry plus a trace sink."""
+    """One observability session: a metrics registry plus a trace sink.
+
+    Optionally carries a :class:`GraphRecorder` (state-space graph
+    telemetry) and an :class:`EventStream` (live NDJSON events plus the
+    flight-recorder ring); both are ``None`` unless requested, and the
+    instrumented loops skip every hook when they are.
+    """
 
     def __init__(self, sink: TraceSink = NULL_SINK,
                  meta: Optional[dict] = None,
-                 attrib: bool = False) -> None:
+                 attrib: bool = False,
+                 graph: Optional[GraphRecorder] = None,
+                 events: Optional[EventStream] = None) -> None:
         self.metrics = MetricsRegistry()
         self.sink = sink
         self.span_stack: list[str] = []
         self.attrib: Optional[AttribRecorder] = (
             AttribRecorder() if attrib else None)
+        self.graph = graph
+        self.events = events
         if sink.active:
             header = {"ev": "meta", "schema": TRACE_SCHEMA, "t": time.time()}
             if meta:
@@ -77,8 +90,17 @@ class ObsSession:
             payload = {"ev": "event", "name": name, "t": time.time()}
             payload.update(fields)
             self.sink.emit(payload)
+        if self.events is not None:
+            self.events.emit("event", name=name, **fields)
 
     def close(self) -> None:
+        if self.events is not None and not self.events.closed:
+            rules = {name: value for name, value
+                     in self.metrics.snapshot()["counters"].items()
+                     if name.startswith("rule.")}
+            if rules:
+                self.events.emit("coverage", rules=rules)
+            self.events.close()
         self.sink.close()
 
 
@@ -110,11 +132,17 @@ def collect_into(registry: Optional[MetricsRegistry],
 
 def start(trace: Union[str, TraceSink, None] = None,
           meta: Optional[dict] = None,
-          attrib: bool = False) -> ObsSession:
+          attrib: bool = False,
+          graph: Union[bool, GraphRecorder] = False,
+          stream: Union[str, EventStream, bool, None] = None) -> ObsSession:
     """Activate a session; ``trace`` is a JSONL path, a sink, or None.
 
     ``attrib`` additionally records per-stack time attribution
     (:mod:`repro.obs.attrib`) — the ``--profile``/``--folded`` data.
+    ``graph`` (``True`` or a :class:`GraphRecorder`) records state-space
+    graph telemetry.  ``stream`` opens a live event stream: a path,
+    ``"-"`` (stdout), an :class:`EventStream`, or ``True`` for a
+    ring-only flight recorder (the worker-process mode).
     """
     global _ACTIVE
     if _ACTIVE is not None:
@@ -125,7 +153,22 @@ def start(trace: Union[str, TraceSink, None] = None,
         sink = trace
     else:
         sink = JsonlSink(trace)
-    _ACTIVE = ObsSession(sink, meta, attrib=attrib)
+    if graph is False:
+        recorder: Optional[GraphRecorder] = None
+    elif graph is True:
+        recorder = GraphRecorder()
+    else:
+        recorder = graph
+    if stream is None:
+        events: Optional[EventStream] = None
+    elif isinstance(stream, EventStream):
+        events = stream
+    elif stream is True:
+        events = EventStream(None, meta=meta)
+    else:
+        events = EventStream(stream, meta=meta)
+    _ACTIVE = ObsSession(sink, meta, attrib=attrib, graph=recorder,
+                         events=events)
     return _ACTIVE
 
 
@@ -143,8 +186,11 @@ def stop() -> Optional[ObsSession]:
 @contextmanager
 def session(trace: Union[str, TraceSink, None] = None,
             meta: Optional[dict] = None,
-            attrib: bool = False) -> Iterator[ObsSession]:
-    current = start(trace, meta, attrib=attrib)
+            attrib: bool = False,
+            graph: Union[bool, GraphRecorder] = False,
+            stream: Union[str, EventStream, bool, None] = None,
+            ) -> Iterator[ObsSession]:
+    current = start(trace, meta, attrib=attrib, graph=graph, stream=stream)
     try:
         yield current
     finally:
@@ -168,6 +214,16 @@ def metrics() -> Optional[MetricsRegistry]:
 def attribution() -> Optional[AttribRecorder]:
     """The active session's attribution recorder, if one is recording."""
     return None if _ACTIVE is None else _ACTIVE.attrib
+
+
+def graph() -> Optional[GraphRecorder]:
+    """The active session's state-graph recorder, if one is recording."""
+    return None if _ACTIVE is None else _ACTIVE.graph
+
+
+def stream() -> Optional[EventStream]:
+    """The active session's live event stream, if one is open."""
+    return None if _ACTIVE is None else _ACTIVE.events
 
 
 def span(name: str, **fields):

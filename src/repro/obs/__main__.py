@@ -4,16 +4,18 @@ Two modes::
 
     python -m repro.obs FILE [FILE ...]
         Validate report files by their ``schema`` field — any mix of
-        ``repro-stats/1``, ``repro-bench/1``, and ``repro-coverage/1``
-        files.  Exits 0 when every file validates, 1 otherwise.  This is
-        what the CI benchmark smoke-check runs over ``BENCH_*.json``.
+        ``repro-stats/1``, ``repro-bench/1``, ``repro-coverage/1``,
+        ``repro-attrib/1``, and ``repro-graph/1`` files.  Exits 0 when
+        every file validates, 1 otherwise.  This is what the CI
+        benchmark smoke-check runs over ``BENCH_*.json``.
 
-    python -m repro.obs diff OLD NEW [--tolerance 0.25]
+    python -m repro.obs diff OLD NEW [--tolerance 0.25] [--strict]
         Compare two ``repro-bench/1`` reports (or two directories of
         ``BENCH_*.json``) entry-by-entry on ``min_s`` (see
         :mod:`repro.obs.diff`).  Exits 0 when no entry regressed beyond
         the tolerance, 1 on a regression, 2 on usage or unreadable
-        input.  This is the CI perf-trajectory gate.
+        input; with ``--strict``, 3 when the directories hold
+        asymmetric file sets.  This is the CI perf-trajectory gate.
 
     python -m repro.obs history {record,show,trend} ...
         The append-only run-history ledger (see
@@ -36,10 +38,11 @@ from .report import _main as _validate_main
 _USAGE = """\
 usage: python -m repro.obs FILE [FILE ...]
            validate repro-stats/1 / repro-bench/1 / repro-coverage/1 /
-           repro-attrib/1 files
-       python -m repro.obs diff OLD NEW [--tolerance 0.25]
+           repro-attrib/1 / repro-graph/1 files
+       python -m repro.obs diff OLD NEW [--tolerance 0.25] [--strict]
            compare two repro-bench/1 reports (or two directories of
-           BENCH_*.json); exit 1 on perf regression
+           BENCH_*.json); exit 1 on perf regression, 3 on --strict
+           directory asymmetry
        python -m repro.obs history {record,show,trend} ...
            append to / inspect the run-history ledger; trend exits 1
            on a sustained regression

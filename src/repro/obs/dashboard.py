@@ -21,6 +21,9 @@ absent, so the page always builds):
   table, never-fired rules marked loudly;
 * **attribution** — the top-N self-time hotspots of a
   ``repro-attrib/1`` payload as labeled bars;
+* **state space** — the ``repro-graph/1`` search-shape panel: unique
+  states, dedup ratio, branching/depth, frontier-growth sparkline, and
+  the hottest ``rule.*`` edges per recorded graph;
 * **fuzz** — the latest campaign summary, verbatim.
 
 Colors follow the repo's validated default palette: categorical slot 1
@@ -48,6 +51,7 @@ from .report import validate_bench_payload
 DEFAULT_COVERAGE = "coverage-rules.json"
 DEFAULT_ATTRIB = "attrib.json"
 DEFAULT_FUZZ = "fuzz-summary.txt"
+DEFAULT_GRAPH = "graph-stats.json"
 
 _CSS = """
 :root { color-scheme: light dark; }
@@ -158,7 +162,8 @@ def _tile(value, label, status: str = "") -> str:
             f'<div class="l">{_esc(label)}</div></div>')
 
 
-def _section_tiles(benches, records, coverage, attrib, fuzz_ok) -> str:
+def _section_tiles(benches, records, coverage, attrib, fuzz_ok,
+                   graph=None) -> str:
     entries = sum(len(payload["entries"]) for payload in benches)
     tiles = [_tile(f"{len(benches)}", "bench reports"),
              _tile(f"{entries}", "benchmark entries"),
@@ -171,6 +176,10 @@ def _section_tiles(benches, records, coverage, attrib, fuzz_ok) -> str:
     if attrib is not None:
         tiles.append(_tile(f"{attrib.get('total_s', 0.0):.2f}s",
                            "attributed self-time"))
+    if graph is not None:
+        states = sum(stats.get("states", 0)
+                     for stats in graph.get("graphs", {}).values())
+        tiles.append(_tile(f"{states}", "unique search states"))
     if fuzz_ok is not None:
         tiles.append(_tile("✓ pass" if fuzz_ok else "✗ FAIL",
                            "latest fuzz campaign",
@@ -300,6 +309,59 @@ def _section_attrib(attrib: Optional[dict], top: int) -> str:
             + "".join(cells) + "</table>")
 
 
+def _section_statespace(graph: Optional[dict]) -> str:
+    if graph is None:
+        return ('<p class="none">no graph report — run '
+                '<code>repro litmus --graph graph-stats.json</code></p>')
+    graphs = graph.get("graphs", {})
+    if not graphs:
+        return '<p class="none">graph report holds no graphs</p>'
+    parts = ["<table><tr><th>graph</th><th class='num'>runs</th>"
+             "<th class='num'>states</th><th class='num'>edges</th>"
+             "<th class='num'>dedup%</th><th class='num'>depth</th>"
+             "<th class='num'>frontier</th><th>frontier growth</th>"
+             "<th>truncated</th></tr>"]
+    for name in sorted(graphs):
+        stats = graphs[name]
+        hits = stats.get("dedup_hits", 0)
+        misses = stats.get("dedup_misses", 0)
+        ratio = hits / (hits + misses) if hits + misses else 0.0
+        curve = stats.get("frontier_curve") or []
+        spark = sparkline_svg([float(p) for p in curve]) if len(curve) > 1 \
+            else "<span class='none'>aggregate</span>"
+        truncations = stats.get("truncations", 0)
+        trunc = (f"<span class='status-warn'>{truncations} run(s)</span>"
+                 if truncations else "none")
+        parts.append(
+            f"<tr><td>{_esc(name)}</td>"
+            f"<td class='num'>{stats.get('instances', 0)}</td>"
+            f"<td class='num'>{stats.get('states', 0)}</td>"
+            f"<td class='num'>{stats.get('edges', 0)}</td>"
+            f"<td class='num'>{ratio * 100:.1f}%</td>"
+            f"<td class='num'>{stats.get('depth_max', 0)}</td>"
+            f"<td class='num'>{stats.get('peak_frontier', 0)}</td>"
+            f"<td>{spark}</td><td>{trunc}</td></tr>")
+    parts.append("</table>")
+    # Hottest edges across all graphs: which rule.* ids carry the search.
+    totals: dict[str, int] = {}
+    for stats in graphs.values():
+        for rule, count in (stats.get("rules") or {}).items():
+            totals[rule] = totals.get(rule, 0) + count
+    if totals:
+        ranked = sorted(totals.items(), key=lambda kv: (-kv[1], kv[0]))[:10]
+        top = ranked[0][1] or 1
+        rows = "".join(
+            f"<tr><td>{_esc(rule)}</td>"
+            f"<td><div class='bar-track'><div class='bar-fill' "
+            f"style='width:{count / top * 100:.1f}%'></div></div></td>"
+            f"<td class='num'>{count}</td></tr>"
+            for rule, count in ranked)
+        parts.append("<h2>Hottest rule edges</h2>"
+                     "<table><tr><th>rule</th><th>share</th>"
+                     "<th class='num'>edges</th></tr>" + rows + "</table>")
+    return "".join(parts)
+
+
 def _section_fuzz(summary: Optional[str]) -> str:
     if not summary:
         return ('<p class="none">no fuzz summary — save one with '
@@ -311,6 +373,7 @@ def build_dashboard(benches: Sequence[dict], records: Sequence[dict],
                     coverage: Optional[dict] = None,
                     attrib: Optional[dict] = None,
                     fuzz_summary: Optional[str] = None,
+                    graph: Optional[dict] = None,
                     meta: Optional[dict] = None,
                     top: int = 20) -> str:
     """Render the full page; every argument is optional data."""
@@ -328,6 +391,7 @@ def build_dashboard(benches: Sequence[dict], records: Sequence[dict],
         ("Run history", _section_history(records)),
         ("Rule coverage", _section_coverage(coverage)),
         ("Attribution hotspots", _section_attrib(attrib, top)),
+        ("State space", _section_statespace(graph)),
         ("Latest fuzz campaign", _section_fuzz(fuzz_summary)),
         ("Benchmarks", _section_benches(benches)),
     ]
@@ -341,7 +405,8 @@ def build_dashboard(benches: Sequence[dict], records: Sequence[dict],
         f"<style>{_CSS}</style></head><body>"
         "<h1>repro dashboard</h1>"
         f"<p class='sub'>{provenance or 'no provenance recorded'}</p>"
-        + _section_tiles(benches, records, coverage, attrib, fuzz_ok)
+        + _section_tiles(benches, records, coverage, attrib, fuzz_ok,
+                         graph)
         + body + "</body></html>\n")
 
 
@@ -361,7 +426,8 @@ def _load_json(path: str) -> Optional[dict]:
 def collect_inputs(root: str, ledger: Optional[str] = None,
                    coverage: Optional[str] = None,
                    attrib: Optional[str] = None,
-                   fuzz: Optional[str] = None) -> dict:
+                   fuzz: Optional[str] = None,
+                   graph: Optional[str] = None) -> dict:
     """Gather every dashboard input under ``root`` (missing = None)."""
     benches = []
     for path in sorted(glob.glob(os.path.join(root, "BENCH_*.json"))):
@@ -375,6 +441,7 @@ def collect_inputs(root: str, ledger: Optional[str] = None,
     coverage_path = coverage or os.path.join(root, DEFAULT_COVERAGE)
     attrib_path = attrib or os.path.join(root, DEFAULT_ATTRIB)
     fuzz_path = fuzz or os.path.join(root, DEFAULT_FUZZ)
+    graph_path = graph or os.path.join(root, DEFAULT_GRAPH)
     fuzz_summary = None
     if os.path.exists(fuzz_path):
         try:
@@ -388,6 +455,7 @@ def collect_inputs(root: str, ledger: Optional[str] = None,
         "coverage": _load_json(coverage_path),
         "attrib": _load_json(attrib_path),
         "fuzz_summary": fuzz_summary,
+        "graph": _load_json(graph_path),
     }
 
 
@@ -396,7 +464,7 @@ def main(argv: Sequence[str]) -> int:
     args = list(argv)
     options = {"--out": None, "--root": ".", "--ledger": None,
                "--coverage": None, "--attrib": None, "--fuzz": None,
-               "--top": "20"}
+               "--graph": None, "--top": "20"}
     for name in list(options):
         if name in args:
             index = args.index(name)
@@ -409,16 +477,18 @@ def main(argv: Sequence[str]) -> int:
     if args or not options["--out"]:
         print("usage: python -m repro.obs dashboard --out FILE "
               "[--root DIR] [--ledger FILE] [--coverage FILE] "
-              "[--attrib FILE] [--fuzz FILE] [--top N]")
+              "[--attrib FILE] [--fuzz FILE] [--graph FILE] [--top N]")
         return 2
     inputs = collect_inputs(options["--root"], ledger=options["--ledger"],
                             coverage=options["--coverage"],
                             attrib=options["--attrib"],
-                            fuzz=options["--fuzz"])
+                            fuzz=options["--fuzz"],
+                            graph=options["--graph"])
     page = build_dashboard(inputs["benches"], inputs["records"],
                            coverage=inputs["coverage"],
                            attrib=inputs["attrib"],
                            fuzz_summary=inputs["fuzz_summary"],
+                           graph=inputs["graph"],
                            meta=provenance_meta(options["--root"]),
                            top=int(options["--top"]))
     try:

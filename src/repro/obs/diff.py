@@ -10,8 +10,10 @@ when a benchmark got slower than the tolerance allows::
 
 In directory mode both arguments are directories of ``BENCH_*.json``
 files: the intersection (by file name) is diffed pairwise, files
-present on only one side produce a warning but never fail the diff,
-and the exit code aggregates across all pairs.
+present on only one side produce a warning but (by default) never fail
+the diff, and the exit code aggregates across all pairs.  With
+``--strict``, an asymmetric directory pair exits 3 — a benchmark that
+silently disappeared is a coverage hole, and CI can now gate on it.
 
 Entries pair by ``name``.  The compared statistic is ``min_s`` — the
 minimum over rounds is the standard low-noise point estimate for
@@ -19,7 +21,8 @@ wall-clock microbenchmarks (mean and max fold in scheduler noise).  An
 entry regresses when ``new.min_s > old.min_s * (1 + tolerance)``;
 improvements, added entries, and removed entries are reported but never
 fail the diff.  Exit codes: 0 (no regression), 1 (regression), 2 (usage
-or unreadable/invalid input).
+or unreadable/invalid input), 3 (``--strict`` directory asymmetry).
+Severity order for aggregation: 2 > 3 > 1 > 0.
 """
 
 from __future__ import annotations
@@ -150,12 +153,23 @@ def _diff_files(old_path: str, new_path: str, tolerance: float) -> int:
     return 0 if diff.ok else 1
 
 
-def _diff_directories(old_dir: str, new_dir: str, tolerance: float) -> int:
+#: Exit-code severity for aggregation: unreadable input dominates the
+#: strict-asymmetry code, which dominates a plain regression.
+_SEVERITY = {0: 0, 1: 1, 3: 2, 2: 3}
+
+
+def _worse(a: int, b: int) -> int:
+    return a if _SEVERITY.get(a, 3) >= _SEVERITY.get(b, 3) else b
+
+
+def _diff_directories(old_dir: str, new_dir: str, tolerance: float,
+                      strict: bool = False) -> int:
     """Diff the BENCH_*.json intersection of two directories.
 
-    Asymmetric files warn but never fail; the exit code is the worst
-    per-pair code (2 dominates 1 dominates 0), preserving the
-    single-file semantics.
+    Asymmetric files warn; with ``strict`` they additionally make the
+    exit code 3 (unless a worse per-pair code dominates).  The exit
+    code aggregates per-pair codes by severity (2 > 3 > 1 > 0),
+    preserving the single-file semantics.
     """
     old_names = {os.path.basename(path) for path
                  in glob.glob(os.path.join(old_dir, "BENCH_*.json"))}
@@ -174,15 +188,24 @@ def _diff_directories(old_dir: str, new_dir: str, tolerance: float) -> int:
     for name in shared:
         code = _diff_files(os.path.join(old_dir, name),
                            os.path.join(new_dir, name), tolerance)
-        worst = max(worst, code)
+        worst = _worse(worst, code)
+    if strict and old_names != new_names:
+        asymmetric = sorted((old_names - new_names) | (new_names - old_names))
+        print(f"diff: --strict: {len(asymmetric)} file(s) present on only "
+              f"one side: {', '.join(asymmetric)}")
+        worst = _worse(worst, 3)
     return worst
 
 
 def main(argv: Sequence[str]) -> int:
-    """CLI: ``diff OLD NEW [--tolerance T]`` over files or directories;
-    exit 0/1/2."""
+    """CLI: ``diff OLD NEW [--tolerance T] [--strict]`` over files or
+    directories; exit 0/1/2/3."""
     args = list(argv)
     tolerance = DEFAULT_TOLERANCE
+    strict = False
+    if "--strict" in args:
+        strict = True
+        args.remove("--strict")
     if "--tolerance" in args:
         index = args.index("--tolerance")
         try:
@@ -193,8 +216,8 @@ def main(argv: Sequence[str]) -> int:
         del args[index:index + 2]
     if len(args) != 2:
         print("usage: python -m repro.obs diff OLD NEW "
-              "[--tolerance 0.25]  (OLD/NEW: two bench files or two "
-              "directories of BENCH_*.json)")
+              "[--tolerance 0.25] [--strict]  (OLD/NEW: two bench files "
+              "or two directories of BENCH_*.json)")
         return 2
     old_is_dir, new_is_dir = os.path.isdir(args[0]), os.path.isdir(args[1])
     if old_is_dir != new_is_dir:
@@ -202,5 +225,5 @@ def main(argv: Sequence[str]) -> int:
               f"both be directories")
         return 2
     if old_is_dir:
-        return _diff_directories(args[0], args[1], tolerance)
+        return _diff_directories(args[0], args[1], tolerance, strict=strict)
     return _diff_files(args[0], args[1], tolerance)

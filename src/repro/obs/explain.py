@@ -141,15 +141,22 @@ class Witness:
         return self.steps[-1].state if self.steps else self.initial
 
 
+#: How often :func:`find_witness` reports progress (states searched).
+PROGRESS_INTERVAL = 1_000
+
+
 def find_witness(programs: Sequence[Stmt],
                  config: Optional[PsConfig] = None,
                  accept: Optional[Callable[[PsResult], bool]] = None,
-                 max_states: int = 50_000) -> Optional[Witness]:
+                 max_states: int = 50_000,
+                 progress: Optional[Callable[[int], None]] = None,
+                 ) -> Optional[Witness]:
     """Breadth-first search for a shortest accepted execution.
 
     ``accept`` filters outcomes (default: any behavior, ⊥ included).
     Returns None when no accepted final state is reachable within the
-    bound.
+    bound.  ``progress`` is called with the running searched-state count
+    every :data:`PROGRESS_INTERVAL` states (the ``--progress`` hook).
     """
     config = config or PsConfig()
     start = initial_state(list(programs), config)
@@ -162,6 +169,8 @@ def find_witness(programs: Sequence[Stmt],
                                tuple[MachineStepInfo, ...]]] = []
         for state, path in queue:
             searched += 1
+            if progress is not None and searched % PROGRESS_INTERVAL == 0:
+                progress(searched)
             outcome = _outcome(state)
             if outcome is not None and (accept is None or accept(outcome)):
                 return Witness(start, path, outcome, searched)
@@ -201,9 +210,12 @@ def explain_witness(programs: Sequence[Stmt],
                     config: Optional[PsConfig] = None,
                     accept: Optional[Callable[[PsResult], bool]] = None,
                     title: str = "PS^na witness",
-                    max_states: int = 50_000) -> Timeline:
+                    max_states: int = 50_000,
+                    progress: Optional[Callable[[int], None]] = None,
+                    ) -> Timeline:
     """Search for a witness and narrate it step by step."""
-    witness = find_witness(programs, config, accept, max_states)
+    witness = find_witness(programs, config, accept, max_states,
+                           progress=progress)
     timeline = Timeline(title)
     if witness is None:
         timeline.header = (f"no matching execution found "

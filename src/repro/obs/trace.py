@@ -29,6 +29,8 @@ import json
 import time
 from typing import IO, Optional, Union
 
+from .events import QUIET_SPANS
+
 TRACE_SCHEMA = "repro-trace/1"
 
 
@@ -128,6 +130,12 @@ class Span:
         session.span_stack.append(self.name)
         if session.attrib is not None:
             session.attrib.on_enter()
+        events = session.events
+        if events is not None:
+            events.span_stack = tuple(session.span_stack)
+            if self.name not in QUIET_SPANS:
+                events.emit("span-enter", name=self.name, depth=self.depth,
+                            **self.fields)
         self._wall = time.time()
         self._t0 = time.perf_counter()
         return self
@@ -139,6 +147,12 @@ class Span:
             session.attrib.on_exit(tuple(session.span_stack), duration)
         session.span_stack.pop()
         session.metrics.observe(f"span.{self.name}", duration)
+        events = session.events
+        if events is not None:
+            events.span_stack = tuple(session.span_stack)
+            if self.name not in QUIET_SPANS:
+                events.emit("span-exit", name=self.name, depth=self.depth,
+                            dur_s=duration)
         sink = self._session.sink
         if sink.active:
             event = {"ev": "span", "name": self.name, "t": self._wall,

@@ -22,12 +22,14 @@ from .. import obs
 from ..lang.ast import Stmt
 from ..lang.itree import ThreadState
 from ..lang.values import Value, value_leq
+from ..obs.events import STATE_EVENT_INTERVAL
 from .machine import (
     CertCache,
     KeyCache,
     MachineState,
     canonical_key,
     initial_state,
+    labeled_machine_steps,
     machine_steps,
 )
 from .thread import PsConfig
@@ -35,6 +37,15 @@ from .thread import PsConfig
 #: ``Exploration.incomplete_reason`` values.
 STATE_BOUND = "state-bound"
 DEPTH_BOUND = "depth-bound"
+
+
+def _rule_id(info) -> str:
+    """The ``rule.*`` identifier of one labeled machine step."""
+    if info.tag == "sc-fence":
+        return "rule.psna.machine.sc-fence"
+    if info.tag == "machine-failure":
+        return "rule.psna.machine.failure"
+    return f"rule.psna.thread.{info.tag}"
 
 
 @dataclass(frozen=True)
@@ -136,7 +147,8 @@ def _explore(programs: list[Stmt | ThreadState], config: PsConfig,
     cert_cache = CertCache() if config.enable_cert_cache else None
     key_cache = KeyCache() if config.enable_key_cache else None
     behaviors: set[PsResult] = set()
-    seen = {canonical_key(start, key_cache)}
+    start_key = canonical_key(start, key_cache)
+    seen = {start_key}
     stack: list[tuple[MachineState, int]] = [(start, config.max_depth)]
     states = 0
     stuck = 0
@@ -146,33 +158,100 @@ def _explore(programs: list[Stmt | ThreadState], config: PsConfig,
     state_bound_hit = False
     depth_bound_hit = False
 
+    # Graph/stream telemetry: both default to None and the hot loop pays
+    # one boolean check; when recording, the labeled step enumeration
+    # (same successor order) supplies the rule id per edge.
+    recorder = obs.graph()
+    stream = obs.stream()
+    builder = recorder.builder("psna.explore") if recorder is not None \
+        else None
+    recording = builder is not None or stream is not None
+    if builder is not None:
+        builder.node(start_key, 0)
+
     while stack:
         if states >= config.max_states:
             # Exact bound: exactly max_states states get processed, and
             # the bound only reports exhausted when work actually remains.
             state_bound_hit = True
+            if builder is not None:
+                builder.truncated()
+            if stream is not None:
+                stream.emit("truncation", span="psna.explore",
+                            reason=STATE_BOUND, states=states,
+                            last_rule=stream.last_rule)
             break
         state, depth = stack.pop()
         states += 1
-        if state.bottom:
-            behaviors.add(PsBottom(state.syscalls))
-            continue
-        if state.all_terminated():
-            behaviors.add(PsBehavior(state.return_values(), state.syscalls))
-            continue
-        if depth == 0:
-            depth_bound_hit = True
-            continue
-        progressed = False
-        for successor in machine_steps(state, config, cert_cache):
-            progressed = True
-            key = canonical_key(successor, key_cache)
-            if key not in seen:
-                seen.add(key)
-                dedup_misses += 1
-                stack.append((successor, depth - 1))
-            else:
-                dedup_hits += 1
+        if not recording:
+            if state.bottom:
+                behaviors.add(PsBottom(state.syscalls))
+                continue
+            if state.all_terminated():
+                behaviors.add(PsBehavior(state.return_values(),
+                                         state.syscalls))
+                continue
+            if depth == 0:
+                depth_bound_hit = True
+                continue
+            progressed = False
+            for successor in machine_steps(state, config, cert_cache):
+                progressed = True
+                key = canonical_key(successor, key_cache)
+                if key not in seen:
+                    seen.add(key)
+                    dedup_misses += 1
+                    stack.append((successor, depth - 1))
+                else:
+                    dedup_hits += 1
+        else:
+            # Recording path: mirror of the loop above, plus node/edge
+            # capture and periodic stream progress.
+            cur_depth = config.max_depth - depth
+            src_id = -1
+            if builder is not None:
+                src_id = builder.node_id(canonical_key(state, key_cache),
+                                         cur_depth)
+            if stream is not None and states % STATE_EVENT_INTERVAL == 0:
+                stream.emit("state", span="psna.explore", states=states,
+                            frontier=len(stack), behaviors=len(behaviors))
+            if state.bottom:
+                behavior = PsBottom(state.syscalls)
+                behaviors.add(behavior)
+                if builder is not None:
+                    builder.mark(src_id, "bottom", repr(behavior))
+                continue
+            if state.all_terminated():
+                behavior = PsBehavior(state.return_values(), state.syscalls)
+                behaviors.add(behavior)
+                if builder is not None:
+                    builder.mark(src_id, "terminal", repr(behavior))
+                continue
+            if depth == 0:
+                depth_bound_hit = True
+                if builder is not None:
+                    builder.truncated()
+                continue
+            progressed = False
+            for info in labeled_machine_steps(state, config, cert_cache):
+                progressed = True
+                rule = _rule_id(info)
+                if stream is not None:
+                    stream.last_rule = rule
+                key = canonical_key(info.state, key_cache)
+                if builder is not None:
+                    dst_id, _new = builder.node(key, cur_depth + 1)
+                    builder.edge(src_id, dst_id, rule)
+                if key not in seen:
+                    seen.add(key)
+                    dedup_misses += 1
+                    stack.append((info.state, depth - 1))
+                else:
+                    dedup_hits += 1
+            if builder is not None:
+                builder.frontier(len(stack))
+                if not progressed:
+                    builder.mark(src_id, "stuck")
         if len(stack) > peak_frontier:
             peak_frontier = len(stack)
         if not progressed:
@@ -180,6 +259,22 @@ def _explore(programs: list[Stmt | ThreadState], config: PsConfig,
             # contributes no behavior, matching the inductive Def 5.2.
             stuck += 1
             continue
+    if depth_bound_hit and not state_bound_hit and stream is not None:
+        stream.emit("truncation", span="psna.explore", reason=DEPTH_BOUND,
+                    states=states, last_rule=stream.last_rule)
+    if builder is not None:
+        if cert_cache is not None:
+            builder.set_cert_cache(len(cert_cache.entries), cert_cache.hits,
+                                   cert_cache.misses)
+        registry = obs.metrics()
+        if registry is not None:
+            registry.inc("graph.psna.explore.states", len(builder.nodes))
+            registry.inc("graph.psna.explore.edges",
+                         sum(builder.out_degrees.values()))
+            registry.inc("graph.psna.explore.dedup_hits",
+                         builder.dedup_hits)
+            registry.inc("graph.psna.explore.dedup_misses",
+                         builder.dedup_misses)
     reason = (STATE_BOUND if state_bound_hit
               else DEPTH_BOUND if depth_bound_hit else None)
     return Exploration(

@@ -26,6 +26,7 @@ from __future__ import annotations
 
 import os
 import sys
+import threading
 import time
 from multiprocessing import get_context
 from typing import Callable, Optional, Sequence
@@ -54,7 +55,7 @@ class Heartbeat:
     Use as the ``progress`` callback of :func:`run_sweep`.
     """
 
-    def __init__(self, label: str, total: int,
+    def __init__(self, label: str, total: Optional[int] = None,
                  is_failure: Optional[Callable[[object], bool]] = None,
                  interval_s: float = 2.0, stream=None) -> None:
         self.label = label
@@ -66,6 +67,8 @@ class Heartbeat:
         self.failures = 0
         self._started = time.monotonic()
         self._last_emit = self._started
+        self._ticker: Optional[threading.Thread] = None
+        self._stop = threading.Event()
 
     def __call__(self, payload) -> None:
         self.done += 1
@@ -76,14 +79,47 @@ class Heartbeat:
             self._last_emit = now
             self.emit()
 
+    def update(self, done: int) -> None:
+        """Set absolute progress (for phases that report counts, not
+        per-payload completions — e.g. a witness search's states)."""
+        self.done = done
+        now = time.monotonic()
+        if now - self._last_emit >= self.interval_s:
+            self._last_emit = now
+            self.emit()
+
+    def start_ticker(self) -> None:
+        """Emit on a timer even when no completion callbacks arrive.
+
+        Used by phases with no internal progress hook (e.g. replaying
+        one fuzz crash): a daemon thread prints the heartbeat line every
+        ``interval_s`` seconds until :meth:`finish` is called, so a hung
+        or slow run still shows elapsed wall-clock.
+        """
+        if self._ticker is not None:
+            return
+
+        def _tick() -> None:
+            while not self._stop.wait(self.interval_s):
+                self.emit()
+
+        self._ticker = threading.Thread(target=_tick, daemon=True)
+        self._ticker.start()
+
     def emit(self) -> None:
         elapsed = time.monotonic() - self._started
-        print(f"{self.label}: {self.done}/{self.total} done, "
+        span = f"{self.done}" if self.total is None \
+            else f"{self.done}/{self.total}"
+        print(f"{self.label}: {span} done, "
               f"{self.failures} failure(s), {elapsed:.0f}s elapsed",
               file=self.stream)
 
     def finish(self) -> None:
         """One final line so short runs still report something."""
+        if self._ticker is not None:
+            self._stop.set()
+            self._ticker.join(timeout=1.0)
+            self._ticker = None
         self.emit()
 
 
@@ -132,29 +168,50 @@ def _subprocess_entry(task):
     record against a fresh (empty) span stack, which matches the serial
     CLI path — commands do not wrap sweeps in an enclosing span — so
     frame stacks are identical across ``--jobs`` values.
+
+    Graph telemetry travels as a stats-only snapshot (elements stay in
+    the worker — element ids are process-local); events travel as the
+    worker's drained ring, replayed into the parent stream tagged with
+    the case index so the merged stream is deterministic in descriptor
+    order.
     """
-    worker, descriptor, want_attrib = task
-    with obs.session(attrib=want_attrib) as session:
+    worker, descriptor, want_attrib, want_graph, want_events = task
+    with obs.session(attrib=want_attrib, graph=want_graph,
+                     stream=True if want_events else None) as session:
         payload = worker(descriptor)
         snapshot = session.metrics.snapshot()
         frames = session.attrib.snapshot() if session.attrib else {}
-    return payload, snapshot, frames
+        graph_snapshot = session.graph.snapshot() if session.graph else None
+        events = session.events.drain() if session.events else None
+    return payload, snapshot, frames, graph_snapshot, events
 
 
 def _run_parallel(worker, items, jobs: int,
                   progress=None) -> list[SweepResult]:
     registry = obs.metrics()
     recorder = obs.attribution()
+    graph = obs.graph()
+    stream = obs.stream()
     context = get_context("spawn")
-    tasks = [(worker, descriptor, recorder is not None)
+    tasks = [(worker, descriptor, recorder is not None, graph is not None,
+              stream is not None)
              for descriptor in items]
     results: list[SweepResult] = []
     with context.Pool(processes=min(jobs, len(items))) as pool:
-        for payload, snapshot, frames in pool.imap(_subprocess_entry, tasks):
+        for index, (payload, snapshot, frames, graph_snapshot, events) \
+                in enumerate(pool.imap(_subprocess_entry, tasks)):
             if registry is not None:
                 registry.merge_snapshot(snapshot)
             if recorder is not None and frames:
                 merge_frames(recorder, frames)
+            if graph is not None and graph_snapshot is not None:
+                graph.merge_snapshot(graph_snapshot)
+            if stream is not None and events is not None:
+                if events["dropped"]:
+                    stream.emit("worker-drop", case=index,
+                                dropped=events["dropped"])
+                for event in events["events"]:
+                    stream.replay(event, case=index)
             counters = {name: value
                         for name, value in snapshot["counters"].items()
                         if value}

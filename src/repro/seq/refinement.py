@@ -54,7 +54,14 @@ from .labels import (
     label_leq,
     strip,
 )
-from .machine import SeqConfig, SeqUniverse, seq_steps, universe_for
+from ..obs.events import STATE_EVENT_INTERVAL
+from .machine import (
+    SeqConfig,
+    SeqUniverse,
+    classify_seq_step,
+    seq_steps,
+    universe_for,
+)
 from .oracle import OracleDefaults, _stripped_leq, default_oracle_family
 
 
@@ -198,6 +205,11 @@ class _Game:
             if len(seen) > self.limits.max_closure_states:
                 self.complete = False
                 self.incomplete_reasons.add("closure-states")
+                stream = obs.stream()
+                if stream is not None:
+                    stream.emit("truncation", span="seq.closure",
+                                reason="closure-states", states=len(seen),
+                                last_rule=stream.last_rule)
                 break
             item = stack.pop()
             cfg = item.cfg
@@ -266,6 +278,11 @@ class _Game:
                 # be exact while escapes went unexplored.
                 self.complete = False
                 self.incomplete_reasons.add("escape-states")
+                stream = obs.stream()
+                if stream is not None:
+                    stream.emit("truncation", span="seq.escape",
+                                reason="escape-states", states=len(seen),
+                                last_rule=stream.last_rule)
                 break
             cfg, rel_written = stack.pop()
             if (cfg, rel_written) in seen:
@@ -368,7 +385,35 @@ class _Game:
         configuration with its matched source frontier) is added to it —
         the raw material of a refinement certificate
         (:mod:`repro.seq.certificate`).
+
+        With a state-graph recorder active (``--graph``/``--graph-stats``)
+        each run additionally records its game graph: nodes are the
+        deduplicated ``(target, frontier)`` pairs, edges carry the
+        ``rule.seq.machine.*`` id of the target step that produced them.
         """
+        recorder = obs.graph()
+        stream = obs.stream()
+        builder = recorder.builder("seq.game") if recorder is not None \
+            else None
+        try:
+            return self._run(tgt0, src0, record, builder, stream)
+        finally:
+            if builder is not None:
+                self._flush_graph(builder)
+
+    def _flush_graph(self, builder) -> None:
+        registry = obs.metrics()
+        if registry is None:
+            return
+        registry.inc("graph.seq.game.states", len(builder.nodes))
+        registry.inc("graph.seq.game.edges",
+                     sum(builder.out_degrees.values()))
+        registry.inc("graph.seq.game.dedup_hits", builder.dedup_hits)
+        registry.inc("graph.seq.game.dedup_misses", builder.dedup_misses)
+
+    def _run(self, tgt0: SeqConfig, src0: SeqConfig,
+             record: Optional[set], builder,
+             stream) -> Optional[Counterexample]:
         frontier0 = self._close([_Item(src0, frozenset())])
         stack: list[tuple[SeqConfig, frozenset[_Item],
                           tuple[SeqLabel, ...]]] = [(tgt0, frontier0, ())]
@@ -376,6 +421,9 @@ class _Game:
         if record is not None:
             record.add((tgt0, frontier0))
         initial = tgt0
+        recording = builder is not None or stream is not None
+        if builder is not None:
+            builder.node((tgt0, frontier0), 0)
 
         registry = obs.metrics()
         while stack:
@@ -391,9 +439,25 @@ class _Game:
             if self.game_states > self.limits.max_game_states:
                 self.complete = False
                 self.incomplete_reasons.add("game-states")
+                if builder is not None:
+                    builder.truncated()
+                if stream is not None:
+                    stream.emit("truncation", span="seq.game",
+                                reason="game-states",
+                                states=self.game_states,
+                                last_rule=stream.last_rule)
                 return None
             if len(frontier) > self.peak_frontier:
                 self.peak_frontier = len(frontier)
+            cur_id = -1
+            if builder is not None:
+                cur_id = builder.node_id(key, len(trace))
+                builder.frontier(len(frontier))
+            if stream is not None \
+                    and self.game_states % STATE_EVENT_INTERVAL == 0:
+                stream.emit("state", span="seq.game",
+                            states=self.game_states,
+                            frontier=len(frontier), depth=len(trace))
             if registry is not None:
                 registry.observe("seq.game.frontier", len(frontier))
                 registry.observe(
@@ -407,9 +471,13 @@ class _Game:
             # beh-failure prune: a source that reaches ⊥ matches anything.
             if any(escape.bottom for escape in escapes.values()):
                 self.obligations["bottom-prune"] += 1
+                if builder is not None:
+                    builder.mark(cur_id, "pruned")
                 continue
 
             if tgt.is_bottom():
+                if builder is not None:
+                    builder.mark(cur_id, "counterexample")
                 return Counterexample(
                     initial, trace,
                     "target reaches UB but the source cannot", self.defaults
@@ -418,6 +486,8 @@ class _Game:
             if tgt.is_terminated():
                 if not any(self._terminal_match(tgt, item)
                            for item in frontier):
+                    if builder is not None:
+                        builder.mark(cur_id, "counterexample")
                     return Counterexample(
                         initial, trace,
                         f"no source termination matches "
@@ -425,10 +495,14 @@ class _Game:
                         f"{set(tgt.written) or '{}'},{tgt.memory})",
                         self.defaults if self.advanced else None)
                 self.obligations["terminal"] += 1
+                if builder is not None:
+                    builder.mark(cur_id, "terminal")
                 continue
 
             # beh-partial obligation for ⟨trace, prt(F_tgt)⟩.
             if not self._partial_match(tgt, frontier, escapes):
+                if builder is not None:
+                    builder.mark(cur_id, "counterexample")
                 return Counterexample(
                     initial, trace,
                     f"no source matches partial behavior "
@@ -436,8 +510,18 @@ class _Game:
                     self.defaults if self.advanced else None)
             self.obligations["partial"] += 1
 
+            action = tgt.thread.peek() if recording else None
             for label, tgt_next in seq_steps(tgt, self.universe):
                 if label is None:
+                    if recording:
+                        rule = ("rule.seq.machine."
+                                + classify_seq_step(tgt, action, None))
+                        if stream is not None:
+                            stream.last_rule = rule
+                        if builder is not None:
+                            dst_id, _new = builder.node(
+                                (tgt_next, frontier), len(trace))
+                            builder.edge(cur_id, dst_id, rule)
                     stack.append((tgt_next, frontier, trace))
                     continue
                 next_items: set[_Item] = set()
@@ -457,14 +541,32 @@ class _Game:
                 if len(next_items) > self.limits.max_frontier:
                     self.complete = False
                     self.incomplete_reasons.add("frontier")
+                    if builder is not None:
+                        builder.truncated()
+                    if stream is not None:
+                        stream.emit("truncation", span="seq.game",
+                                    reason="frontier",
+                                    states=self.game_states,
+                                    last_rule=stream.last_rule)
                     continue
                 next_frontier = self._close(next_items)
                 if not next_frontier:
+                    if builder is not None:
+                        builder.mark(cur_id, "counterexample")
                     return Counterexample(
                         initial, trace + (label,),
                         f"no source step matches target label {label!r}",
                         self.defaults if self.advanced else None)
                 self.obligations["label"] += 1
+                if recording:
+                    rule = ("rule.seq.machine."
+                            + classify_seq_step(tgt, action, label))
+                    if stream is not None:
+                        stream.last_rule = rule
+                    if builder is not None:
+                        dst_id, _new = builder.node(
+                            (tgt_next, next_frontier), len(trace) + 1)
+                        builder.edge(cur_id, dst_id, rule)
                 stack.append((tgt_next, next_frontier, trace + (label,)))
         return None
 

@@ -228,6 +228,41 @@ class TestObservabilityFlags:
         assert capsys.readouterr().err == ""
 
 
+def test_version_prints_provenance(capsys):
+    from repro import __version__
+
+    with pytest.raises(SystemExit) as excinfo:
+        main(["--version"])
+    assert excinfo.value.code == 0
+    out = capsys.readouterr().out
+    assert out.startswith(f"repro {__version__}")
+    for field in ("git sha", "created at", "python"):
+        assert field in out
+
+
+class TestProgressHeartbeat:
+    def test_explain_progress_heartbeat_on_stderr(self, capsys):
+        programs = ["x_rlx := 1; a := y_rlx; return a;",
+                    "y_rlx := 1; b := x_rlx; return b;"]
+        assert main(["explain", "--witness", *programs,
+                     "--progress"]) == 0
+        captured = capsys.readouterr()
+        assert "explain:" in captured.err and "elapsed" in captured.err
+        # stdout stays machine-readable — no heartbeat lines mixed in
+        assert "elapsed" not in captured.out
+
+    def test_fuzz_replay_progress_heartbeat_on_stderr(self, capsys):
+        import os
+
+        from repro.fuzz.corpus import DEFAULT_CORPUS_DIR
+
+        path = os.path.join(DEFAULT_CORPUS_DIR,
+                            "opt-dse-across-release.repro")
+        assert main(["fuzz", "--replay", path, "--progress"]) == 0
+        captured = capsys.readouterr()
+        assert "replay" in captured.err and "elapsed" in captured.err
+
+
 def test_help_lists_subcommands(capsys):
     with pytest.raises(SystemExit):
         main(["--help"])

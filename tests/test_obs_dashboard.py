@@ -7,7 +7,7 @@ from repro.obs.attrib import attrib_payload
 from repro.obs.report import bench_payload
 
 SECTIONS = ("Run history", "Rule coverage", "Attribution hotspots",
-            "Latest fuzz campaign", "Benchmarks")
+            "State space", "Latest fuzz campaign", "Benchmarks")
 
 
 def _entry(name, min_s):
@@ -42,8 +42,26 @@ def _fixture_inputs(tmp_path):
                              ("psna.explore", "psna.cert"): [0.2, 0.2, 9]},
                             {"rule.psna.cert.success": 5})
     fuzz = "fuzz campaign seed=0 budget=10\n10 case(s), 0 failure(s)"
+    graph = {
+        "schema": "repro-graph/1",
+        "graphs": {
+            "psna.explore": {
+                "instances": 1, "states": 136, "edges": 240,
+                "dedup_hits": 104, "dedup_misses": 136,
+                "terminal_states": 4, "bottom_states": 0,
+                "stuck_states": 0, "truncations": 0,
+                "depth_max": 8, "peak_frontier": 12,
+                "rules": {"rule.psna.thread.read": 92,
+                          "rule.psna.thread.write": 16},
+                "branching_hist": {"0": 4, "2": 132},
+                "depth_hist": {"0": 1, "1": 3},
+                "frontier_curve": [1, 3, 7, 12, 9, 4, 1],
+                "frontier_stride": 1,
+            },
+        },
+    }
     return {"benches": [bench], "records": records, "coverage": coverage,
-            "attrib": attrib, "fuzz_summary": fuzz}
+            "attrib": attrib, "fuzz_summary": fuzz, "graph": graph}
 
 
 class TestBuildDashboard:
@@ -52,7 +70,7 @@ class TestBuildDashboard:
         page = dashboard.build_dashboard(
             inputs["benches"], inputs["records"],
             coverage=inputs["coverage"], attrib=inputs["attrib"],
-            fuzz_summary=inputs["fuzz_summary"],
+            fuzz_summary=inputs["fuzz_summary"], graph=inputs["graph"],
             meta={"git_sha": "abc1234", "python": "3.12.0"})
         for section in SECTIONS:
             assert section in page
@@ -63,6 +81,8 @@ class TestBuildDashboard:
         assert "psna.explore" in page  # attribution stack
         assert "✗ never" in page  # uncovered rule marked with icon+label
         assert "0 failure(s)" in page
+        assert "rule.psna.thread.read" in page  # hottest rule edges
+        assert "unique search states" in page  # state-space tile
 
     def test_standalone_html(self, tmp_path):
         inputs = _fixture_inputs(tmp_path)

@@ -110,6 +110,46 @@ class TestDiffCli:
         assert "schema" in capsys.readouterr().out
 
 
+class TestStrictDirectories:
+    def _dirs(self, tmp_path, asymmetric=True):
+        old = tmp_path / "old"
+        new = tmp_path / "new"
+        old.mkdir()
+        new.mkdir()
+        payload = _payload(_entry("a", 0.5))
+        (old / "BENCH_shared.json").write_text(json.dumps(payload))
+        (new / "BENCH_shared.json").write_text(json.dumps(payload))
+        if asymmetric:
+            (old / "BENCH_gone.json").write_text(json.dumps(payload))
+        return str(old), str(new)
+
+    def test_asymmetry_warns_but_passes_by_default(self, tmp_path, capsys):
+        old, new = self._dirs(tmp_path)
+        assert diff.main([old, new]) == 0
+        assert "only in" in capsys.readouterr().out
+
+    def test_strict_asymmetry_exits_three(self, tmp_path, capsys):
+        old, new = self._dirs(tmp_path)
+        assert diff.main([old, new, "--strict"]) == 3
+        out = capsys.readouterr().out
+        assert "--strict" in out and "BENCH_gone.json" in out
+
+    def test_strict_symmetric_directories_pass(self, tmp_path):
+        old, new = self._dirs(tmp_path, asymmetric=False)
+        assert diff.main([old, new, "--strict"]) == 0
+
+    def test_strict_still_reports_regressions_first(self, tmp_path, capsys):
+        """An unreadable shared file (exit 2) outranks the asymmetry
+        code per the 2 > 3 > 1 > 0 severity order."""
+        old, new = self._dirs(tmp_path)
+        (tmp_path / "new" / "BENCH_shared.json").write_text("not json")
+        assert diff.main([old, new, "--strict"]) == 2
+
+    def test_obs_main_passes_strict_through(self, tmp_path, capsys):
+        old, new = self._dirs(tmp_path)
+        assert obs_main(["diff", old, new, "--strict"]) == 3
+
+
 class TestObsMain:
     def test_no_args_prints_usage_exit_2(self, capsys):
         assert obs_main([]) == 2

@@ -1,0 +1,190 @@
+"""``repro query``: offline interrogation of observability artifacts."""
+
+import json
+
+from repro.cli import main as cli_main
+from repro.obs.query import (
+    filter_events,
+    load_artifact,
+    main,
+    render_path,
+    top_values,
+    witness_path,
+)
+from repro.obs.statespace import GRAPH_SCHEMA
+
+EVENTS = [
+    {"ev": "meta", "schema": "repro-events/1", "seq": 0, "t": 0.0},
+    {"ev": "span-enter", "name": "psna.explore", "seq": 1, "t": 0.1},
+    {"ev": "state", "span": "psna.explore", "states": 500, "seq": 2,
+     "t": 0.2, "case": 3},
+    {"ev": "truncation", "span": "psna.explore", "reason": "state-bound",
+     "last_rule": "rule.psna.thread.read", "seq": 3, "t": 0.3},
+    {"ev": "coverage", "rules": {"rule.psna.thread.read": 9,
+                                 "rule.seq.machine.silent": 2},
+     "seq": 4, "t": 0.4},
+]
+
+ELEMENTS = {
+    "nodes": [
+        {"id": 0, "depth": 0, "flags": "", "label": ""},
+        {"id": 1, "depth": 1, "flags": "", "label": ""},
+        {"id": 2, "depth": 2, "flags": "terminal", "label": "ret (1, 0)"},
+        {"id": 3, "depth": 1, "flags": "", "label": ""},
+    ],
+    "edges": [[0, 1, "rule.demo.a"], [1, 2, "rule.demo.b"],
+              [0, 3, "rule.demo.c"]],
+    "truncated": False,
+}
+
+GRAPH = {
+    "schema": GRAPH_SCHEMA,
+    "graphs": {"g": {
+        "instances": 1, "states": 4, "edges": 3, "dedup_hits": 1,
+        "dedup_misses": 4, "terminal_states": 1, "bottom_states": 0,
+        "stuck_states": 0, "truncations": 0, "depth_max": 2,
+        "peak_frontier": 2,
+        "rules": {"rule.demo.a": 1, "rule.demo.b": 1, "rule.demo.c": 1},
+        "branching_hist": {"0": 2, "1": 1, "2": 1},
+        "depth_hist": {"0": 1, "1": 2, "2": 1},
+        "frontier_curve": [1, 2, 1], "frontier_stride": 1,
+        "elements": ELEMENTS,
+    }},
+}
+
+
+def _write_events(tmp_path, events=EVENTS):
+    path = tmp_path / "events.ndjson"
+    path.write_text("".join(json.dumps(event) + "\n" for event in events))
+    return str(path)
+
+
+def _write_graph(tmp_path, payload=GRAPH):
+    path = tmp_path / "graph.json"
+    path.write_text(json.dumps(payload))
+    return str(path)
+
+
+class TestLoadArtifact:
+    def test_detects_graph_reports(self, tmp_path):
+        kind, data = load_artifact(_write_graph(tmp_path))
+        assert kind == "graph" and "g" in data["graphs"]
+
+    def test_detects_event_streams(self, tmp_path):
+        kind, data = load_artifact(_write_events(tmp_path))
+        assert kind == "events" and len(data) == len(EVENTS)
+
+    def test_rejects_garbage(self, tmp_path):
+        path = tmp_path / "junk.txt"
+        path.write_text("not json at all\n")
+        try:
+            load_artifact(str(path))
+        except ValueError as error:
+            assert "not JSON" in str(error)
+        else:
+            raise AssertionError("expected ValueError")
+
+
+class TestFilters:
+    def test_kind_filter(self):
+        assert [e["ev"] for e in filter_events(EVENTS, kind="state")] \
+            == ["state"]
+
+    def test_span_filter_matches_span_or_name(self):
+        matched = filter_events(EVENTS, span="psna.explore")
+        assert {e["ev"] for e in matched} \
+            == {"span-enter", "state", "truncation"}
+
+    def test_rule_filter_is_substring_and_reads_histograms(self):
+        matched = filter_events(EVENTS, rule="thread.read")
+        assert {e["ev"] for e in matched} == {"truncation", "coverage"}
+
+    def test_case_filter(self):
+        assert [e["ev"] for e in filter_events(EVENTS, case=3)] == ["state"]
+
+    def test_filters_compose(self):
+        assert filter_events(EVENTS, kind="state", case=99) == []
+
+
+class TestTopValues:
+    def test_scalar_field(self):
+        ranked = top_values(EVENTS, "ev", 2)
+        assert len(ranked) == 2 and ranked[0][1] == 1
+
+    def test_histogram_field_folds_weights(self):
+        ranked = top_values(EVENTS, "rules", 5)
+        assert ranked[0] == ("rule.psna.thread.read", 9)
+        assert ranked[1] == ("rule.seq.machine.silent", 2)
+
+
+class TestWitnessPath:
+    def test_path_to_flag(self):
+        path = witness_path(ELEMENTS, "terminal")
+        assert [entry["node"] for entry in path] == [0, 1, 2]
+        assert [entry["via"] for entry in path] \
+            == [None, "rule.demo.a", "rule.demo.b"]
+        text = render_path(path)
+        assert "2 step(s)" in text and "rule.demo.b" in text
+
+    def test_path_to_label_substring(self):
+        path = witness_path(ELEMENTS, "(1, 0)")
+        assert path[-1]["node"] == 2
+
+    def test_unreachable_selector(self):
+        assert witness_path(ELEMENTS, "bottom") is None
+
+
+class TestQueryCli:
+    def test_graph_summary(self, tmp_path, capsys):
+        assert main([_write_graph(tmp_path)]) == 0
+        row = json.loads(capsys.readouterr().out.splitlines()[0])
+        assert row["graph"] == "g" and row["states"] == 4
+
+    def test_graph_top_rules(self, tmp_path, capsys):
+        assert main([_write_graph(tmp_path), "--top", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "rule.demo.a" in out and "rule.demo.c" not in out
+
+    def test_graph_path_to(self, tmp_path, capsys):
+        assert main([_write_graph(tmp_path), "--path-to", "terminal"]) == 0
+        assert "witness path" in capsys.readouterr().out
+
+    def test_path_to_without_elements_is_an_error(self, tmp_path, capsys):
+        stripped = json.loads(json.dumps(GRAPH))
+        del stripped["graphs"]["g"]["elements"]
+        path = tmp_path / "stats-only.json"
+        path.write_text(json.dumps(stripped))
+        assert main([str(path), "--path-to", "terminal"]) == 2
+        assert "no elements" in capsys.readouterr().err
+
+    def test_event_filter_prints_ndjson(self, tmp_path, capsys):
+        assert main([_write_events(tmp_path), "--kind", "truncation"]) == 0
+        line = json.loads(capsys.readouterr().out.splitlines()[0])
+        assert line["reason"] == "state-bound"
+
+    def test_no_match_exits_one(self, tmp_path, capsys):
+        assert main([_write_events(tmp_path), "--kind", "nope"]) == 1
+
+    def test_unreadable_artifact_exits_two(self, tmp_path, capsys):
+        assert main([str(tmp_path / "missing.ndjson")]) == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_repro_query_subcommand(self, tmp_path, capsys):
+        """The same queries run through `repro query`."""
+        assert cli_main(["query", _write_events(tmp_path),
+                         "--rule", "thread.read", "--top", "3",
+                         "--by", "rules"]) == 0
+        out = capsys.readouterr().out
+        assert "rule.psna.thread.read" in out
+
+    def test_end_to_end_stream_then_query(self, tmp_path, capsys):
+        """Stream a real run, then extract its truncation events."""
+        stream = str(tmp_path / "run.ndjson")
+        assert cli_main(["explore", "--machine", "pf", "--max-states", "5",
+                         "--stream", stream,
+                         "x_rlx := 1; a := y_rlx; return a;",
+                         "y_rlx := 1; b := x_rlx; return b;"]) == 0
+        capsys.readouterr()
+        assert cli_main(["query", stream, "--kind", "truncation"]) == 0
+        line = json.loads(capsys.readouterr().out.splitlines()[0])
+        assert line["span"] == "psna.explore"
