@@ -168,6 +168,7 @@ def _cmd_optimize(args: argparse.Namespace) -> int:
 
 def _cmd_explore(args: argparse.Namespace) -> int:
     threads = [_load(argument) for argument in args.programs]
+    config = None
     if args.machine == "sc":
         result = explore_sc(threads, max_states=args.max_states,
                             max_depth=args.max_depth)
@@ -178,6 +179,7 @@ def _cmd_explore(args: argparse.Namespace) -> int:
             config = PsConfig(promise_budget=args.promises)
         config = _bounded(config, args)
         result = explore(threads, config)
+    _shrink_monitor_violations(threads, config)
     outcomes = sorted(result.behaviors, key=repr)
     states = result.states
     if not result.complete:
@@ -199,6 +201,35 @@ def _bounded(config: PsConfig, args: argparse.Namespace) -> PsConfig:
 
     return replace(config, max_states=args.max_states,
                    max_depth=args.max_depth)
+
+
+def _shrink_monitor_violations(threads: list[Stmt],
+                               config: Optional[PsConfig]) -> None:
+    """Feed each monitor violation through the fuzz ddmin shrinker.
+
+    Called after an exploration: every violated invariant class yields a
+    regression-corpus candidate under ``corpus/monitor/`` (injected
+    canary violations shrink too — their predicate re-injects, proving
+    the capture pipeline end to end).
+    """
+    checker = obs.monitor()
+    if checker is None or not checker.total_violations():
+        return
+    from .obs.monitor import shrink_violation
+
+    for invariant_id in checker.violated_ids():
+        injected = bool(checker.injected.get(invariant_id))
+        if config is None and not injected:
+            continue  # SC exploration: no PS^na config to re-explore with
+        path = shrink_violation(tuple(threads), invariant_id,
+                                config=config, injected=injected)
+        if path is not None:
+            print(f"monitor: shrunk witness for {invariant_id} "
+                  f"written to {path}", file=sys.stderr)
+        else:
+            print(f"monitor: violation of {invariant_id} did not "
+                  f"reproduce under re-exploration; no witness written",
+                  file=sys.stderr)
 
 
 def _cmd_litmus(args: argparse.Namespace) -> int:
@@ -599,6 +630,21 @@ def build_parser() -> argparse.ArgumentParser:
     group.add_argument("--graph-stats", action="store_true",
                        help="record graph telemetry and print the "
                             "aggregate statistics table")
+    group.add_argument("--monitor", metavar="MODE", nargs="?",
+                       const="strict", default=None,
+                       help="check semantic invariants online: 'strict' "
+                            "(every transition; the bare-flag default) or "
+                            "'sample:N' (every Nth, and re-execute 1 in N "
+                            "cache hits uncached); violations fail the "
+                            "command")
+    group.add_argument("--monitor-json", metavar="FILE", default=None,
+                       help="write a repro-monitor/1 report "
+                            "(implies --monitor strict)")
+    group.add_argument("--monitor-inject", metavar="INVARIANT",
+                       default=None,
+                       help="inject a synthetic violation of one "
+                            "invariant class — the canary proving the "
+                            "detector fires (implies --monitor strict)")
 
     validate = sub.add_parser(
         "validate", parents=[common],
@@ -769,6 +815,18 @@ def build_parser() -> argparse.ArgumentParser:
                             "whose flag equals or label contains SELECTOR")
     query.add_argument("--limit", type=int, default=50,
                        help="max filtered lines to print (default: 50)")
+    query.add_argument("--follow", action="store_true",
+                       help="tail-follow a live repro-events/1 NDJSON "
+                            "stream: print matching events as they are "
+                            "appended; exits when the writer closes the "
+                            "stream or it goes idle")
+    query.add_argument("--poll", type=float, default=0.2, metavar="S",
+                       help="with --follow: poll interval in seconds "
+                            "(default: 0.2)")
+    query.add_argument("--idle-timeout", type=float, default=5.0,
+                       metavar="S",
+                       help="with --follow: exit after S seconds without "
+                            "new data (default: 5.0)")
     query.set_defaults(fn=_cmd_query)
 
     return parser
@@ -782,16 +840,38 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     trace = getattr(args, "trace", None)
     stream = getattr(args, "stream", None)
     graph_file = getattr(args, "graph", None)
+    monitor_spec = getattr(args, "monitor", None)
+    monitor_json = getattr(args, "monitor_json", None)
+    monitor_inject = getattr(args, "monitor_inject", None)
+    if monitor_spec is None and (monitor_json is not None
+                                 or monitor_inject is not None):
+        monitor_spec = "strict"
+    checker = None
+    if monitor_spec is not None:
+        from .obs.monitor import INVARIANTS, Monitor
+
+        try:
+            checker = Monitor.from_spec(monitor_spec)
+        except ValueError as error:
+            print(f"repro: error: {error}", file=sys.stderr)
+            return 2
+        if monitor_inject is not None and monitor_inject not in INVARIANTS:
+            print(f"repro: error: unknown invariant class "
+                  f"{monitor_inject!r}; choices: "
+                  + ", ".join(sorted(INVARIANTS)), file=sys.stderr)
+            return 2
     wants_attrib = (profile or folded is not None
                     or args.command == "attrib")
     wants_graph = graph_file is not None \
         or getattr(args, "graph_stats", False)
     wants_obs = (stats or trace is not None or wants_attrib
-                 or wants_graph or stream is not None)
+                 or wants_graph or stream is not None
+                 or checker is not None)
     if not wants_obs:
         return args.fn(args)
     for path, what in ((trace, "trace"), (graph_file, "graph report"),
-                       (stream if stream != "-" else None, "stream")):
+                       (stream if stream != "-" else None, "stream"),
+                       (monitor_json, "monitor report")):
         if path is None:
             continue
         try:
@@ -803,8 +883,14 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     meta = {"command": args.command}
     with obs.session(trace=trace, meta=meta, attrib=wants_attrib,
                      graph=wants_graph,
-                     stream=stream) as session:
+                     stream=stream, monitor=checker) as session:
         try:
+            if checker is not None and monitor_inject is not None:
+                # Canary: inject before the command so its violation is
+                # visible to the command's own shrink-on-violation hook.
+                from .obs.monitor import inject_violation
+
+                inject_violation(checker, monitor_inject)
             status = args.fn(args)
         except BaseException:
             # The flight recorder's whole point: a crashed or
@@ -856,6 +942,31 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                 return 2
             print(f"graph report written to {graph_file}",
                   file=sys.stderr)
+    if checker is not None:
+        from .obs.monitor import (
+            monitor_payload,
+            render_monitor_table,
+            write_monitor_report,
+        )
+
+        # Counts and deterministic witness details only: byte-identical
+        # across --jobs values, same discipline as --graph-stats above.
+        print(render_monitor_table(monitor_payload(checker)))
+        if monitor_json is not None:
+            try:
+                write_monitor_report(monitor_json, checker,
+                                     meta={**meta, **provenance_meta()})
+            except OSError as error:
+                print(f"repro: error: cannot write monitor report: "
+                      f"{error}", file=sys.stderr)
+                return 2
+            print(f"monitor report written to {monitor_json}",
+                  file=sys.stderr)
+        if checker.total_violations() and status == 0:
+            print(f"repro: monitor: {checker.total_violations()} "
+                  f"invariant violation(s) — see the table above",
+                  file=sys.stderr)
+            status = 1
     return status
 
 

@@ -34,6 +34,7 @@ from . import report
 from .attrib import AttribRecorder
 from .events import EVENTS_SCHEMA, EventStream, read_events
 from .metrics import Histogram, MetricsRegistry, diff_snapshots
+from .monitor import MONITOR_SCHEMA, Monitor
 from .statespace import GRAPH_SCHEMA, GraphRecorder
 from .trace import (
     NULL_SINK,
@@ -50,11 +51,13 @@ from .trace import (
 __all__ = [
     "Histogram", "MetricsRegistry", "diff_snapshots",
     "JsonlSink", "MemorySink", "NullSink", "TraceSink", "read_trace",
-    "TRACE_SCHEMA", "EVENTS_SCHEMA", "GRAPH_SCHEMA", "report",
-    "AttribRecorder", "EventStream", "GraphRecorder", "read_events",
+    "TRACE_SCHEMA", "EVENTS_SCHEMA", "GRAPH_SCHEMA", "MONITOR_SCHEMA",
+    "report",
+    "AttribRecorder", "EventStream", "GraphRecorder", "Monitor",
+    "read_events",
     "ObsSession", "session", "start", "stop", "active", "enabled",
     "metrics", "span", "event", "inc", "gauge", "observe",
-    "collect_into", "attribution", "graph", "stream",
+    "collect_into", "attribution", "graph", "stream", "monitor",
 ]
 
 
@@ -71,7 +74,8 @@ class ObsSession:
                  meta: Optional[dict] = None,
                  attrib: bool = False,
                  graph: Optional[GraphRecorder] = None,
-                 events: Optional[EventStream] = None) -> None:
+                 events: Optional[EventStream] = None,
+                 monitor: Optional[Monitor] = None) -> None:
         self.metrics = MetricsRegistry()
         self.sink = sink
         self.span_stack: list[str] = []
@@ -79,6 +83,7 @@ class ObsSession:
             AttribRecorder() if attrib else None)
         self.graph = graph
         self.events = events
+        self.monitor = monitor
         if sink.active:
             header = {"ev": "meta", "schema": TRACE_SCHEMA, "t": time.time()}
             if meta:
@@ -134,7 +139,8 @@ def start(trace: Union[str, TraceSink, None] = None,
           meta: Optional[dict] = None,
           attrib: bool = False,
           graph: Union[bool, GraphRecorder] = False,
-          stream: Union[str, EventStream, bool, None] = None) -> ObsSession:
+          stream: Union[str, EventStream, bool, None] = None,
+          monitor: Union[str, Monitor, None] = None) -> ObsSession:
     """Activate a session; ``trace`` is a JSONL path, a sink, or None.
 
     ``attrib`` additionally records per-stack time attribution
@@ -142,7 +148,9 @@ def start(trace: Union[str, TraceSink, None] = None,
     ``graph`` (``True`` or a :class:`GraphRecorder`) records state-space
     graph telemetry.  ``stream`` opens a live event stream: a path,
     ``"-"`` (stdout), an :class:`EventStream`, or ``True`` for a
-    ring-only flight recorder (the worker-process mode).
+    ring-only flight recorder (the worker-process mode).  ``monitor``
+    attaches a runtime invariant monitor: a :class:`Monitor` or a
+    ``--monitor`` spec string (``"strict"`` / ``"sample:N"``).
     """
     global _ACTIVE
     if _ACTIVE is not None:
@@ -167,8 +175,12 @@ def start(trace: Union[str, TraceSink, None] = None,
         events = EventStream(None, meta=meta)
     else:
         events = EventStream(stream, meta=meta)
+    if monitor is None or isinstance(monitor, Monitor):
+        checker: Optional[Monitor] = monitor
+    else:
+        checker = Monitor.from_spec(monitor)
     _ACTIVE = ObsSession(sink, meta, attrib=attrib, graph=recorder,
-                         events=events)
+                         events=events, monitor=checker)
     return _ACTIVE
 
 
@@ -189,8 +201,10 @@ def session(trace: Union[str, TraceSink, None] = None,
             attrib: bool = False,
             graph: Union[bool, GraphRecorder] = False,
             stream: Union[str, EventStream, bool, None] = None,
+            monitor: Union[str, Monitor, None] = None,
             ) -> Iterator[ObsSession]:
-    current = start(trace, meta, attrib=attrib, graph=graph, stream=stream)
+    current = start(trace, meta, attrib=attrib, graph=graph, stream=stream,
+                    monitor=monitor)
     try:
         yield current
     finally:
@@ -224,6 +238,11 @@ def graph() -> Optional[GraphRecorder]:
 def stream() -> Optional[EventStream]:
     """The active session's live event stream, if one is open."""
     return None if _ACTIVE is None else _ACTIVE.events
+
+
+def monitor() -> Optional[Monitor]:
+    """The active session's invariant monitor, if one is attached."""
+    return None if _ACTIVE is None else _ACTIVE.monitor
 
 
 def span(name: str, **fields):

@@ -5,7 +5,8 @@ Two modes::
     python -m repro.obs FILE [FILE ...]
         Validate report files by their ``schema`` field — any mix of
         ``repro-stats/1``, ``repro-bench/1``, ``repro-coverage/1``,
-        ``repro-attrib/1``, and ``repro-graph/1`` files.  Exits 0 when
+        ``repro-attrib/1``, ``repro-graph/1``, and ``repro-monitor/1``
+        files.  Exits 0 when
         every file validates, 1 otherwise.  This is what the CI
         benchmark smoke-check runs over ``BENCH_*.json``.
 
@@ -38,7 +39,7 @@ from .report import _main as _validate_main
 _USAGE = """\
 usage: python -m repro.obs FILE [FILE ...]
            validate repro-stats/1 / repro-bench/1 / repro-coverage/1 /
-           repro-attrib/1 / repro-graph/1 files
+           repro-attrib/1 / repro-graph/1 / repro-monitor/1 files
        python -m repro.obs diff OLD NEW [--tolerance 0.25] [--strict]
            compare two repro-bench/1 reports (or two directories of
            BENCH_*.json); exit 1 on perf regression, 3 on --strict

@@ -24,6 +24,8 @@ absent, so the page always builds):
 * **state space** — the ``repro-graph/1`` search-shape panel: unique
   states, dedup ratio, branching/depth, frontier-growth sparkline, and
   the hottest ``rule.*`` edges per recorded graph;
+* **invariants** — the ``repro-monitor/1`` sanitizer panel: checks and
+  violations per invariant id, the last-violation witness verbatim;
 * **fuzz** — the latest campaign summary, verbatim.
 
 Colors follow the repo's validated default palette: categorical slot 1
@@ -52,6 +54,7 @@ DEFAULT_COVERAGE = "coverage-rules.json"
 DEFAULT_ATTRIB = "attrib.json"
 DEFAULT_FUZZ = "fuzz-summary.txt"
 DEFAULT_GRAPH = "graph-stats.json"
+DEFAULT_MONITOR = "monitor.json"
 
 _CSS = """
 :root { color-scheme: light dark; }
@@ -163,7 +166,7 @@ def _tile(value, label, status: str = "") -> str:
 
 
 def _section_tiles(benches, records, coverage, attrib, fuzz_ok,
-                   graph=None) -> str:
+                   graph=None, monitor=None) -> str:
     entries = sum(len(payload["entries"]) for payload in benches)
     tiles = [_tile(f"{len(benches)}", "bench reports"),
              _tile(f"{entries}", "benchmark entries"),
@@ -180,6 +183,11 @@ def _section_tiles(benches, records, coverage, attrib, fuzz_ok,
         states = sum(stats.get("states", 0)
                      for stats in graph.get("graphs", {}).values())
         tiles.append(_tile(f"{states}", "unique search states"))
+    if monitor is not None:
+        violations = sum(entry.get("violations", 0)
+                         for entry in monitor.get("invariants", {}).values())
+        tiles.append(_tile(f"{violations}", "invariant violations",
+                           "status-bad" if violations else "status-good"))
     if fuzz_ok is not None:
         tiles.append(_tile("✓ pass" if fuzz_ok else "✗ FAIL",
                            "latest fuzz campaign",
@@ -362,6 +370,66 @@ def _section_statespace(graph: Optional[dict]) -> str:
     return "".join(parts)
 
 
+def _section_monitor(monitor: Optional[dict]) -> str:
+    if monitor is None:
+        return ('<p class="none">no monitor report — run '
+                '<code>repro litmus --monitor strict '
+                '--monitor-json monitor.json</code></p>')
+    invariants = monitor.get("invariants", {})
+    if not invariants:
+        return '<p class="none">monitor report holds no invariants</p>'
+    mode = monitor.get("mode", "strict")
+    label = mode if mode == "strict" else f"sample:{monitor.get('stride')}"
+    total_checks = sum(entry.get("checks", 0)
+                       for entry in invariants.values())
+    total_violations = sum(entry.get("violations", 0)
+                           for entry in invariants.values())
+    verdict = ("<span class='status-bad'>✗ violated</span>"
+               if total_violations else
+               "<span class='status-good'>✓ clean</span>")
+    parts = [f"<p class='sub'>{label} mode · {total_checks} checks · "
+             f"{total_violations} violation(s) · {verdict}</p>",
+             "<table><tr><th>invariant</th><th class='num'>checks</th>"
+             "<th class='num'>violations</th><th>status</th></tr>"]
+    for name in sorted(invariants):
+        entry = invariants[name]
+        violations = entry.get("violations", 0)
+        injected = entry.get("injected", 0)
+        if violations and violations == injected:
+            status = "<span class='status-warn'>injected canary</span>"
+        elif violations:
+            status = "<span class='status-bad'>✗ VIOLATED</span>"
+        else:
+            status = "<span class='status-good'>ok</span>"
+        parts.append(
+            f"<tr><td title='{_esc(entry.get('description', ''))}'>"
+            f"{_esc(name)}</td>"
+            f"<td class='num'>{entry.get('checks', 0)}</td>"
+            f"<td class='num'>{violations}</td>"
+            f"<td>{status}</td></tr>")
+    parts.append("</table>")
+    # Last-violation witnesses: the first-wins captures, verbatim, so a
+    # red cell above links to a concrete offending state without opening
+    # the JSON by hand.
+    witnessed = [(name, invariants[name]["witness"])
+                 for name in sorted(invariants)
+                 if invariants[name].get("witness")]
+    if witnessed:
+        parts.append("<h2>Violation witnesses</h2>")
+        for name, witness in witnessed:
+            lines = [f"invariant: {name}",
+                     f"scope:     {witness.get('scope', '-')}",
+                     f"detail:    {witness.get('detail', '-')}"]
+            if witness.get("rule"):
+                lines.append(f"rule:      {witness['rule']}")
+            if witness.get("spans"):
+                lines.append(f"spans:     {';'.join(witness['spans'])}")
+            if witness.get("state"):
+                lines.append(f"state:     {witness['state']}")
+            parts.append(f"<pre>{_esc(chr(10).join(lines))}</pre>")
+    return "".join(parts)
+
+
 def _section_fuzz(summary: Optional[str]) -> str:
     if not summary:
         return ('<p class="none">no fuzz summary — save one with '
@@ -374,6 +442,7 @@ def build_dashboard(benches: Sequence[dict], records: Sequence[dict],
                     attrib: Optional[dict] = None,
                     fuzz_summary: Optional[str] = None,
                     graph: Optional[dict] = None,
+                    monitor: Optional[dict] = None,
                     meta: Optional[dict] = None,
                     top: int = 20) -> str:
     """Render the full page; every argument is optional data."""
@@ -392,6 +461,7 @@ def build_dashboard(benches: Sequence[dict], records: Sequence[dict],
         ("Rule coverage", _section_coverage(coverage)),
         ("Attribution hotspots", _section_attrib(attrib, top)),
         ("State space", _section_statespace(graph)),
+        ("Invariants", _section_monitor(monitor)),
         ("Latest fuzz campaign", _section_fuzz(fuzz_summary)),
         ("Benchmarks", _section_benches(benches)),
     ]
@@ -406,7 +476,7 @@ def build_dashboard(benches: Sequence[dict], records: Sequence[dict],
         "<h1>repro dashboard</h1>"
         f"<p class='sub'>{provenance or 'no provenance recorded'}</p>"
         + _section_tiles(benches, records, coverage, attrib, fuzz_ok,
-                         graph)
+                         graph, monitor)
         + body + "</body></html>\n")
 
 
@@ -427,7 +497,8 @@ def collect_inputs(root: str, ledger: Optional[str] = None,
                    coverage: Optional[str] = None,
                    attrib: Optional[str] = None,
                    fuzz: Optional[str] = None,
-                   graph: Optional[str] = None) -> dict:
+                   graph: Optional[str] = None,
+                   monitor: Optional[str] = None) -> dict:
     """Gather every dashboard input under ``root`` (missing = None)."""
     benches = []
     for path in sorted(glob.glob(os.path.join(root, "BENCH_*.json"))):
@@ -442,6 +513,7 @@ def collect_inputs(root: str, ledger: Optional[str] = None,
     attrib_path = attrib or os.path.join(root, DEFAULT_ATTRIB)
     fuzz_path = fuzz or os.path.join(root, DEFAULT_FUZZ)
     graph_path = graph or os.path.join(root, DEFAULT_GRAPH)
+    monitor_path = monitor or os.path.join(root, DEFAULT_MONITOR)
     fuzz_summary = None
     if os.path.exists(fuzz_path):
         try:
@@ -456,6 +528,7 @@ def collect_inputs(root: str, ledger: Optional[str] = None,
         "attrib": _load_json(attrib_path),
         "fuzz_summary": fuzz_summary,
         "graph": _load_json(graph_path),
+        "monitor": _load_json(monitor_path),
     }
 
 
@@ -464,7 +537,7 @@ def main(argv: Sequence[str]) -> int:
     args = list(argv)
     options = {"--out": None, "--root": ".", "--ledger": None,
                "--coverage": None, "--attrib": None, "--fuzz": None,
-               "--graph": None, "--top": "20"}
+               "--graph": None, "--monitor": None, "--top": "20"}
     for name in list(options):
         if name in args:
             index = args.index(name)
@@ -477,18 +550,21 @@ def main(argv: Sequence[str]) -> int:
     if args or not options["--out"]:
         print("usage: python -m repro.obs dashboard --out FILE "
               "[--root DIR] [--ledger FILE] [--coverage FILE] "
-              "[--attrib FILE] [--fuzz FILE] [--graph FILE] [--top N]")
+              "[--attrib FILE] [--fuzz FILE] [--graph FILE] "
+              "[--monitor FILE] [--top N]")
         return 2
     inputs = collect_inputs(options["--root"], ledger=options["--ledger"],
                             coverage=options["--coverage"],
                             attrib=options["--attrib"],
                             fuzz=options["--fuzz"],
-                            graph=options["--graph"])
+                            graph=options["--graph"],
+                            monitor=options["--monitor"])
     page = build_dashboard(inputs["benches"], inputs["records"],
                            coverage=inputs["coverage"],
                            attrib=inputs["attrib"],
                            fuzz_summary=inputs["fuzz_summary"],
                            graph=inputs["graph"],
+                           monitor=inputs["monitor"],
                            meta=provenance_meta(options["--root"]),
                            top=int(options["--top"]))
     try:

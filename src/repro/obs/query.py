@@ -23,6 +23,15 @@ Three query modes compose left to right:
   whose flag equals — or label contains — the selector, and prints the
   rule-labeled path.
 
+``--follow`` switches the events dialect into tail mode: the stream is
+polled (seek + incremental read, partial trailing lines buffered until
+their newline arrives) and matching events print as they are appended —
+how monitors and heartbeats are watched live.  The follow loop exits
+cleanly when the writer closes the stream (the session-final
+``coverage`` event) or when no new data arrives for ``--idle-timeout``
+seconds (plain EOF: streams without rule counters end without a
+``coverage`` line).
+
 Exit codes: 0 = matches found, 1 = query ran but matched nothing,
 2 = unreadable/invalid artifact or bad usage.
 """
@@ -32,6 +41,7 @@ from __future__ import annotations
 import argparse
 import json
 import sys
+import time
 from collections import deque
 from typing import Optional
 
@@ -213,6 +223,18 @@ def build_parser() -> argparse.ArgumentParser:
                              "whose flag equals or label contains SELECTOR")
     parser.add_argument("--limit", type=int, default=50,
                         help="max filtered lines to print (default: 50)")
+    parser.add_argument("--follow", action="store_true",
+                        help="tail-follow a live repro-events/1 NDJSON "
+                             "stream: print matching events as they are "
+                             "appended; exits when the writer closes the "
+                             "stream or it goes idle")
+    parser.add_argument("--poll", type=float, default=0.2, metavar="S",
+                        help="with --follow: poll interval in seconds "
+                             "(default: 0.2)")
+    parser.add_argument("--idle-timeout", type=float, default=5.0,
+                        metavar="S",
+                        help="with --follow: exit after S seconds without "
+                             "new data (default: 5.0)")
     return parser
 
 
@@ -272,8 +294,86 @@ def _query_events(events: list[dict], options: argparse.Namespace) -> int:
     return 0 if matched else 1
 
 
+def follow_events(path: str, options: argparse.Namespace,
+                  poll_s: float = 0.2, idle_timeout_s: float = 5.0,
+                  out=None) -> int:
+    """Tail-follow an NDJSON event stream; print matching events live.
+
+    Poll + seek: the file is reopened cheaply never — one handle seeks
+    past what it already consumed and reads whatever the writer has
+    flushed since; a trailing partial line (the writer flushes per line,
+    but the poll can still race a kernel-level partial write) stays
+    buffered until its newline arrives.  Exits 0 cleanly when the
+    session-final ``coverage`` event arrives (the writer closed the
+    stream) or when the stream goes idle for ``idle_timeout_s`` —
+    which also covers writers that close without a ``coverage`` line.
+    Returns 1 when the follow ended without one matching event, 2 when
+    the file never appeared within the idle timeout.
+    """
+    if out is None:
+        out = sys.stdout
+    deadline = time.monotonic() + idle_timeout_s
+    handle = None
+    buffer = ""
+    matched = 0
+    try:
+        while True:
+            if handle is None:
+                try:
+                    handle = open(path)
+                except OSError:
+                    if time.monotonic() >= deadline:
+                        print(f"error: {path}: did not appear within "
+                              f"{idle_timeout_s:.1f}s", file=sys.stderr)
+                        return 2
+                    time.sleep(poll_s)
+                    continue
+            chunk = handle.read()
+            if chunk:
+                deadline = time.monotonic() + idle_timeout_s
+                buffer += chunk
+                closed = False
+                while "\n" in buffer:
+                    line, buffer = buffer.split("\n", 1)
+                    if not line.strip():
+                        continue
+                    try:
+                        event = json.loads(line)
+                    except json.JSONDecodeError:
+                        continue
+                    if filter_events([event], kind=options.kind,
+                                     span=options.span, rule=options.rule,
+                                     case=options.case):
+                        matched += 1
+                        print(json.dumps(event, sort_keys=True,
+                                         default=repr), file=out,
+                              flush=True)
+                    if event.get("ev") == "coverage":
+                        # The session emits coverage last, then closes:
+                        # the stream's EOF sentinel.
+                        closed = True
+                if closed:
+                    return 0 if matched else 1
+                continue
+            if time.monotonic() >= deadline:
+                return 0 if matched else 1
+            time.sleep(poll_s)
+    finally:
+        if handle is not None:
+            handle.close()
+
+
 def run(options: argparse.Namespace) -> int:
     """Execute one query (shared by ``repro query`` and ``__main__``)."""
+    if getattr(options, "follow", False):
+        if options.top or options.path_to:
+            print("error: --follow only filters (no --top/--path-to)",
+                  file=sys.stderr)
+            return 2
+        return follow_events(
+            options.artifact, options,
+            poll_s=getattr(options, "poll", 0.2),
+            idle_timeout_s=getattr(options, "idle_timeout", 5.0))
     try:
         kind, data = load_artifact(options.artifact)
     except (OSError, ValueError) as error:

@@ -183,12 +183,15 @@ def validate_report_file(path: str) -> list[str]:
         problems = validate_stats_payload(payload)
     else:
         from .attrib import ATTRIB_SCHEMA, validate_attrib_payload
+        from .monitor import MONITOR_SCHEMA, validate_monitor_payload
         from .statespace import GRAPH_SCHEMA, validate_graph_payload
 
         if schema == ATTRIB_SCHEMA:
             problems = validate_attrib_payload(payload)
         elif schema == GRAPH_SCHEMA:
             problems = validate_graph_payload(payload)
+        elif schema == MONITOR_SCHEMA:
+            problems = validate_monitor_payload(payload)
         else:
             # Lazy import: coverage pulls in the instrumented machines,
             # which plain stats/bench validation must not need.

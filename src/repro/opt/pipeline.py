@@ -181,6 +181,9 @@ class Optimizer:
                   duration_s=record.duration_s,
                   verdict=(record.verdict.notion
                            if record.verdict is not None else None))
+        checker = obs.monitor()
+        if checker is not None:
+            checker.pass_record(record)
         return record
 
 

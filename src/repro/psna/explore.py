@@ -165,7 +165,13 @@ def _explore(programs: list[Stmt | ThreadState], config: PsConfig,
     stream = obs.stream()
     builder = recorder.builder("psna.explore") if recorder is not None \
         else None
-    recording = builder is not None or stream is not None
+    checker = obs.monitor()
+    probe = checker.probe("psna.explore", config=config) \
+        if checker is not None else None
+    if cert_cache is not None and probe is not None:
+        cert_cache.monitor = probe
+    recording = builder is not None or stream is not None \
+        or probe is not None
     if builder is not None:
         builder.node(start_key, 0)
 
@@ -239,6 +245,9 @@ def _explore(programs: list[Stmt | ThreadState], config: PsConfig,
                 if stream is not None:
                     stream.last_rule = rule
                 key = canonical_key(info.state, key_cache)
+                if probe is not None:
+                    probe.machine_step(state, info)
+                    probe.state_key(info.state, key)
                 if builder is not None:
                     dst_id, _new = builder.node(key, cur_depth + 1)
                     builder.edge(src_id, dst_id, rule)

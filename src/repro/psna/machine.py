@@ -100,12 +100,16 @@ class CertCache:
     for the single exploration (single config) that owns it.
     """
 
-    __slots__ = ("entries", "hits", "misses")
+    __slots__ = ("entries", "hits", "misses", "monitor")
 
     def __init__(self) -> None:
         self.entries: dict[object, bool] = {}
         self.hits = 0
         self.misses = 0
+        #: Optional :class:`repro.obs.monitor.MonitorProbe`: when set,
+        #: a sampled fraction of hits is re-certified uncached and
+        #: compared against the memoized verdict.
+        self.monitor = None
 
 
 def certifiable(thread: ThreadLts, memory: Memory, config: PsConfig,
@@ -131,6 +135,8 @@ def certifiable(thread: ThreadLts, memory: Memory, config: PsConfig,
         cached = cache.entries.get(key)
         if cached is not None:
             cache.hits += 1
+            if cache.monitor is not None:
+                cache.monitor.cert_hit(thread, memory, cached)
             registry = obs.metrics()
             if registry is not None:
                 registry.inc("rule.psna.cert.success" if cached

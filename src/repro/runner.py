@@ -175,15 +175,26 @@ def _subprocess_entry(task):
     the case index so the merged stream is deterministic in descriptor
     order.
     """
-    worker, descriptor, want_attrib, want_graph, want_events = task
+    worker, descriptor, want_attrib, want_graph, want_events, \
+        monitor_spec = task
+    checker = None
+    if monitor_spec is not None:
+        # The monitor travels as its (mode, stride) spec — Monitor
+        # objects themselves never cross the process boundary, only
+        # their commutative snapshots do (the --graph-stats discipline).
+        checker = obs.Monitor(monitor_spec[0], monitor_spec[1])
     with obs.session(attrib=want_attrib, graph=want_graph,
-                     stream=True if want_events else None) as session:
+                     stream=True if want_events else None,
+                     monitor=checker) as session:
         payload = worker(descriptor)
         snapshot = session.metrics.snapshot()
         frames = session.attrib.snapshot() if session.attrib else {}
         graph_snapshot = session.graph.snapshot() if session.graph else None
         events = session.events.drain() if session.events else None
-    return payload, snapshot, frames, graph_snapshot, events
+        monitor_snapshot = session.monitor.snapshot() \
+            if session.monitor else None
+    return payload, snapshot, frames, graph_snapshot, events, \
+        monitor_snapshot
 
 
 def _run_parallel(worker, items, jobs: int,
@@ -192,13 +203,17 @@ def _run_parallel(worker, items, jobs: int,
     recorder = obs.attribution()
     graph = obs.graph()
     stream = obs.stream()
+    checker = obs.monitor()
     context = get_context("spawn")
     tasks = [(worker, descriptor, recorder is not None, graph is not None,
-              stream is not None)
+              stream is not None,
+              (checker.mode, checker.stride) if checker is not None
+              else None)
              for descriptor in items]
     results: list[SweepResult] = []
     with context.Pool(processes=min(jobs, len(items))) as pool:
-        for index, (payload, snapshot, frames, graph_snapshot, events) \
+        for index, (payload, snapshot, frames, graph_snapshot, events,
+                    monitor_snapshot) \
                 in enumerate(pool.imap(_subprocess_entry, tasks)):
             if registry is not None:
                 registry.merge_snapshot(snapshot)
@@ -206,6 +221,8 @@ def _run_parallel(worker, items, jobs: int,
                 merge_frames(recorder, frames)
             if graph is not None and graph_snapshot is not None:
                 graph.merge_snapshot(graph_snapshot)
+            if checker is not None and monitor_snapshot is not None:
+                checker.merge_snapshot(monitor_snapshot)
             if stream is not None and events is not None:
                 if events["dropped"]:
                     stream.emit("worker-drop", case=index,

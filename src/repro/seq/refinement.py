@@ -395,8 +395,10 @@ class _Game:
         stream = obs.stream()
         builder = recorder.builder("seq.game") if recorder is not None \
             else None
+        checker = obs.monitor()
+        probe = checker.probe("seq.game") if checker is not None else None
         try:
-            return self._run(tgt0, src0, record, builder, stream)
+            return self._run(tgt0, src0, record, builder, stream, probe)
         finally:
             if builder is not None:
                 self._flush_graph(builder)
@@ -413,7 +415,7 @@ class _Game:
 
     def _run(self, tgt0: SeqConfig, src0: SeqConfig,
              record: Optional[set], builder,
-             stream) -> Optional[Counterexample]:
+             stream, probe=None) -> Optional[Counterexample]:
         frontier0 = self._close([_Item(src0, frozenset())])
         stack: list[tuple[SeqConfig, frozenset[_Item],
                           tuple[SeqLabel, ...]]] = [(tgt0, frontier0, ())]
@@ -436,6 +438,8 @@ class _Game:
             if record is not None:
                 record.add(key)
             self.game_states += 1
+            if probe is not None:
+                probe.game_state(frontier, self.advanced)
             if self.game_states > self.limits.max_game_states:
                 self.complete = False
                 self.incomplete_reasons.add("game-states")
@@ -558,6 +562,8 @@ class _Game:
                         f"no source step matches target label {label!r}",
                         self.defaults if self.advanced else None)
                 self.obligations["label"] += 1
+                if probe is not None:
+                    probe.game_push(next_items, next_frontier)
                 if recording:
                     rule = ("rule.seq.machine."
                             + classify_seq_step(tgt, action, label))

@@ -7,7 +7,8 @@ from repro.obs.attrib import attrib_payload
 from repro.obs.report import bench_payload
 
 SECTIONS = ("Run history", "Rule coverage", "Attribution hotspots",
-            "State space", "Latest fuzz campaign", "Benchmarks")
+            "State space", "Invariants", "Latest fuzz campaign",
+            "Benchmarks")
 
 
 def _entry(name, min_s):
@@ -60,8 +61,16 @@ def _fixture_inputs(tmp_path):
             },
         },
     }
+    from repro.obs.monitor import (Monitor, inject_violation,
+                                   monitor_payload)
+
+    checker = Monitor("strict", 1)
+    checker.checks["psna.view.monotonic"] = 240
+    inject_violation(checker, "psna.view.monotonic")
+    monitor = monitor_payload(checker)
     return {"benches": [bench], "records": records, "coverage": coverage,
-            "attrib": attrib, "fuzz_summary": fuzz, "graph": graph}
+            "attrib": attrib, "fuzz_summary": fuzz, "graph": graph,
+            "monitor": monitor}
 
 
 class TestBuildDashboard:
@@ -71,6 +80,7 @@ class TestBuildDashboard:
             inputs["benches"], inputs["records"],
             coverage=inputs["coverage"], attrib=inputs["attrib"],
             fuzz_summary=inputs["fuzz_summary"], graph=inputs["graph"],
+            monitor=inputs["monitor"],
             meta={"git_sha": "abc1234", "python": "3.12.0"})
         for section in SECTIONS:
             assert section in page
@@ -83,6 +93,10 @@ class TestBuildDashboard:
         assert "0 failure(s)" in page
         assert "rule.psna.thread.read" in page  # hottest rule edges
         assert "unique search states" in page  # state-space tile
+        assert "invariant violations" in page  # monitor tile
+        assert "psna.view.monotonic" in page  # invariant row
+        assert "injected canary" in page  # canary status, not a red FAIL
+        assert "Violation witnesses" in page  # witness capture rendered
 
     def test_standalone_html(self, tmp_path):
         inputs = _fixture_inputs(tmp_path)
@@ -131,12 +145,18 @@ class TestDashboardCli:
         history.append_records(
             str(ledger), history.ledger_records(bench, sha="abc",
                                                 stamp="2026-08-06T00:00:00Z"))
+        from repro.obs.monitor import Monitor, write_monitor_report
+
+        write_monitor_report(str(tmp_path / dashboard.DEFAULT_MONITOR),
+                             Monitor("strict", 1))
         out = tmp_path / "dashboard.html"
         assert dashboard.main(["--out", str(out),
                                "--root", str(tmp_path)]) == 0
         page = out.read_text()
         assert "repro dashboard" in page
         assert "fast" in page
+        # monitor.json auto-discovered next to graph-stats.json
+        assert "✓ clean" in page
         assert "1 ledger record(s)" in capsys.readouterr().out
 
     def test_missing_out_is_usage_error(self, capsys):

@@ -177,6 +177,72 @@ class TestQueryCli:
         out = capsys.readouterr().out
         assert "rule.psna.thread.read" in out
 
+    def test_follow_closed_stream_prints_matches_and_exits_zero(
+            self, tmp_path, capsys):
+        """A stream whose writer already closed (final ``coverage``
+        line present) drains in one poll and exits 0 without waiting
+        for the idle timeout."""
+        assert main([_write_events(tmp_path), "--follow",
+                     "--kind", "truncation", "--poll", "0.01"]) == 0
+        line = json.loads(capsys.readouterr().out.splitlines()[0])
+        assert line["reason"] == "state-bound"
+
+    def test_follow_tails_a_live_writer(self, tmp_path, capsys):
+        """Events appended after the follow starts are still seen —
+        including a line the writer flushes in two partial chunks."""
+        import threading
+        import time
+
+        path = tmp_path / "live.ndjson"
+        path.write_text("")
+
+        def writer():
+            with open(path, "a") as handle:
+                for event in EVENTS[:-1]:
+                    time.sleep(0.05)
+                    handle.write(json.dumps(event) + "\n")
+                    handle.flush()
+                closing = json.dumps(EVENTS[-1]) + "\n"
+                handle.write(closing[:10])
+                handle.flush()
+                time.sleep(0.05)
+                handle.write(closing[10:])
+
+        thread = threading.Thread(target=writer)
+        thread.start()
+        try:
+            assert main([str(path), "--follow", "--kind", "state",
+                         "--poll", "0.01", "--idle-timeout", "10"]) == 0
+        finally:
+            thread.join()
+        line = json.loads(capsys.readouterr().out.splitlines()[0])
+        assert line["states"] == 500
+
+    def test_follow_without_match_exits_one(self, tmp_path, capsys):
+        assert main([_write_events(tmp_path), "--follow", "--kind",
+                     "nope", "--poll", "0.01"]) == 1
+
+    def test_follow_idle_timeout_covers_unclosed_streams(
+            self, tmp_path, capsys):
+        """No ``coverage`` sentinel: the idle timeout ends the follow,
+        exit status still reflects whether anything matched."""
+        path = tmp_path / "unclosed.ndjson"
+        path.write_text(json.dumps(EVENTS[1]) + "\n")
+        assert main([str(path), "--follow", "--kind", "span-enter",
+                     "--poll", "0.01", "--idle-timeout", "0.2"]) == 0
+        assert main([str(path), "--follow", "--kind", "nope",
+                     "--poll", "0.01", "--idle-timeout", "0.2"]) == 1
+
+    def test_follow_missing_file_exits_two(self, tmp_path, capsys):
+        assert main([str(tmp_path / "never.ndjson"), "--follow",
+                     "--poll", "0.01", "--idle-timeout", "0.2"]) == 2
+        assert "did not appear" in capsys.readouterr().err
+
+    def test_follow_rejects_graph_queries(self, tmp_path, capsys):
+        assert main([_write_events(tmp_path), "--follow",
+                     "--top", "3"]) == 2
+        assert "--follow" in capsys.readouterr().err
+
     def test_end_to_end_stream_then_query(self, tmp_path, capsys):
         """Stream a real run, then extract its truncation events."""
         stream = str(tmp_path / "run.ndjson")
