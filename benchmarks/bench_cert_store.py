@@ -1,0 +1,94 @@
+"""Benchmark: the persistent certification-verdict store.
+
+Times promise-heavy PS^na explorations against a cold (empty) and a warm
+(pre-populated) on-disk cert store.  Certification searches dominate
+these workloads, and a warm store answers each unique certification from
+disk instead of searching, so the warm/cold gap is the store's headline
+number.
+
+The sweep runs classic two-thread litmus programs (LB and variants, SB)
+— the SEQ litmus *game* never certifies, so the sweep explores the
+programs under the promising machine directly, which is what populates
+and consults the store.
+
+The store is bound explicitly to a per-scenario temporary directory:
+``REPRO_CACHE_DIR`` (forced ``off`` in CI perf runs) only governs the
+CLI's default store discovery, not an explicit :func:`certstore.bind`.
+"""
+
+import shutil
+
+import pytest
+
+from repro.lang import parse
+from repro.psna import PsConfig, certstore, explore
+from repro.psna.certstore import CertStore
+
+LB = ["a := x_rlx; y_rlx := a; return a;",
+      "b := y_rlx; x_rlx := 1; return b;"]
+
+SWEEP_SOURCES = [
+    LB,
+    ["a := x_rlx; y_rlx := a; return a;",
+     "b := y_rlx; x_rlx := b; return b;"],
+    ["x_rlx := 1; a := y_rlx; return a;",
+     "y_rlx := 1; b := x_rlx; return b;"],
+]
+
+CFG = PsConfig(promise_budget=2)
+
+
+def _threads(sources):
+    return [parse(source) for source in sources]
+
+
+def _run(directory, program_sets):
+    """Explore every program set against the store in ``directory``."""
+    store = certstore.bind(CertStore(str(directory)))
+    try:
+        total_states = 0
+        for programs in program_sets:
+            total_states += explore(programs, CFG).states
+        return total_states, store.hits, store.misses
+    finally:
+        certstore.active().close()
+        certstore.unbind()
+
+
+def _scenario(benchmark, tmp_path, warm, program_sets):
+    directory = tmp_path / "cert-store"
+
+    def cold_run():
+        shutil.rmtree(directory, ignore_errors=True)
+        return _run(directory, program_sets)
+
+    def warm_run():
+        return _run(directory, program_sets)
+
+    if warm:
+        cold_run()  # populate once, untimed
+        states, hits, misses = benchmark(warm_run)
+        assert hits > 0, "warm run must answer certifications from disk"
+    else:
+        states, hits, misses = benchmark(cold_run)
+        assert hits == 0, "cold run must never hit the store"
+    benchmark.extra_info["states"] = states
+    benchmark.extra_info["store_hits"] = hits
+    benchmark.extra_info["store_misses"] = misses
+
+
+@pytest.mark.parametrize("warm", [False, True], ids=["cold", "warm"])
+def test_explore_store(benchmark, tmp_path, warm):
+    """One promise-heavy exploration (LB, budget 2), cold vs warm."""
+    _scenario(benchmark, tmp_path, warm, [_threads(LB)])
+
+
+@pytest.mark.parametrize("warm", [False, True], ids=["cold", "warm"])
+def test_litmus_sweep_store(benchmark, tmp_path, warm):
+    """A litmus-program sweep under the promising machine, cold vs warm.
+
+    The acceptance bar for the store: the warm sweep must run at least
+    3x faster than the cold one.
+    """
+    _scenario(benchmark, tmp_path, warm,
+              [_threads(sources) for sources in SWEEP_SOURCES])

@@ -579,6 +579,57 @@ def _cmd_query(args: argparse.Namespace) -> int:
     return obs_query.run(args)
 
 
+def _cmd_cache(args: argparse.Namespace) -> int:
+    """Inspect or maintain the persistent certification store."""
+    import json as _json
+
+    from .psna import certstore
+
+    directory = args.dir if args.dir else certstore.resolve_dir()
+    if directory is None:
+        print("cert store disabled (REPRO_CACHE_DIR is off)")
+        return 0 if args.action == "stats" else 2
+    store = certstore.CertStore(directory)
+    if args.action == "clear":
+        removed = store.clear()
+        print(f"cert store cleared: {removed} entries removed "
+              f"from {directory}")
+        return 0
+    if args.action == "gc":
+        result = store.gc(args.max_mb)
+        print(f"cert store gc: {result['stale_segments']} stale "
+              f"segment(s) reaped, {result['dropped_entries']} entries "
+              f"dropped, {result['size_bytes'] / 1e6:.2f} MB on disk")
+        return 0
+    stats = store.stats()
+    if args.json is not None:
+        try:
+            with open(args.json, "w") as handle:
+                _json.dump(stats, handle, indent=2, sort_keys=True)
+                handle.write("\n")
+        except OSError as error:
+            print(f"repro: error: cannot write stats file: {error}",
+                  file=sys.stderr)
+            return 2
+    print("-- cert store --")
+    print(f"directory : {stats['directory']}")
+    print(f"semantics : {stats['semantics']}")
+    print(f"entries   : {stats['entries']}")
+    print(f"segments  : {stats['segments']}")
+    print(f"size      : {stats['size_bytes'] / 1e6:.2f} MB")
+    runs = [r for r in stats["history"] if "hits" in r]
+    if runs:
+        last = runs[-1]
+        consulted = last["hits"] + last["misses"]
+        rate = last["hits"] / consulted if consulted else 0.0
+        print(f"last run  : {last['hits']} hits / {last['misses']} misses "
+              f"/ {last['writes']} writes ({rate * 100:.1f}% hit rate)")
+    gcs = sum(1 for r in stats["history"] if r.get("event") == "gc")
+    if gcs:
+        print(f"gc events : {gcs}")
+    return 0
+
+
 class _VersionAction(argparse.Action):
     """``--version``: package version plus run provenance, lazily.
 
@@ -597,6 +648,7 @@ class _VersionAction(argparse.Action):
         print(f"  git sha    : {provenance.get('git_sha') or '(unknown)'}")
         print(f"  created at : {provenance.get('created_at')}")
         print(f"  python     : {provenance.get('python')}")
+        print(f"  semantics  : {provenance.get('semantics')}")
         parser.exit(0)
 
 
@@ -829,11 +881,51 @@ def build_parser() -> argparse.ArgumentParser:
                             "new data (default: 5.0)")
     query.set_defaults(fn=_cmd_query)
 
+    cache = sub.add_parser(
+        "cache",
+        help="inspect/maintain the persistent certification store")
+    cache.add_argument("action", choices=("stats", "clear", "gc"),
+                       help="stats: summary; clear: drop all entries; "
+                            "gc: reap stale segments and enforce a size "
+                            "cap")
+    cache.add_argument("--json", metavar="FILE", default=None,
+                       help="with stats: also write the summary as JSON "
+                            "(repro-certstore/1)")
+    cache.add_argument("--max-mb", type=float, default=64.0,
+                       help="with gc: on-disk size cap in MB "
+                            "(default: 64)")
+    cache.add_argument("--dir", default=None,
+                       help="store directory (default: REPRO_CACHE_DIR "
+                            "or .repro-cache)")
+    cache.set_defaults(fn=_cmd_cache)
+
     return parser
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
+    """Parse, bind the persistent cert store, dispatch, unbind.
+
+    Every verdict-producing subcommand runs with the store bound (one
+    open per process; spawn workers re-open it via the runner's pool
+    initializer); ``query`` and ``cache`` manage artifacts rather than
+    producing verdicts, so they run unbound — ``cache`` in particular
+    must observe the store without appending a history record.
+    """
     args = build_parser().parse_args(argv)
+    store = None
+    if args.command not in ("query", "cache"):
+        from .psna import certstore
+
+        store = certstore.bind(certstore.open_default())
+    try:
+        return _dispatch(args)
+    finally:
+        if store is not None:
+            certstore.unbind()
+            store.close()
+
+
+def _dispatch(args: argparse.Namespace) -> int:
     profile = getattr(args, "profile", False)
     folded = getattr(args, "folded", None)
     stats = getattr(args, "stats", False)

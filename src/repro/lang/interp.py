@@ -65,9 +65,36 @@ class WhileThread(ThreadState):
         """The initial thread state for ``program``."""
         return WhileThread(_push(program, ()), RegFile.of(regs))
 
+    # Program states sit inside every thread/machine hash on the PS^na
+    # hot path; hashing the whole continuation stack per call is the
+    # single largest hash cost.  Cache it (fields are immutable); the
+    # cached value is process-local, so drop it when pickling.
+    def __hash__(self) -> int:
+        cached = self.__dict__.get("_hash")
+        if cached is None:
+            cached = hash((self.cont, self.regs))
+            object.__setattr__(self, "_hash", cached)
+        return cached
+
+    def __getstate__(self):
+        state = dict(self.__dict__)
+        state.pop("_hash", None)
+        state.pop("_peek", None)
+        return state
+
     # -- protocol ----------------------------------------------------------
 
     def peek(self) -> Action:
+        # peek() is a pure function of (cont, regs), and the machine
+        # calls it on every is_bottom/is_terminated probe as well as
+        # every step — cache the Action alongside the hash.
+        cached = self.__dict__.get("_peek")
+        if cached is None:
+            cached = self._peek_uncached()
+            object.__setattr__(self, "_peek", cached)
+        return cached
+
+    def _peek_uncached(self) -> Action:
         if not self.cont:
             return RetAction(0)
         head = self.cont[0]

@@ -26,6 +26,9 @@ absent, so the page always builds):
   the hottest ``rule.*`` edges per recorded graph;
 * **invariants** — the ``repro-monitor/1`` sanitizer panel: checks and
   violations per invariant id, the last-violation witness verbatim;
+* **cert store** — the ``repro-certstore/1`` persistent verdict-cache
+  panel: entries/size/segments, per-run hit-rate sparkline over the
+  store's history ledger, and gc events;
 * **fuzz** — the latest campaign summary, verbatim.
 
 Colors follow the repo's validated default palette: categorical slot 1
@@ -55,6 +58,7 @@ DEFAULT_ATTRIB = "attrib.json"
 DEFAULT_FUZZ = "fuzz-summary.txt"
 DEFAULT_GRAPH = "graph-stats.json"
 DEFAULT_MONITOR = "monitor.json"
+DEFAULT_CERTSTORE = "cert-store.json"
 
 _CSS = """
 :root { color-scheme: light dark; }
@@ -430,6 +434,37 @@ def _section_monitor(monitor: Optional[dict]) -> str:
     return "".join(parts)
 
 
+def _section_certstore(certstore: Optional[dict]) -> str:
+    if certstore is None:
+        return ('<p class="none">no cert-store report — run '
+                '<code>repro cache stats --json cert-store.json</code></p>')
+    history = [r for r in certstore.get("history", [])
+               if isinstance(r, dict)]
+    runs = [r for r in history if "hits" in r]
+    gcs = sum(1 for r in history if r.get("event") == "gc")
+    rates = []
+    for run in runs:
+        consulted = run.get("hits", 0) + run.get("misses", 0)
+        rates.append(run.get("hits", 0) / consulted if consulted else 0.0)
+    last_rate = f"{rates[-1] * 100:.1f}%" if rates else "—"
+    parts = ["<div class='tiles'>",
+             _tile(certstore.get("entries", 0), "verdicts"),
+             _tile(f"{certstore.get('size_bytes', 0) / 1e6:.2f} MB",
+                   "on disk"),
+             _tile(certstore.get("segments", 0), "segments"),
+             _tile(last_rate, "last-run hit rate"),
+             _tile(gcs, "gc events"),
+             "</div>",
+             f"<p class='sub'>semantics "
+             f"{_esc(certstore.get('semantics', '?'))} · "
+             f"{_esc(certstore.get('directory', '?'))}</p>"]
+    if len(rates) > 1:
+        parts.append("<table><tr><th>hit rate over runs</th>"
+                     f"<td>{sparkline_svg(rates)}</td>"
+                     f"<td class='num'>{last_rate}</td></tr></table>")
+    return "".join(parts)
+
+
 def _section_fuzz(summary: Optional[str]) -> str:
     if not summary:
         return ('<p class="none">no fuzz summary — save one with '
@@ -443,6 +478,7 @@ def build_dashboard(benches: Sequence[dict], records: Sequence[dict],
                     fuzz_summary: Optional[str] = None,
                     graph: Optional[dict] = None,
                     monitor: Optional[dict] = None,
+                    certstore: Optional[dict] = None,
                     meta: Optional[dict] = None,
                     top: int = 20) -> str:
     """Render the full page; every argument is optional data."""
@@ -462,6 +498,7 @@ def build_dashboard(benches: Sequence[dict], records: Sequence[dict],
         ("Attribution hotspots", _section_attrib(attrib, top)),
         ("State space", _section_statespace(graph)),
         ("Invariants", _section_monitor(monitor)),
+        ("Cert store", _section_certstore(certstore)),
         ("Latest fuzz campaign", _section_fuzz(fuzz_summary)),
         ("Benchmarks", _section_benches(benches)),
     ]
@@ -498,7 +535,8 @@ def collect_inputs(root: str, ledger: Optional[str] = None,
                    attrib: Optional[str] = None,
                    fuzz: Optional[str] = None,
                    graph: Optional[str] = None,
-                   monitor: Optional[str] = None) -> dict:
+                   monitor: Optional[str] = None,
+                   certstore: Optional[str] = None) -> dict:
     """Gather every dashboard input under ``root`` (missing = None)."""
     benches = []
     for path in sorted(glob.glob(os.path.join(root, "BENCH_*.json"))):
@@ -514,6 +552,7 @@ def collect_inputs(root: str, ledger: Optional[str] = None,
     fuzz_path = fuzz or os.path.join(root, DEFAULT_FUZZ)
     graph_path = graph or os.path.join(root, DEFAULT_GRAPH)
     monitor_path = monitor or os.path.join(root, DEFAULT_MONITOR)
+    certstore_path = certstore or os.path.join(root, DEFAULT_CERTSTORE)
     fuzz_summary = None
     if os.path.exists(fuzz_path):
         try:
@@ -529,6 +568,7 @@ def collect_inputs(root: str, ledger: Optional[str] = None,
         "fuzz_summary": fuzz_summary,
         "graph": _load_json(graph_path),
         "monitor": _load_json(monitor_path),
+        "certstore": _load_json(certstore_path),
     }
 
 
@@ -537,7 +577,8 @@ def main(argv: Sequence[str]) -> int:
     args = list(argv)
     options = {"--out": None, "--root": ".", "--ledger": None,
                "--coverage": None, "--attrib": None, "--fuzz": None,
-               "--graph": None, "--monitor": None, "--top": "20"}
+               "--graph": None, "--monitor": None, "--certstore": None,
+               "--top": "20"}
     for name in list(options):
         if name in args:
             index = args.index(name)
@@ -551,20 +592,22 @@ def main(argv: Sequence[str]) -> int:
         print("usage: python -m repro.obs dashboard --out FILE "
               "[--root DIR] [--ledger FILE] [--coverage FILE] "
               "[--attrib FILE] [--fuzz FILE] [--graph FILE] "
-              "[--monitor FILE] [--top N]")
+              "[--monitor FILE] [--certstore FILE] [--top N]")
         return 2
     inputs = collect_inputs(options["--root"], ledger=options["--ledger"],
                             coverage=options["--coverage"],
                             attrib=options["--attrib"],
                             fuzz=options["--fuzz"],
                             graph=options["--graph"],
-                            monitor=options["--monitor"])
+                            monitor=options["--monitor"],
+                            certstore=options["--certstore"])
     page = build_dashboard(inputs["benches"], inputs["records"],
                            coverage=inputs["coverage"],
                            attrib=inputs["attrib"],
                            fuzz_summary=inputs["fuzz_summary"],
                            graph=inputs["graph"],
                            monitor=inputs["monitor"],
+                           certstore=inputs["certstore"],
                            meta=provenance_meta(options["--root"]),
                            top=int(options["--top"]))
     try:

@@ -91,6 +91,8 @@ INVARIANTS: dict[str, str] = {
         "certified states can fulfill their promises (freeze probe)",
     "cache.cert-divergence":
         "CertCache hits agree with uncached certification",
+    "cache.store-divergence":
+        "persistent cert-store hits agree with uncached certification",
     "cache.key-divergence":
         "KeyCache keys agree with uncached canonicalization",
     "seq.frontier.consistent":
@@ -282,10 +284,32 @@ def check_cert_divergence(thread, memory, cached: bool,
             f"says {fresh}")
 
 
-def check_key_divergence(state, key) -> Optional[str]:
-    """``cache.key-divergence``: a produced key vs. a fresh one."""
+def check_store_divergence(thread, memory, cached: bool,
+                           config) -> Optional[str]:
+    """``cache.store-divergence``: a persistent-store hit, re-executed
+    uncached — the guard against stale or poisoned on-disk verdicts."""
+    from ..psna.machine import certifiable
+
+    fresh = certifiable(thread, memory, config, None)
+    if fresh == cached:
+        return None
+    return (f"persistent cert store returned {cached}, uncached "
+            f"certification says {fresh}")
+
+
+def check_key_divergence(state, key, cache=None) -> Optional[str]:
+    """``cache.key-divergence``: a produced key vs. a fresh one.
+
+    Integer-encoded keys (``cache`` owns an interner) are decoded back
+    to the structural form first, so the comparison also exercises the
+    encode/decode round-trip of :mod:`repro.psna.intern`.
+    """
+    from ..psna.intern import decode_state
     from ..psna.machine import _canonical_key, _identity
 
+    if cache is not None and getattr(cache, "interner", None) is not None \
+            and isinstance(key, int):
+        key = decode_state(key, cache.interner)
     fresh = _canonical_key(state, _identity)
     if fresh == key:
         return None
@@ -461,7 +485,7 @@ class MonitorProbe:
 
     __slots__ = ("monitor", "scope", "config", "stride",
                  "divergence_stride", "_step_tick", "_game_tick",
-                 "_push_tick", "_cert_tick", "_key_tick")
+                 "_push_tick", "_cert_tick", "_key_tick", "_store_tick")
 
     def __init__(self, monitor: Monitor, scope: str, config=None) -> None:
         self.monitor = monitor
@@ -474,6 +498,7 @@ class MonitorProbe:
         self._push_tick = 0
         self._cert_tick = 0
         self._key_tick = 0
+        self._store_tick = 0
 
     # -- PS^na -------------------------------------------------------------
 
@@ -515,13 +540,14 @@ class MonitorProbe:
                                                    self.config),
                           scope=scope, state=state)
 
-    def state_key(self, state, key) -> None:
-        """Sampled canonical-key divergence check."""
+    def state_key(self, state, key, cache=None) -> None:
+        """Sampled canonical-key divergence check (``cache`` supplies
+        the interner that decodes integer-encoded keys)."""
         self._key_tick += 1
         if self._key_tick % self.divergence_stride:
             return
         self.monitor.check("cache.key-divergence",
-                           check_key_divergence(state, key),
+                           check_key_divergence(state, key, cache),
                            scope=self.scope, state=state)
 
     def cert_hit(self, thread, memory, cached: bool) -> None:
@@ -535,6 +561,21 @@ class MonitorProbe:
         self.monitor.check("cache.cert-divergence",
                            check_cert_divergence(thread, memory, cached,
                                                  self.config),
+                           scope=self.scope, state=thread)
+
+    def store_hit(self, thread, memory, cached: bool) -> None:
+        """Sampled persistent-store-hit divergence check (via
+        ``CertCache.monitor``): disk verdicts are re-derived uncached,
+        so a stale or poisoned store entry surfaces as a violation
+        instead of a wrong verdict."""
+        self._store_tick += 1
+        if self._store_tick % self.divergence_stride:
+            return
+        if self.config is None:
+            return
+        self.monitor.check("cache.store-divergence",
+                           check_store_divergence(thread, memory, cached,
+                                                  self.config),
                            scope=self.scope, state=thread)
 
     # -- SEQ ---------------------------------------------------------------
@@ -703,6 +744,16 @@ def _corrupt_cert_divergence():
                                   PsConfig()), state)
 
 
+def _corrupt_store_divergence():
+    from ..psna.thread import PsConfig
+
+    state = _stranded_promise_state()
+    # The fabricated persistent store claims True for an uncertifiable
+    # pair — exactly what a poisoned/stale segment entry would do.
+    return (check_store_divergence(state.threads[0], state.memory, True,
+                                   PsConfig()), state)
+
+
 def _corrupt_key_divergence():
     state = _synthetic_state()
     return check_key_divergence(state, ("corrupt",)), state
@@ -740,6 +791,7 @@ _INJECTORS = {
     "psna.promise.shrink": _corrupt_promise_shrink,
     "psna.cert.fulfillable": _corrupt_cert_fulfillable,
     "cache.cert-divergence": _corrupt_cert_divergence,
+    "cache.store-divergence": _corrupt_store_divergence,
     "cache.key-divergence": _corrupt_key_divergence,
     "seq.frontier.consistent": _corrupt_frontier,
     "seq.simulation.step": _corrupt_simulation_step,

@@ -79,12 +79,22 @@ def created_at(override: Optional[str] = None,
     return time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime(stamp))
 
 
+def semantics_version() -> str:
+    """The PS^na semantics version string (the persistent cert store's
+    compatibility key) — stamped into artifacts so stale-cache
+    invalidation is auditable from any bench report or ledger record."""
+    from ..psna.semantics import SEMANTICS_VERSION
+
+    return SEMANTICS_VERSION
+
+
 def provenance_meta(root: Optional[str] = None,
                     sha: Optional[str] = None,
                     stamp: Optional[str] = None) -> dict:
-    """The provenance triple stamped into bench reports and ledgers."""
+    """The provenance fields stamped into bench reports and ledgers."""
     return {
         "git_sha": git_sha(root, override=sha),
         "created_at": created_at(override=stamp),
         "python": platform.python_version(),
+        "semantics": semantics_version(),
     }

@@ -169,6 +169,25 @@ def validate_bench_payload(payload: dict) -> list[str]:
     return problems
 
 
+def validate_certstore_payload(payload: dict) -> list[str]:
+    """Validate a ``repro cache stats --json`` artifact."""
+    problems = []
+    for key, kind in (("directory", str), ("semantics", str),
+                      ("entries", int), ("segments", int),
+                      ("size_bytes", int)):
+        value = payload.get(key)
+        if not isinstance(value, kind):
+            problems.append(f"{key} = {value!r} is not a {kind.__name__}")
+    history = payload.get("history")
+    if not isinstance(history, list):
+        problems.append("missing history list")
+    else:
+        for index, record in enumerate(history):
+            if not isinstance(record, dict):
+                problems.append(f"history[{index}] is not an object")
+    return problems
+
+
 def validate_report_file(path: str) -> list[str]:
     """Validate one stats or bench report file by its schema field."""
     try:
@@ -181,6 +200,8 @@ def validate_report_file(path: str) -> list[str]:
         problems = validate_bench_payload(payload)
     elif schema == STATS_SCHEMA:
         problems = validate_stats_payload(payload)
+    elif schema == "repro-certstore/1":
+        problems = validate_certstore_payload(payload)
     else:
         from .attrib import ATTRIB_SCHEMA, validate_attrib_payload
         from .monitor import MONITOR_SCHEMA, validate_monitor_payload

@@ -2,6 +2,10 @@
 
 from .view import BOT, Time, View, ZERO, fresh_between, join_opt, view_leq_opt
 from .memory import AnyMessage, Memory, Message, NAMessage
+from .semantics import SEMANTICS_VERSION
+from .intern import Interner, decode_cert, decode_state, intern_cert, \
+    intern_state
+from .certstore import CertStore, cert_digest, config_fingerprint
 from .thread import (
     PsConfig,
     ThreadLts,
@@ -35,6 +39,10 @@ __all__ = [
     "BOT", "Time", "View", "ZERO", "fresh_between", "join_opt",
     "view_leq_opt",
     "AnyMessage", "Memory", "Message", "NAMessage",
+    "SEMANTICS_VERSION",
+    "Interner", "decode_cert", "decode_state", "intern_cert",
+    "intern_state",
+    "CertStore", "cert_digest", "config_fingerprint",
     "PsConfig", "ThreadLts", "ThreadStep", "is_racy", "thread_steps",
     "CertCache", "KeyCache", "MachineState", "canonical_key",
     "certifiable", "certification_key", "initial_state",

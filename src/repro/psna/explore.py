@@ -23,6 +23,8 @@ from ..lang.ast import Stmt
 from ..lang.itree import ThreadState
 from ..lang.values import Value, value_leq
 from ..obs.events import STATE_EVENT_INTERVAL
+from . import certstore
+from .intern import Interner
 from .machine import (
     CertCache,
     KeyCache,
@@ -144,10 +146,21 @@ def explore(programs: list[Stmt | ThreadState],
 def _explore(programs: list[Stmt | ThreadState], config: PsConfig,
              locations: Optional[set[str]]) -> Exploration:
     start = initial_state(programs, config, locations)
-    cert_cache = CertCache() if config.enable_cert_cache else None
-    key_cache = KeyCache() if config.enable_key_cache else None
+    # One interner backs both caches (they share location/view/message
+    # entries); the persistent verdict store is consulted only when one
+    # is bound for the process and the config allows it.
+    interner = Interner() if config.intern_states else None
+    store = certstore.active() if config.enable_cert_store else None
+    cert_cache = CertCache(interner, store=store,
+                           encoded=config.intern_states) \
+        if config.enable_cert_cache else None
+    key_cache = KeyCache(interner, encoded=config.intern_states) \
+        if config.enable_key_cache else None
+    if key_cache is not None:
+        key_cache.timed = obs.metrics() is not None
     behaviors: set[PsResult] = set()
-    start_key = canonical_key(start, key_cache)
+    with obs.span("psna.intern"):
+        start_key = canonical_key(start, key_cache)
     seen = {start_key}
     stack: list[tuple[MachineState, int]] = [(start, config.max_depth)]
     states = 0
@@ -247,7 +260,7 @@ def _explore(programs: list[Stmt | ThreadState], config: PsConfig,
                 key = canonical_key(info.state, key_cache)
                 if probe is not None:
                     probe.machine_step(state, info)
-                    probe.state_key(info.state, key)
+                    probe.state_key(info.state, key, key_cache)
                 if builder is not None:
                     dst_id, _new = builder.node(key, cur_depth + 1)
                     builder.edge(src_id, dst_id, rule)
@@ -284,6 +297,11 @@ def _explore(programs: list[Stmt | ThreadState], config: PsConfig,
                          builder.dedup_hits)
             registry.inc("graph.psna.explore.dedup_misses",
                          builder.dedup_misses)
+    registry = obs.metrics()
+    if registry is not None and key_cache is not None \
+            and key_cache.interner is not None:
+        registry.observe("span.psna.intern.encode", key_cache.encode_s)
+        registry.inc("psna.intern.entries", len(key_cache.interner))
     reason = (STATE_BOUND if state_bound_hit
               else DEPTH_BOUND if depth_bound_hit else None)
     return Exploration(

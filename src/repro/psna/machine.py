@@ -21,6 +21,8 @@ from __future__ import annotations
 from dataclasses import dataclass, replace
 from typing import Iterator, Optional
 
+from time import perf_counter
+
 from .. import obs
 from ..lang.ast import Stmt, walk
 from ..lang.ast import Rmw as RmwStmt
@@ -29,6 +31,8 @@ from ..lang.interp import WhileThread
 from ..lang.itree import FenceAction, SyscallAction, ThreadState
 from ..lang.events import FenceKind
 from ..lang.values import Value
+from .certstore import CertStore, cert_digest, config_fingerprint
+from .intern import Interner, decode_cert, intern_cert, intern_state
 from .memory import AnyMessage, Memory, Message, NAMessage
 from .thread import PsConfig, ThreadLts, ThreadStep, thread_steps
 from .view import View
@@ -49,6 +53,34 @@ class MachineState:
 
     def return_values(self) -> tuple[Value, ...]:
         return tuple(thread.return_value() for thread in self.threads)
+
+    # Machine states are hashed on every ``KeyCache.states`` probe and
+    # ``seen``-set membership test; the dataclass-generated hash re-walks
+    # the whole object graph each time.  Cache it — every field is
+    # immutable.  The cached value is process-local (string hashing is
+    # randomized per process), so it is dropped when pickling.
+    def __hash__(self) -> int:
+        cached = self.__dict__.get("_hash")
+        if cached is None:
+            cached = hash((self.threads, self.memory, self.sc_view,
+                           self.syscalls, self.bottom))
+            object.__setattr__(self, "_hash", cached)
+        return cached
+
+    def __getstate__(self):
+        state = dict(self.__dict__)
+        state.pop("_hash", None)
+        return state
+
+    def evolve(self, **changes) -> "MachineState":
+        """``dataclasses.replace`` without the per-call field
+        introspection (see :meth:`ThreadLts.evolve`)."""
+        return MachineState(
+            changes.get("threads", self.threads),
+            changes.get("memory", self.memory),
+            changes.get("sc_view", self.sc_view),
+            changes.get("syscalls", self.syscalls),
+            changes.get("bottom", self.bottom))
 
 
 def written_locations(program: Stmt) -> tuple[str, ...]:
@@ -91,25 +123,64 @@ def initial_state(programs: list[Stmt | ThreadState],
 class CertCache:
     """Per-exploration memoization of :func:`certifiable` outcomes.
 
-    Keyed on the canonicalized ``(thread, memory)`` pair
-    (:func:`certification_key`), so candidate successors that differ only
-    in the concrete rationals chosen for fresh timestamps share one
-    certification search.  Entries are never evicted: ``ThreadLts`` and
-    ``Memory`` are immutable, and certification is a pure function of the
-    pair for a fixed :class:`PsConfig` — a cache is therefore only valid
-    for the single exploration (single config) that owns it.
+    Keyed on the canonicalized ``(thread, memory)`` pair — the interned
+    integer form (:func:`repro.psna.intern.intern_cert`) when the cache
+    owns an :class:`~repro.psna.intern.Interner`, the structural
+    object form (:func:`certification_key`) otherwise — so candidate
+    successors that differ only in the concrete rationals chosen for
+    fresh timestamps share one certification search.  Entries are never
+    evicted: ``ThreadLts`` and ``Memory`` are immutable, and
+    certification is a pure function of the pair for a fixed
+    :class:`PsConfig` — the in-memory cache is therefore only valid for
+    the single exploration (single config) that owns it.
+
+    ``store`` optionally backs the cache with the persistent cross-run
+    verdict store (:class:`repro.psna.certstore.CertStore`).  A store
+    hit is accounted as an in-memory *miss* (the miss happened; the
+    search was skipped), so ``hits``/``misses`` — and everything
+    derived from them, like ``--graph-stats`` output — are identical
+    with a cold store, a warm store, or no store at all.
     """
 
-    __slots__ = ("entries", "hits", "misses", "monitor")
+    __slots__ = ("entries", "steps", "hits", "misses", "monitor", "interner",
+                 "store", "fingerprint")
 
-    def __init__(self) -> None:
+    def __init__(self, interner: Optional[Interner] = None,
+                 store: Optional[CertStore] = None,
+                 encoded: bool = True) -> None:
         self.entries: dict[object, bool] = {}
+        #: Cross-search memo of certification successor expansions:
+        #: ``(thread, memory.messages) -> ((thread', memory'), ...)``.
+        #: Distinct certification searches launched from neighbouring
+        #: machine states revisit largely the same thread-local frontier
+        #: (~4x redundancy on the litmus catalog); successor sets are a
+        #: pure function of the pair under the fixed certifying config,
+        #: so they are shared for the lifetime of the exploration.
+        self.steps: dict = {}
         self.hits = 0
         self.misses = 0
         #: Optional :class:`repro.obs.monitor.MonitorProbe`: when set,
-        #: a sampled fraction of hits is re-certified uncached and
-        #: compared against the memoized verdict.
+        #: a sampled fraction of in-memory and store hits is re-certified
+        #: uncached and compared against the memoized verdict.
         self.monitor = None
+        self.interner = (interner if interner is not None else Interner()) \
+            if encoded else None
+        self.store = store
+        self.fingerprint: Optional[str] = None  # lazily, from the config
+
+    def key(self, thread: ThreadLts, memory: Memory):
+        if self.interner is not None:
+            return intern_cert(thread, memory, self.interner)
+        return certification_key(thread, memory)
+
+    def digest(self, key, config: PsConfig) -> Optional[str]:
+        """The persistent-store digest for a cache key (``None`` when the
+        pair has no stable cross-process encoding)."""
+        if self.fingerprint is None:
+            self.fingerprint = config_fingerprint(config)
+        structural = (decode_cert(key, self.interner)
+                      if self.interner is not None else key)
+        return cert_digest(structural, self.fingerprint)
 
 
 def certifiable(thread: ThreadLts, memory: Memory, config: PsConfig,
@@ -130,8 +201,10 @@ def certifiable(thread: ThreadLts, memory: Memory, config: PsConfig,
     if not thread.promises:
         return True
     key: object = None
+    store = None
+    digest = None
     if cache is not None:
-        key = certification_key(thread, memory)
+        key = cache.key(thread, memory)
         cached = cache.entries.get(key)
         if cached is not None:
             cache.hits += 1
@@ -143,6 +216,26 @@ def certifiable(thread: ThreadLts, memory: Memory, config: PsConfig,
                              else "rule.psna.cert.failure")
             return cached
         cache.misses += 1
+        store = cache.store
+        if store is not None:
+            digest = cache.digest(key, config)
+            if digest is not None:
+                cached = store.get(digest)
+                registry = obs.metrics()
+                if cached is not None:
+                    # A disk hit: adopt the verdict into the in-memory
+                    # cache (so later lookups count as ordinary hits,
+                    # exactly as after a cold search) and skip the search.
+                    cache.entries[key] = cached
+                    if cache.monitor is not None:
+                        cache.monitor.store_hit(thread, memory, cached)
+                    if registry is not None:
+                        registry.inc("psna.cert.store_hits")
+                        registry.inc("rule.psna.cert.success" if cached
+                                     else "rule.psna.cert.failure")
+                    return cached
+                if registry is not None:
+                    registry.inc("psna.cert.store_misses")
     cert_config = replace(config, certifying=True,
                           allow_promises=config.cert_promises
                           and config.allow_promises)
@@ -150,6 +243,7 @@ def certifiable(thread: ThreadLts, memory: Memory, config: PsConfig,
     stack: list[tuple[ThreadLts, Memory, int]] = [
         (thread, memory, config.cert_depth)]
     certified = False
+    steps_memo = cache.steps if cache is not None else None
     with obs.span("psna.cert"):
         while stack:
             current, mem, depth = stack.pop()
@@ -158,16 +252,32 @@ def certifiable(thread: ThreadLts, memory: Memory, config: PsConfig,
                 break
             if depth == 0 or current.is_bottom() or current.is_terminated():
                 continue
-            seen_key = (current, frozenset(mem.messages))
+            seen_key = (current, mem.messages)
             if seen_key in seen:
                 continue
             seen.add(seen_key)
-            for step in thread_steps(current, mem, cert_config):
-                if step.thread.is_bottom():
-                    continue  # UB does not certify
-                stack.append((step.thread, step.memory, depth - 1))
+            if steps_memo is not None:
+                succ = steps_memo.get(seen_key)
+                if succ is None:
+                    succ = tuple(
+                        (step.thread, step.memory)
+                        for step in thread_steps(current, mem, cert_config)
+                        if not step.thread.is_bottom())  # UB does not certify
+                    steps_memo[seen_key] = succ
+                for nxt, nxt_mem in succ:
+                    stack.append((nxt, nxt_mem, depth - 1))
+            else:
+                for step in thread_steps(current, mem, cert_config):
+                    if step.thread.is_bottom():
+                        continue  # UB does not certify
+                    stack.append((step.thread, step.memory, depth - 1))
     if cache is not None:
         cache.entries[key] = certified
+        if store is not None and digest is not None \
+                and store.put(digest, certified):
+            registry = obs.metrics()
+            if registry is not None:
+                registry.inc("psna.cert.store_writes")
     registry = obs.metrics()
     if registry is not None:
         registry.inc("psna.cert.attempts")
@@ -241,13 +351,13 @@ def labeled_machine_steps(state: MachineState, config: PsConfig,
         if isinstance(action, FenceAction) and action.kind is FenceKind.SC:
             # SC fences need the machine's global view.
             view = thread.view.join(state.sc_view)
-            updated = replace(thread, program=thread.program.resume(None),
+            updated = thread.evolve(program=thread.program.resume(None),
                               view=view)
             if registry is not None:
                 registry.inc("rule.psna.machine.sc-fence")
             yield MachineStepInfo(
                 index, "sc-fence",
-                replace(state,
+                state.evolve(
                         threads=_set(state.threads, index, updated),
                         sc_view=view))
             continue
@@ -257,7 +367,7 @@ def labeled_machine_steps(state: MachineState, config: PsConfig,
                     registry.inc("rule.psna.machine.failure")
                 yield MachineStepInfo(
                     index, "machine-failure",
-                    replace(state, bottom=True),
+                    state.evolve(bottom=True),
                     cause=step.tag)  # machine: failure
                 continue
             if not certifiable(step.thread, step.memory, config, cert_cache):
@@ -269,7 +379,7 @@ def labeled_machine_steps(state: MachineState, config: PsConfig,
                 registry.inc("rule.psna.machine.normal")
             yield MachineStepInfo(
                 index, step.tag,
-                replace(state,
+                state.evolve(
                         threads=_set(state.threads, index, step.thread),
                         memory=step.memory,
                         syscalls=syscalls))
@@ -347,25 +457,39 @@ def certification_key(thread: ThreadLts, memory: Memory):
 
 
 class KeyCache:
-    """Per-exploration canonical-key cache with sub-key interning.
+    """Per-exploration canonical-key cache over the interned encoding.
 
     ``states`` memoizes :func:`canonical_key` per value-equal
     ``MachineState`` — successors generated through different
     interleavings and then deduplicated pay one hash instead of a full
-    re-canonicalization.  ``intern`` maps every produced sub-key tuple to
-    its first instance, so the keys held by the exploration's ``seen``
-    set share storage and compare by identity first.  Like
-    :class:`CertCache`, entries are never evicted (states are immutable)
-    and the cache lives for a single exploration run.
+    re-canonicalization.  By default the cache owns an
+    :class:`~repro.psna.intern.Interner` and every key is a single
+    ``int`` (the integer-encoded canonical form); with
+    ``encoded=False`` it falls back to the PR 3 object path, where
+    ``intern`` maps every produced sub-key tuple to its first instance.
+    Like :class:`CertCache`, entries are never evicted (states are
+    immutable) and the cache lives for a single exploration run.
+
+    ``encode_s`` accumulates time spent producing keys on cache misses
+    when ``timed`` is set (explorations running under an observability
+    session set it); the explorer flushes it into the
+    ``span.psna.intern.encode`` histogram so interning cost shows up in
+    the ``--profile`` span table alongside the other timing spans.
     """
 
-    __slots__ = ("states", "_interned", "hits", "misses")
+    __slots__ = ("states", "_interned", "interner", "hits", "misses",
+                 "timed", "encode_s")
 
-    def __init__(self) -> None:
+    def __init__(self, interner: Optional[Interner] = None,
+                 encoded: bool = True) -> None:
         self.states: dict[MachineState, object] = {}
         self._interned: dict = {}
+        self.interner = (interner if interner is not None else Interner()) \
+            if encoded else None
         self.hits = 0
         self.misses = 0
+        self.timed = False
+        self.encode_s = 0.0
 
     def intern(self, key):
         return self._interned.setdefault(key, key)
@@ -374,8 +498,11 @@ class KeyCache:
 def canonical_key(state: MachineState, cache: Optional[KeyCache] = None):
     """A hashable key invariant under per-location timestamp renaming.
 
-    With a :class:`KeyCache`, keys are memoized per state value and
-    their components interned across the owning exploration.
+    Without a cache: the structural object form (what the explainer and
+    the divergence oracles compare against).  With a :class:`KeyCache`:
+    memoized per state value, and — unless the cache was built with
+    ``encoded=False`` — a single interned ``int`` whose
+    :func:`repro.psna.intern.decode_state` equals the structural form.
     """
     if cache is None:
         return _canonical_key(state, _identity)
@@ -384,7 +511,15 @@ def canonical_key(state: MachineState, cache: Optional[KeyCache] = None):
         cache.hits += 1
         return key
     cache.misses += 1
-    key = cache.intern(_canonical_key(state, cache.intern))
+    interner = cache.interner
+    if interner is None:
+        key = cache.intern(_canonical_key(state, cache.intern))
+    elif cache.timed:
+        started = perf_counter()
+        key = intern_state(state, interner)
+        cache.encode_s += perf_counter() - started
+    else:
+        key = intern_state(state, interner)
     cache.states[state] = key
     return key
 

@@ -42,6 +42,23 @@ class Message:
         attach = f"({self.attach}," if self.attach is not None else ""
         return f"⟨{self.loc}@{attach}{self.ts},{self.value},{view}⟩"
 
+    def __hash__(self) -> int:
+        # Messages live in frozensets that the certification search
+        # hashes constantly; Fraction timestamps make the generated
+        # dataclass hash expensive.  Cached on first use, dropped on
+        # pickling (string hashes are salted per process).
+        cached = self.__dict__.get("_hash")
+        if cached is None:
+            cached = hash((self.loc, self.ts, self.value, self.view,
+                           self.attach))
+            object.__setattr__(self, "_hash", cached)
+        return cached
+
+    def __getstate__(self):
+        state = dict(self.__dict__)
+        state.pop("_hash", None)
+        return state
+
 
 @dataclass(frozen=True)
 class NAMessage:
@@ -56,6 +73,18 @@ class NAMessage:
 
     def __repr__(self) -> str:
         return f"⟨{self.loc}@{self.ts}⟩na"
+
+    def __hash__(self) -> int:
+        cached = self.__dict__.get("_hash")
+        if cached is None:
+            cached = hash((self.loc, self.ts))
+            object.__setattr__(self, "_hash", cached)
+        return cached
+
+    def __getstate__(self):
+        state = dict(self.__dict__)
+        state.pop("_hash", None)
+        return state
 
 
 AnyMessage = Message | NAMessage
@@ -73,8 +102,7 @@ class Memory:
             Message(loc, ZERO, 0, None) for loc in sorted(set(locs))))
 
     def add(self, message: AnyMessage) -> "Memory":
-        if any(m.loc == message.loc and m.ts == message.ts
-               for m in self.messages):
+        if any(m.ts == message.ts for m in self.at(message.loc)):
             raise ValueError(
                 f"timestamp collision at {message.loc}@{message.ts}")
         if self.blocked(message.loc, message.ts):
@@ -85,8 +113,8 @@ class Memory:
 
     def blocked(self, loc: str, ts: Time) -> bool:
         """Is ``ts`` strictly inside an occupied interval of ``loc``?"""
-        for m in self.messages:
-            if (isinstance(m, Message) and m.loc == loc
+        for m in self.at(loc):
+            if (isinstance(m, Message)
                     and m.attach is not None and m.attach < ts < m.ts):
                 return True
         return False
@@ -96,16 +124,35 @@ class Memory:
             raise ValueError(f"message {old!r} not in memory")
         return Memory((self.messages - {old}) | {new})
 
-    def at(self, loc: str) -> list[AnyMessage]:
-        """Messages of ``loc`` sorted by timestamp."""
-        return sorted((m for m in self.messages if m.loc == loc),
-                      key=lambda m: m.ts)
+    def at(self, loc: str) -> tuple[AnyMessage, ...]:
+        """Messages of ``loc`` sorted by timestamp.
+
+        Memoized per (memory, location): the race helper and every read
+        / write rule re-scan the same immutable memory, and sorting
+        Fraction timestamps repeatedly dominated the stepper.  The
+        cache is process-local and dropped when pickling.
+        """
+        cache = self.__dict__.get("_at")
+        if cache is None:
+            cache = {}
+            object.__setattr__(self, "_at", cache)
+        got = cache.get(loc)
+        if got is None:
+            got = tuple(sorted((m for m in self.messages if m.loc == loc),
+                               key=lambda m: m.ts))
+            cache[loc] = got
+        return got
 
     def proper_at(self, loc: str) -> list[Message]:
         return [m for m in self.at(loc) if isinstance(m, Message)]
 
     def timestamps(self, loc: str) -> list[Time]:
         return [m.ts for m in self.at(loc)]
+
+    def __getstate__(self):
+        state = dict(self.__dict__)
+        state.pop("_at", None)
+        return state
 
     def max_ts(self, loc: str) -> Time:
         stamps = self.timestamps(loc)

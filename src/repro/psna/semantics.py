@@ -1,0 +1,17 @@
+"""Semantics version string for the PS^na implementation.
+
+This is the compatibility contract of the persistent certification
+store (`repro.psna.certstore`): verdicts computed under one semantics
+version must never be replayed under another.  Bump it whenever a
+change to the machine/thread/certification rules could alter any
+certification verdict — cached entries keyed on the old string become
+unreachable and the store re-fills under the new one.
+
+Kept in its own leaf module so `repro.obs.provenance` and the CLI can
+import it without pulling in the full exploration stack.
+"""
+
+# Format: "psna-<N>".  History:
+#   psna-1  initial persistent-store release (PR 8); semantics identical
+#           to the object-graph implementation of PRs 0-7.
+SEMANTICS_VERSION = "psna-1"

@@ -74,11 +74,16 @@ class PsConfig:
     certifying: bool = False  # internal: set during certification runs
     max_states: int = 200_000
     max_depth: int = 400
-    # Performance-layer switches.  Both caches are semantics-preserving
+    # Performance-layer switches.  All are semantics-preserving
     # (tests assert behavior equality with them off); the switches exist
-    # for ablation benchmarks and correctness tests.
+    # for ablation benchmarks and correctness tests.  ``intern_states``
+    # selects the integer-encoded canonical keys (repro.psna.intern);
+    # ``enable_cert_store`` lets the exploration consult the bound
+    # persistent verdict store (repro.psna.certstore), when one is bound.
     enable_cert_cache: bool = True
     enable_key_cache: bool = True
+    intern_states: bool = True
+    enable_cert_store: bool = True
 
     def promise_values(self) -> tuple[Value, ...]:
         if self.promise_undef_values:
@@ -116,6 +121,38 @@ class ThreadLts:
     def return_value(self) -> Value:
         return self.program.return_value()
 
+    # Thread states are hashed constantly (certification ``seen`` sets,
+    # machine-state hashing, cache keys); the dataclass-generated hash
+    # re-walks every field each call.  Cache it — all fields are
+    # immutable.  The cached value is process-local (string hashes are
+    # randomized per process), so it is dropped on pickling.
+    def __hash__(self) -> int:
+        cached = self.__dict__.get("_hash")
+        if cached is None:
+            cached = hash((self.program, self.view, self.promises,
+                           self.acq_pending, self.rel_view, self.rel_views,
+                           self.promise_budget, self.promise_locs))
+            object.__setattr__(self, "_hash", cached)
+        return cached
+
+    def __getstate__(self):
+        state = dict(self.__dict__)
+        state.pop("_hash", None)
+        return state
+
+    def evolve(self, **changes) -> "ThreadLts":
+        """``dataclasses.replace`` without the per-call field
+        introspection — the stepper's hottest allocation site."""
+        return ThreadLts(
+            changes.get("program", self.program),
+            changes.get("view", self.view),
+            changes.get("promises", self.promises),
+            changes.get("acq_pending", self.acq_pending),
+            changes.get("rel_view", self.rel_view),
+            changes.get("rel_views", self.rel_views),
+            changes.get("promise_budget", self.promise_budget),
+            changes.get("promise_locs", self.promise_locs))
+
 
 def is_racy(view: View, promises: frozenset[AnyMessage], memory: Memory,
             loc: str, non_atomic: bool) -> bool:
@@ -125,10 +162,11 @@ def is_racy(view: View, promises: frozenset[AnyMessage], memory: Memory,
     unaware of some message of ``x`` not among its own promises — for
     atomic accesses (``o ≠ na``) only valueless NA messages count.
     """
+    known = view.get(loc)
     for message in memory.at(loc):
         if message in promises:
             continue
-        if view.get(loc) < message.ts:
+        if known < message.ts:
             if non_atomic or isinstance(message, NAMessage):
                 return True
     return False
@@ -190,21 +228,21 @@ def _thread_steps(thread: ThreadLts, memory: Memory,
 
     if isinstance(action, TauAction):
         yield ThreadStep("silent",
-                         replace(thread, program=thread.program.resume(None)),
+                         thread.evolve(program=thread.program.resume(None)),
                          memory)
 
     elif isinstance(action, FailAction):
         if _promise_condition(thread):
             yield ThreadStep(
                 "fail",
-                replace(thread, program=Crashed(), promises=frozenset()),
+                thread.evolve(program=Crashed(), promises=frozenset()),
                 memory)
 
     elif isinstance(action, ChooseAction):
         for value in config.values:
             yield ThreadStep(
                 "choose",
-                replace(thread, program=thread.program.resume(value)),
+                thread.evolve(program=thread.program.resume(value)),
                 memory)
 
     elif isinstance(action, ReadAction):
@@ -223,7 +261,7 @@ def _thread_steps(thread: ThreadLts, memory: Memory,
     elif isinstance(action, SyscallAction):
         # Recorded by the machine; the thread just advances.
         yield ThreadStep("syscall",
-                         replace(thread, program=thread.program.resume(None)),
+                         thread.evolve(program=thread.program.resume(None)),
                          memory)
     else:  # pragma: no cover - exhaustive over Action
         raise TypeError(f"unknown action {action!r}")
@@ -248,7 +286,7 @@ def _read_steps(thread: ThreadLts, memory: Memory, loc: str,
             acq_pending = join_opt(acq_pending, message.view)
         yield ThreadStep(
             "read",
-            replace(thread,
+            thread.evolve(
                     program=thread.program.resume(message.value),
                     view=view, acq_pending=acq_pending),
             memory)
@@ -256,7 +294,7 @@ def _read_steps(thread: ThreadLts, memory: Memory, loc: str,
                non_atomic=mode is NA):
         yield ThreadStep(
             "racy-read",
-            replace(thread, program=thread.program.resume(UNDEF)),
+            thread.evolve(program=thread.program.resume(UNDEF)),
             memory)
 
 
@@ -283,7 +321,7 @@ def _write_steps(thread: ThreadLts, memory: Memory, loc: str, value: Value,
             message = Message(loc, ts, value, msg_view)
             yield ThreadStep(
                 "write",
-                replace(thread,
+                thread.evolve(
                         program=thread.program.resume(None),
                         view=thread.view.set(loc, ts)),
                 memory.add(message))
@@ -294,7 +332,7 @@ def _write_steps(thread: ThreadLts, memory: Memory, loc: str, value: Value,
                     and promise.view == View.singleton(loc, promise.ts)):
                 yield ThreadStep(
                     "fulfill",
-                    replace(thread,
+                    thread.evolve(
                             program=thread.program.resume(None),
                             view=thread.view.set(loc, promise.ts),
                             promises=thread.promises - {promise}),
@@ -309,7 +347,7 @@ def _write_steps(thread: ThreadLts, memory: Memory, loc: str, value: Value,
             and _promise_condition(thread)):
         yield ThreadStep(
             "racy-write",
-            replace(thread, program=Crashed(), promises=frozenset()),
+            thread.evolve(program=Crashed(), promises=frozenset()),
             memory)
 
 
@@ -326,7 +364,7 @@ def _rel_write_steps(thread: ThreadLts, memory: Memory, loc: str,
         if remaining_ok(thread.promises):
             yield ThreadStep(
                 "write",
-                replace(thread, program=thread.program.resume(None),
+                thread.evolve(program=thread.program.resume(None),
                         view=view,
                         rel_views=thread.rel_views.set(loc, view)),
                 memory.add(Message(loc, ts, value, view)))
@@ -338,7 +376,7 @@ def _rel_write_steps(thread: ThreadLts, memory: Memory, loc: str,
                     thread.promises - {promise}):
                 yield ThreadStep(
                     "fulfill",
-                    replace(thread, program=thread.program.resume(None),
+                    thread.evolve(program=thread.program.resume(None),
                             view=view,
                             rel_views=thread.rel_views.set(loc, view),
                             promises=thread.promises - {promise}),
@@ -360,7 +398,7 @@ def _na_write_steps(thread: ThreadLts, memory: Memory, loc: str,
         program = thread.program.resume(None)
         yield ThreadStep(
             tag,
-            replace(thread, program=program,
+            thread.evolve(program=program,
                     view=thread.view.set(loc, final_ts),
                     promises=promises),
             extra_memory)
@@ -438,7 +476,7 @@ def _rmw_steps(thread: ThreadLts, memory: Memory, action: RmwAction,
             continue
         yield ThreadStep(
             "rmw",
-            replace(thread,
+            thread.evolve(
                     program=thread.program.resume(read_value),
                     view=view),
             memory.add(Message(loc, write_ts, write_value, msg_view,
@@ -447,7 +485,7 @@ def _rmw_steps(thread: ThreadLts, memory: Memory, action: RmwAction,
             and _promise_condition(thread):
         yield ThreadStep(
             "racy-rmw",
-            replace(thread, program=Crashed(), promises=frozenset()),
+            thread.evolve(program=Crashed(), promises=frozenset()),
             memory)
 
 
@@ -457,7 +495,7 @@ def _fence_steps(thread: ThreadLts, memory: Memory,
         view = thread.view.join(thread.acq_pending)
         yield ThreadStep(
             "fence-acq",
-            replace(thread, program=thread.program.resume(None), view=view,
+            thread.evolve(program=thread.program.resume(None), view=view,
                     acq_pending=None),
             memory)
     elif kind is FenceKind.REL:
@@ -465,7 +503,7 @@ def _fence_steps(thread: ThreadLts, memory: Memory,
                if isinstance(m, Message)):
             yield ThreadStep(
                 "fence-rel",
-                replace(thread, program=thread.program.resume(None),
+                thread.evolve(program=thread.program.resume(None),
                         rel_view=thread.view),
                 memory)
     # SC fences are interpreted by the machine (they need the global view).
@@ -488,7 +526,7 @@ def _promise_steps(thread: ThreadLts, memory: Memory,
             for message in candidates:
                 yield ThreadStep(
                     "promise",
-                    replace(thread,
+                    thread.evolve(
                             promises=thread.promises | {message},
                             promise_budget=budget),
                     memory.add(message))
@@ -513,6 +551,6 @@ def _lower_steps(thread: ThreadLts, memory: Memory,
         for lowered in variants:
             yield ThreadStep(
                 "lower",
-                replace(thread,
+                thread.evolve(
                         promises=(thread.promises - {promise}) | {lowered}),
                 memory.replace(promise, lowered))

@@ -29,7 +29,9 @@ class View:
 
     @staticmethod
     def of(mapping: Mapping[str, Time]) -> "View":
-        trimmed = {loc: ts for loc, ts in mapping.items() if ts != ZERO}
+        # ``bool(ts)`` is ``ts != 0`` without Fraction's per-comparison
+        # numbers.Rational isinstance dance (a real cost at this rate).
+        trimmed = {loc: ts for loc, ts in mapping.items() if ts}
         return View(tuple(sorted(trimmed.items())))
 
     @staticmethod
@@ -49,8 +51,10 @@ class View:
 
     def join(self, other: Optional["View"]) -> "View":
         """``V ⊔ V'``; joining with ⊥ (None) is the identity."""
-        if other is None:
+        if other is None or not other.items:
             return self
+        if not self.items:
+            return other
         merged = dict(self.items)
         for loc, ts in other.items:
             if ts > merged.get(loc, ZERO):
@@ -70,6 +74,22 @@ class View:
         if not self.items:
             return "⟨⟩"
         return "⟨" + ", ".join(f"{loc}@{ts}" for loc, ts in self.items) + "⟩"
+
+    def __hash__(self) -> int:
+        # Views sit inside every message and thread state, and Fraction
+        # hashing is expensive (a modular inverse per timestamp) — cache
+        # the hash on first use.  Dropped on pickling (__getstate__):
+        # string hashes are salted per process.
+        cached = self.__dict__.get("_hash")
+        if cached is None:
+            cached = hash(self.items)
+            object.__setattr__(self, "_hash", cached)
+        return cached
+
+    def __getstate__(self):
+        state = dict(self.__dict__)
+        state.pop("_hash", None)
+        return state
 
 
 def view_leq_opt(a: Optional[View], b: Optional[View]) -> bool:

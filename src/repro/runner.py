@@ -33,6 +33,7 @@ from typing import Callable, Optional, Sequence
 
 from . import obs
 from .obs.attrib import merge_frames
+from .psna import certstore
 
 #: One sweep result: the worker's payload plus the counters its case
 #: produced (empty when no observability session was active in serial
@@ -193,8 +194,22 @@ def _subprocess_entry(task):
         events = session.events.drain() if session.events else None
         monitor_snapshot = session.monitor.snapshot() \
             if session.monitor else None
+    store = certstore.active()
+    store_shipment = store.drain() if store is not None else None
     return payload, snapshot, frames, graph_snapshot, events, \
-        monitor_snapshot
+        monitor_snapshot, store_shipment
+
+
+def _worker_init(store_dir) -> None:
+    """Spawn-pool initializer: open the persistent cert store once per
+    worker process.  Workers never write segments themselves — their
+    pending entries are drained per task and shipped to the parent,
+    which owns the single close-time segment write.  Every worker loads
+    the same on-disk snapshot the parent did, so store hits (and
+    therefore verdicts, counters, and monitor checks) are identical to
+    the serial path."""
+    if store_dir is not None:
+        certstore.bind(certstore.CertStore(store_dir))
 
 
 def _run_parallel(worker, items, jobs: int,
@@ -204,6 +219,7 @@ def _run_parallel(worker, items, jobs: int,
     graph = obs.graph()
     stream = obs.stream()
     checker = obs.monitor()
+    store = certstore.active()
     context = get_context("spawn")
     tasks = [(worker, descriptor, recorder is not None, graph is not None,
               stream is not None,
@@ -211,12 +227,17 @@ def _run_parallel(worker, items, jobs: int,
               else None)
              for descriptor in items]
     results: list[SweepResult] = []
-    with context.Pool(processes=min(jobs, len(items))) as pool:
+    with context.Pool(processes=min(jobs, len(items)),
+                      initializer=_worker_init,
+                      initargs=(store.directory if store is not None
+                                else None,)) as pool:
         for index, (payload, snapshot, frames, graph_snapshot, events,
-                    monitor_snapshot) \
+                    monitor_snapshot, store_shipment) \
                 in enumerate(pool.imap(_subprocess_entry, tasks)):
             if registry is not None:
                 registry.merge_snapshot(snapshot)
+            if store is not None:
+                store.absorb(store_shipment)
             if recorder is not None and frames:
                 merge_frames(recorder, frames)
             if graph is not None and graph_snapshot is not None:

@@ -1,0 +1,12 @@
+"""Tier-1 test harness defaults.
+
+The persistent certification store (:mod:`repro.psna.certstore`) is
+disabled for the whole suite: tests must be hermetic and deterministic
+regardless of what a previous run (or the developer's own CLI use) left
+in ``.repro-cache/``.  Store-specific tests opt back in by pointing
+``REPRO_CACHE_DIR`` at a temporary directory via ``monkeypatch``.
+"""
+
+import os
+
+os.environ["REPRO_CACHE_DIR"] = "off"

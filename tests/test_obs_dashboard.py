@@ -7,8 +7,8 @@ from repro.obs.attrib import attrib_payload
 from repro.obs.report import bench_payload
 
 SECTIONS = ("Run history", "Rule coverage", "Attribution hotspots",
-            "State space", "Invariants", "Latest fuzz campaign",
-            "Benchmarks")
+            "State space", "Invariants", "Cert store",
+            "Latest fuzz campaign", "Benchmarks")
 
 
 def _entry(name, min_s):
@@ -68,9 +68,19 @@ def _fixture_inputs(tmp_path):
     checker.checks["psna.view.monotonic"] = 240
     inject_violation(checker, "psna.view.monotonic")
     monitor = monitor_payload(checker)
+    certstore = {
+        "schema": "repro-certstore/1", "directory": ".repro-cache",
+        "semantics": "psna-1", "entries": 139, "segments": 1,
+        "size_bytes": 5420,
+        "history": [
+            {"hits": 0, "misses": 139, "writes": 139, "entries": 139},
+            {"hits": 139, "misses": 0, "writes": 0, "entries": 139},
+            {"event": "gc", "stale_segments": 1, "dropped_entries": 0},
+        ],
+    }
     return {"benches": [bench], "records": records, "coverage": coverage,
             "attrib": attrib, "fuzz_summary": fuzz, "graph": graph,
-            "monitor": monitor}
+            "monitor": monitor, "certstore": certstore}
 
 
 class TestBuildDashboard:
@@ -80,7 +90,7 @@ class TestBuildDashboard:
             inputs["benches"], inputs["records"],
             coverage=inputs["coverage"], attrib=inputs["attrib"],
             fuzz_summary=inputs["fuzz_summary"], graph=inputs["graph"],
-            monitor=inputs["monitor"],
+            monitor=inputs["monitor"], certstore=inputs["certstore"],
             meta={"git_sha": "abc1234", "python": "3.12.0"})
         for section in SECTIONS:
             assert section in page
@@ -97,6 +107,8 @@ class TestBuildDashboard:
         assert "psna.view.monotonic" in page  # invariant row
         assert "injected canary" in page  # canary status, not a red FAIL
         assert "Violation witnesses" in page  # witness capture rendered
+        assert "last-run hit rate" in page  # cert-store tile
+        assert "hit rate over runs" in page  # cert-store sparkline
 
     def test_standalone_html(self, tmp_path):
         inputs = _fixture_inputs(tmp_path)

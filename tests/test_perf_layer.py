@@ -34,6 +34,7 @@ from repro.psna import (
     canonical_key,
     certifiable,
     certification_key,
+    decode_state,
     explore,
     initial_state,
 )
@@ -124,6 +125,16 @@ class TestKeyCache:
     def test_canonical_key_memoized_per_state(self):
         state = initial_state(SB, PsConfig(allow_promises=False))
         cache = KeyCache()
+        first = canonical_key(state, cache)
+        second = canonical_key(state, cache)
+        assert first == second
+        assert isinstance(first, int)
+        assert decode_state(first, cache.interner) == canonical_key(state)
+        assert cache.hits == 1 and cache.misses == 1
+
+    def test_legacy_object_keys_match_uncached_path(self):
+        state = initial_state(SB, PsConfig(allow_promises=False))
+        cache = KeyCache(encoded=False)
         first = canonical_key(state, cache)
         second = canonical_key(state, cache)
         assert first == second == canonical_key(state)
