@@ -1,0 +1,132 @@
+"""Benchmark: the verification service (`repro serve`).
+
+Times the service engine end-to-end through a real HTTP round-trip —
+the whole serving story, not just the job runner:
+
+* **single-shot latency** — one litmus job submitted and waited on over
+  HTTP against a cold store (parse, dedup, execute, respond);
+* **batch throughput** — a catalog slice submitted as one batch,
+  ``jobs=1`` (in-process drain) vs ``jobs=2`` (spawn-pool drain);
+* **warm-cache hit latency** — the same batch re-submitted against the
+  populated verdict store: no job executes, every verdict is answered
+  from the content-addressed index, so this is the pure serving
+  overhead (HTTP + normalization + index lookup).
+
+The spawn pool boots once per service (not per round): the benchmark
+holds one service per scenario and times submissions against it, which
+matches how a long-running service amortizes its pool.
+"""
+
+import shutil
+import threading
+
+import pytest
+
+from repro.litmus import ALL_TRANSFORMATION_CASES
+from repro.serve import client
+from repro.serve.http import make_server
+from repro.serve.service import VerificationService
+
+#: A fast, representative catalog slice (full sweeps live in CI smoke).
+BATCH_CASES = [case.name for case in ALL_TRANSFORMATION_CASES[:12]]
+
+
+class _LiveService:
+    """One bound server + serving thread, torn down deterministically."""
+
+    def __init__(self, jobs: int, store_dir: str) -> None:
+        self.service = VerificationService(jobs=jobs, store_dir=store_dir)
+        self.server = make_server("127.0.0.1", 0, self.service)
+        host, port = self.server.server_address[:2]
+        self.base = f"http://{host}:{port}"
+        self._thread = threading.Thread(
+            target=self.server.serve_forever, daemon=True)
+        self._thread.start()
+
+    def close(self) -> None:
+        self.service.shutdown(drain=True)
+        self.server.shutdown()
+        self.server.server_close()
+        self._thread.join(timeout=5.0)
+
+
+@pytest.fixture
+def live_service(tmp_path):
+    created = []
+
+    def factory(jobs: int = 1, fresh: bool = True) -> _LiveService:
+        directory = tmp_path / "verdict-store"
+        if fresh:
+            shutil.rmtree(directory, ignore_errors=True)
+        live = _LiveService(jobs, str(directory))
+        created.append(live)
+        return live
+
+    yield factory
+    for live in created:
+        live.close()
+
+
+def _submit_batch(base: str, names) -> dict:
+    specs = [{"kind": "litmus", "case": name} for name in names]
+    batch = client.submit_batch(base, specs)
+    for entry in batch["jobs"]:
+        status = client.wait_job(base, entry["job"], timeout=120.0)
+        assert status["state"] == "done", status
+    return batch
+
+
+def test_single_shot_latency(benchmark, live_service):
+    """One job, cold store each round: submit → execute → verdict."""
+    live = live_service(jobs=1)
+    cases = iter(ALL_TRANSFORMATION_CASES)
+
+    def one_shot():
+        # A fresh case every round: re-submitting the same one would be
+        # answered by the store and measure the warm path instead.
+        name = next(cases).name
+        submission = client.submit(live.base, {"kind": "litmus",
+                                               "case": name})
+        status = client.wait_job(live.base, submission["job"],
+                                 timeout=120.0)
+        assert status["state"] == "done"
+        return submission
+
+    submission = benchmark(one_shot)
+    benchmark.extra_info["served_from"] = submission["served_from"]
+
+
+@pytest.mark.parametrize("jobs", [1, 2], ids=["jobs1", "jobs2"])
+def test_batch_throughput(benchmark, live_service, jobs):
+    """A 12-case batch against a cold store, in-process vs spawn pool.
+
+    Rounds after the first hit the verdict store, so only the cold
+    round carries execution time — ``pedantic`` keeps it to one round
+    per fresh service to measure the execute path honestly.
+    """
+    def cold_batch():
+        live = live_service(jobs=jobs, fresh=True)
+        batch = _submit_batch(live.base, BATCH_CASES)
+        assert batch["cached"] == 0, "cold batch must execute"
+        return batch
+
+    batch = benchmark.pedantic(cold_batch, rounds=1)
+    benchmark.extra_info["cases"] = batch["total"]
+    benchmark.extra_info["jobs"] = jobs
+
+
+def test_warm_cache_hit_latency(benchmark, live_service):
+    """The populated-store path: every verdict answered from the index."""
+    live = live_service(jobs=1)
+    _submit_batch(live.base, BATCH_CASES)  # populate, untimed
+
+    def warm_batch():
+        batch = _submit_batch(live.base, BATCH_CASES)
+        assert batch["cached"] == batch["total"], \
+            "warm batch must be served from the verdict store"
+        return batch
+
+    batch = benchmark(warm_batch)
+    hit_rate = batch["cached"] / batch["total"]
+    benchmark.extra_info["cases"] = batch["total"]
+    benchmark.extra_info["warm_hit_rate"] = hit_rate

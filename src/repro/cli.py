@@ -256,9 +256,7 @@ def _cmd_litmus(args: argparse.Namespace) -> int:
     if heartbeat is not None:
         heartbeat.finish()
     for payload, counters in sweep:
-        row = {key: payload[key]
-               for key in ("case", "expected", "measured", "agree",
-                           "complete", "incomplete_reasons", "game_states")}
+        row = {key: payload[key] for key in runner.LITMUS_ROW_KEYS}
         rows.append(row)
         mismatches += not row["agree"]
         incomplete = (",".join(row["incomplete_reasons"]) or "-"
@@ -630,6 +628,105 @@ def _cmd_cache(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    """Run the verification service until a shutdown request/signal."""
+    from .serve.http import make_server, serve_forever
+    from .serve.service import VerificationService
+
+    heartbeat = runner.Heartbeat(
+        "serve", is_failure=lambda status: status.get("state") == "failed",
+    ) if getattr(args, "progress", False) else None
+    service = VerificationService(
+        jobs=args.jobs, store_dir=args.store,
+        max_program_bytes=args.max_program_bytes, heartbeat=heartbeat)
+    try:
+        server = make_server(args.host, args.port, service,
+                             verbose=getattr(args, "verbose", False))
+    except OSError as error:
+        service.shutdown(drain=False)
+        print(f"repro: error: cannot bind {args.host}:{args.port}: "
+              f"{error}", file=sys.stderr)
+        return 2
+    host, port = server.server_address[:2]
+    print(f"repro serve: listening on http://{host}:{port} "
+          f"(jobs={service.jobs}, store="
+          f"{service.store.directory if service.store else 'off'})",
+          file=sys.stderr)
+    serve_forever(server, ready_file=args.ready_file)
+    if heartbeat is not None:
+        heartbeat.finish()
+    stats = service.stats()
+    print(f"repro serve: drained — {stats['executed']} executed, "
+          f"{stats['deduped']} deduped, {stats['failed']} failed",
+          file=sys.stderr)
+    return 0
+
+
+def _cmd_client(args: argparse.Namespace) -> int:
+    """Talk to a running service (submit / poll / stream / litmus)."""
+    from .serve import client as svc
+
+    base = args.base
+    try:
+        if args.action == "version":
+            print(json.dumps(svc.request(base, "GET", "/v1/version"),
+                             indent=2))
+            return 0
+        if args.action == "stats":
+            path = "/v1/store/stats" if getattr(args, "store", False) \
+                else "/v1/stats"
+            print(json.dumps(svc.request(base, "GET", path), indent=2))
+            return 0
+        if args.action == "shutdown":
+            svc.shutdown(base)
+            print("service shutting down", file=sys.stderr)
+            return 0
+        if args.action == "submit":
+            spec_text = args.spec
+            if spec_text.startswith("@"):
+                with open(spec_text[1:]) as handle:
+                    spec_text = handle.read()
+            try:
+                spec = json.loads(spec_text)
+            except ValueError as error:
+                print(f"repro: error: job spec is not JSON: {error}",
+                      file=sys.stderr)
+                return 2
+            submission = svc.submit(base, spec)
+            job_id = submission["job"]
+            if getattr(args, "stream_events", False):
+                svc.stream_events(base, job_id)
+            if getattr(args, "wait", False) \
+                    or getattr(args, "stream_events", False):
+                status = svc.wait_job(base, job_id)
+                print(json.dumps(status, indent=2))
+                return 0 if status.get("state") == "done" else 1
+            print(json.dumps(submission, indent=2))
+            return 0
+        if args.action == "status":
+            print(json.dumps(svc.request(base, "GET",
+                                         f"/v1/jobs/{args.job}"),
+                             indent=2))
+            return 0
+        if args.action == "stream":
+            svc.stream_events(base, args.job, since=args.since)
+            return 0
+        # litmus
+        cache_stats: Optional[dict] = {} \
+            if args.cache_stats_json is not None else None
+        status = svc.run_litmus(base, extended=args.extended,
+                                as_json=args.format == "json",
+                                cache_stats=cache_stats)
+        if args.cache_stats_json is not None:
+            with open(args.cache_stats_json, "w") as handle:
+                json.dump(cache_stats, handle, indent=2, sort_keys=True)
+                handle.write("\n")
+        return status
+    except svc.ServiceError as error:
+        print(f"repro: service error: {error}", file=sys.stderr)
+        return 2
+
+
 class _VersionAction(argparse.Action):
     """``--version``: package version plus run provenance, lazily.
 
@@ -899,6 +996,79 @@ def build_parser() -> argparse.ArgumentParser:
                             "or .repro-cache)")
     cache.set_defaults(fn=_cmd_cache)
 
+    serve_cmd = sub.add_parser(
+        "serve",
+        help="run the HTTP/JSON verification service")
+    serve_cmd.add_argument("--host", default="127.0.0.1",
+                           help="bind address (default: 127.0.0.1)")
+    serve_cmd.add_argument("--port", type=int, default=8642,
+                           help="bind port; 0 picks a free one "
+                                "(default: 8642)")
+    serve_cmd.add_argument("--jobs", type=int, default=1, metavar="N",
+                           help="worker processes draining the job queue "
+                                "(1 = in-process execution)")
+    serve_cmd.add_argument("--store", default=None, metavar="DIR",
+                           help="verdict/cert store directory (default: "
+                                "REPRO_CACHE_DIR or .repro-cache)")
+    serve_cmd.add_argument("--max-program-bytes", type=int,
+                           default=65536, metavar="N",
+                           help="reject programs larger than N bytes "
+                                "with 413 (default: 65536)")
+    serve_cmd.add_argument("--ready-file", default=None, metavar="FILE",
+                           help="write the bound base URL here once "
+                                "listening (CI handshake)")
+    serve_cmd.add_argument("--progress", action="store_true",
+                           help="periodic one-line heartbeat on stderr")
+    serve_cmd.add_argument("--verbose", action="store_true",
+                           help="log every HTTP request to stderr")
+    serve_cmd.set_defaults(fn=_cmd_serve)
+
+    client = sub.add_parser(
+        "client",
+        help="talk to a running verification service")
+    client.add_argument("--base", default="http://127.0.0.1:8642",
+                        help="service base URL "
+                             "(default: http://127.0.0.1:8642)")
+    csub = client.add_subparsers(dest="action", required=True)
+    csub.add_parser("version", help="GET /v1/version")
+    cstats = csub.add_parser("stats", help="service (or store) stats")
+    cstats.add_argument("--store", action="store_true",
+                        help="the verdict store stats instead")
+    csubmit = csub.add_parser("submit", help="submit one job spec")
+    csubmit.add_argument("spec",
+                         help="job spec as inline JSON, or @FILE")
+    csubmit.add_argument("--wait", action="store_true",
+                         help="poll until done and print the verdict")
+    # dest avoids the observability --stream FILE flag: _dispatch probes
+    # args.stream for a path and a bare bool must never reach it.
+    csubmit.add_argument("--stream", action="store_true",
+                         dest="stream_events",
+                         help="copy the job's NDJSON event stream to "
+                              "stdout, then print the verdict")
+    cstatus = csub.add_parser("status", help="GET /v1/jobs/<id>")
+    cstatus.add_argument("job")
+    cstream = csub.add_parser("stream",
+                              help="copy a job's NDJSON event stream")
+    cstream.add_argument("job")
+    cstream.add_argument("--since", type=int, default=0,
+                         help="start at event index N (default: 0)")
+    clitmus = csub.add_parser(
+        "litmus",
+        help="the litmus table via the service (byte-identical to "
+             "`repro litmus`)")
+    clitmus.add_argument("--extended", action="store_true",
+                         help="include the fence extension cases")
+    clitmus.add_argument("--format", choices=("table", "json"),
+                         default="table",
+                         help="table (default) or machine-readable JSON")
+    clitmus.add_argument("--cache-stats-json", default=None,
+                         metavar="FILE",
+                         help="write batch cache accounting (total, "
+                              "cached, hit_rate) as JSON — the CI warm "
+                              "gate input")
+    csub.add_parser("shutdown", help="drain in-flight jobs and stop")
+    client.set_defaults(fn=_cmd_client)
+
     return parser
 
 
@@ -913,7 +1083,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     """
     args = build_parser().parse_args(argv)
     store = None
-    if args.command not in ("query", "cache"):
+    # `client` talks HTTP only — the *service* process owns the store.
+    if args.command not in ("query", "cache", "client"):
         from .psna import certstore
 
         store = certstore.bind(certstore.open_default())

@@ -29,6 +29,10 @@ absent, so the page always builds):
 * **cert store** — the ``repro-certstore/1`` persistent verdict-cache
   panel: entries/size/segments, per-run hit-rate sparkline over the
   store's history ledger, and gc events;
+* **service** — the ``repro-serve/1`` verification-service panel:
+  jobs submitted/executed/deduped/failed, uptime, and the verdict
+  store's hit-rate line (save ``repro client stats`` output as
+  ``serve-stats.json``);
 * **fuzz** — the latest campaign summary, verbatim.
 
 Colors follow the repo's validated default palette: categorical slot 1
@@ -59,6 +63,7 @@ DEFAULT_FUZZ = "fuzz-summary.txt"
 DEFAULT_GRAPH = "graph-stats.json"
 DEFAULT_MONITOR = "monitor.json"
 DEFAULT_CERTSTORE = "cert-store.json"
+DEFAULT_SERVE = "serve-stats.json"
 
 _CSS = """
 :root { color-scheme: light dark; }
@@ -465,6 +470,42 @@ def _section_certstore(certstore: Optional[dict]) -> str:
     return "".join(parts)
 
 
+def _section_serve(serve: Optional[dict]) -> str:
+    """The verification-service panel: a ``repro-serve/1`` stats body
+    (``GET /v1/stats``, as saved by ``repro client stats``)."""
+    if serve is None:
+        return ('<p class="none">no service stats — save one with '
+                '<code>repro client stats &gt; serve-stats.json</code>'
+                '</p>')
+    states = serve.get("states", {}) or {}
+    failed = serve.get("failed", 0)
+    parts = ["<div class='tiles'>",
+             _tile(serve.get("submitted", 0), "jobs submitted"),
+             _tile(serve.get("executed", 0), "executed"),
+             _tile(serve.get("deduped", 0), "deduped"),
+             _tile(failed, "failed",
+                   "status-bad" if failed else "status-good"),
+             _tile(f"{serve.get('uptime_s', 0.0):.0f}s", "uptime"),
+             "</div>"]
+    store = serve.get("store")
+    if isinstance(store, dict):
+        consulted = store.get("hits", 0) + store.get("misses", 0)
+        rate = store.get("hit_rate", 0.0)
+        parts.append(
+            f"<p class='sub'>verdict store: {store.get('entries', 0)} "
+            f"entries · {store.get('size_bytes', 0) / 1e6:.2f} MB · "
+            f"{store.get('hits', 0)}/{consulted} hits "
+            f"({rate * 100:.1f}% hit rate) · semantics "
+            f"{_esc(store.get('semantics', '?'))}</p>")
+    if states:
+        rows = "".join(f"<tr><td>{_esc(state)}</td>"
+                       f"<td class='num'>{count}</td></tr>"
+                       for state, count in sorted(states.items()))
+        parts.append("<table><tr><th>job state</th>"
+                     "<th class='num'>jobs</th></tr>" + rows + "</table>")
+    return "".join(parts)
+
+
 def _section_fuzz(summary: Optional[str]) -> str:
     if not summary:
         return ('<p class="none">no fuzz summary — save one with '
@@ -479,6 +520,7 @@ def build_dashboard(benches: Sequence[dict], records: Sequence[dict],
                     graph: Optional[dict] = None,
                     monitor: Optional[dict] = None,
                     certstore: Optional[dict] = None,
+                    serve: Optional[dict] = None,
                     meta: Optional[dict] = None,
                     top: int = 20) -> str:
     """Render the full page; every argument is optional data."""
@@ -499,6 +541,7 @@ def build_dashboard(benches: Sequence[dict], records: Sequence[dict],
         ("State space", _section_statespace(graph)),
         ("Invariants", _section_monitor(monitor)),
         ("Cert store", _section_certstore(certstore)),
+        ("Service", _section_serve(serve)),
         ("Latest fuzz campaign", _section_fuzz(fuzz_summary)),
         ("Benchmarks", _section_benches(benches)),
     ]
@@ -536,7 +579,8 @@ def collect_inputs(root: str, ledger: Optional[str] = None,
                    fuzz: Optional[str] = None,
                    graph: Optional[str] = None,
                    monitor: Optional[str] = None,
-                   certstore: Optional[str] = None) -> dict:
+                   certstore: Optional[str] = None,
+                   serve: Optional[str] = None) -> dict:
     """Gather every dashboard input under ``root`` (missing = None)."""
     benches = []
     for path in sorted(glob.glob(os.path.join(root, "BENCH_*.json"))):
@@ -553,6 +597,7 @@ def collect_inputs(root: str, ledger: Optional[str] = None,
     graph_path = graph or os.path.join(root, DEFAULT_GRAPH)
     monitor_path = monitor or os.path.join(root, DEFAULT_MONITOR)
     certstore_path = certstore or os.path.join(root, DEFAULT_CERTSTORE)
+    serve_path = serve or os.path.join(root, DEFAULT_SERVE)
     fuzz_summary = None
     if os.path.exists(fuzz_path):
         try:
@@ -569,6 +614,7 @@ def collect_inputs(root: str, ledger: Optional[str] = None,
         "graph": _load_json(graph_path),
         "monitor": _load_json(monitor_path),
         "certstore": _load_json(certstore_path),
+        "serve": _load_json(serve_path),
     }
 
 
@@ -578,7 +624,7 @@ def main(argv: Sequence[str]) -> int:
     options = {"--out": None, "--root": ".", "--ledger": None,
                "--coverage": None, "--attrib": None, "--fuzz": None,
                "--graph": None, "--monitor": None, "--certstore": None,
-               "--top": "20"}
+               "--serve": None, "--top": "20"}
     for name in list(options):
         if name in args:
             index = args.index(name)
@@ -592,7 +638,8 @@ def main(argv: Sequence[str]) -> int:
         print("usage: python -m repro.obs dashboard --out FILE "
               "[--root DIR] [--ledger FILE] [--coverage FILE] "
               "[--attrib FILE] [--fuzz FILE] [--graph FILE] "
-              "[--monitor FILE] [--certstore FILE] [--top N]")
+              "[--monitor FILE] [--certstore FILE] [--serve FILE] "
+              "[--top N]")
         return 2
     inputs = collect_inputs(options["--root"], ledger=options["--ledger"],
                             coverage=options["--coverage"],
@@ -600,7 +647,8 @@ def main(argv: Sequence[str]) -> int:
                             fuzz=options["--fuzz"],
                             graph=options["--graph"],
                             monitor=options["--monitor"],
-                            certstore=options["--certstore"])
+                            certstore=options["--certstore"],
+                            serve=options["--serve"])
     page = build_dashboard(inputs["benches"], inputs["records"],
                            coverage=inputs["coverage"],
                            attrib=inputs["attrib"],
@@ -608,6 +656,7 @@ def main(argv: Sequence[str]) -> int:
                            graph=inputs["graph"],
                            monitor=inputs["monitor"],
                            certstore=inputs["certstore"],
+                           serve=inputs["serve"],
                            meta=provenance_meta(options["--root"]),
                            top=int(options["--top"]))
     try:

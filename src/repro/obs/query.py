@@ -26,11 +26,12 @@ Three query modes compose left to right:
 ``--follow`` switches the events dialect into tail mode: the stream is
 polled (seek + incremental read, partial trailing lines buffered until
 their newline arrives) and matching events print as they are appended —
-how monitors and heartbeats are watched live.  The follow loop exits
-cleanly when the writer closes the stream (the session-final
-``coverage`` event) or when no new data arrives for ``--idle-timeout``
-seconds (plain EOF: streams without rule counters end without a
-``coverage`` line).
+how monitors, heartbeats, and service job streams are watched live.
+The follow loop exits cleanly at the first end-of-stream sentinel (the
+session-final ``coverage`` event, or the ``stream-end`` line every
+``repro serve`` job stream ends with) or when no complete line arrives
+for ``--idle-timeout`` seconds (plain EOF: streams without rule
+counters end without a ``coverage`` line).
 
 Exit codes: 0 = matches found, 1 = query ran but matched nothing,
 2 = unreadable/invalid artifact or bad usage.
@@ -50,6 +51,12 @@ from .statespace import GRAPH_SCHEMA, dedup_ratio
 #: Event fields consulted by ``--rule`` (a rule id can ride along in
 #: any of these, depending on the event kind).
 _RULE_FIELDS = ("rule", "last_rule")
+
+#: Event kinds that mark the end of a stream for ``--follow``:
+#: ``coverage`` is the session-final rule dump of CLI streams;
+#: ``stream-end`` is the explicit sentinel every service job stream
+#: emits (cached jobs have no rule counters, hence no ``coverage``).
+FOLLOW_END_EVENTS = frozenset({"coverage", "stream-end"})
 
 
 def load_artifact(path: str) -> tuple[str, object]:
@@ -303,12 +310,14 @@ def follow_events(path: str, options: argparse.Namespace,
     past what it already consumed and reads whatever the writer has
     flushed since; a trailing partial line (the writer flushes per line,
     but the poll can still race a kernel-level partial write) stays
-    buffered until its newline arrives.  Exits 0 cleanly when the
-    session-final ``coverage`` event arrives (the writer closed the
-    stream) or when the stream goes idle for ``idle_timeout_s`` —
-    which also covers writers that close without a ``coverage`` line.
-    Returns 1 when the follow ended without one matching event, 2 when
-    the file never appeared within the idle timeout.
+    buffered until its newline arrives.  Exits 0 cleanly at the first
+    end-of-stream sentinel (:data:`FOLLOW_END_EVENTS` — the
+    session-final ``coverage`` event, or a service job stream's
+    ``stream-end``), or when no *complete line* arrives for
+    ``idle_timeout_s`` — partial-byte dribble does not count as
+    liveness, so a stalled writer cannot hang a follow (and its CI job)
+    forever.  Returns 1 when the follow ended without one matching
+    event, 2 when the file never appeared within the idle timeout.
     """
     if out is None:
         out = sys.stdout
@@ -330,11 +339,11 @@ def follow_events(path: str, options: argparse.Namespace,
                     continue
             chunk = handle.read()
             if chunk:
-                deadline = time.monotonic() + idle_timeout_s
                 buffer += chunk
-                closed = False
+                progressed = False
                 while "\n" in buffer:
                     line, buffer = buffer.split("\n", 1)
+                    progressed = True
                     if not line.strip():
                         continue
                     try:
@@ -348,12 +357,17 @@ def follow_events(path: str, options: argparse.Namespace,
                         print(json.dumps(event, sort_keys=True,
                                          default=repr), file=out,
                               flush=True)
-                    if event.get("ev") == "coverage":
-                        # The session emits coverage last, then closes:
-                        # the stream's EOF sentinel.
-                        closed = True
-                if closed:
-                    return 0 if matched else 1
+                    if event.get("ev") in FOLLOW_END_EVENTS:
+                        # The writer's EOF sentinel: the session-final
+                        # coverage dump, or a service job stream's
+                        # explicit stream-end.  Exit immediately —
+                        # anything after it is not ours to wait on.
+                        return 0 if matched else 1
+                # Only complete lines count as liveness: a writer that
+                # dribbles partial bytes without ever finishing a line
+                # must still trip the idle timeout, not hang forever.
+                if progressed:
+                    deadline = time.monotonic() + idle_timeout_s
                 continue
             if time.monotonic() >= deadline:
                 return 0 if matched else 1

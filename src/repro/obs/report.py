@@ -188,6 +188,25 @@ def validate_certstore_payload(payload: dict) -> list[str]:
     return problems
 
 
+def validate_verdict_payload(payload: dict) -> list[str]:
+    """Validate a ``repro-verdict/1`` stats artifact (the service's
+    verdict-store index: ``GET /v1/store/stats``)."""
+    problems = []
+    if payload.get("schema") != "repro-verdict/1":
+        problems.append(f"schema is {payload.get('schema')!r}, "
+                        f"expected 'repro-verdict/1'")
+    for key, kind in (("directory", str), ("semantics", str),
+                      ("entries", int), ("segments", int),
+                      ("size_bytes", int), ("hits", int),
+                      ("misses", int), ("writes", int)):
+        if not isinstance(payload.get(key), kind):
+            problems.append(f"{key} is not a {kind.__name__}")
+    rate = payload.get("hit_rate")
+    if not isinstance(rate, (int, float)) or not 0.0 <= rate <= 1.0:
+        problems.append("hit_rate is not a number in [0, 1]")
+    return problems
+
+
 def validate_report_file(path: str) -> list[str]:
     """Validate one stats or bench report file by its schema field."""
     try:
@@ -202,6 +221,8 @@ def validate_report_file(path: str) -> list[str]:
         problems = validate_stats_payload(payload)
     elif schema == "repro-certstore/1":
         problems = validate_certstore_payload(payload)
+    elif schema == "repro-verdict/1":
+        problems = validate_verdict_payload(payload)
     else:
         from .attrib import ATTRIB_SCHEMA, validate_attrib_payload
         from .monitor import MONITOR_SCHEMA, validate_monitor_payload

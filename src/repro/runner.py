@@ -263,6 +263,13 @@ def _run_parallel(worker, items, jobs: int,
 # Workers (module-level so the spawn pool can pickle them by name)
 # ---------------------------------------------------------------------------
 
+#: The keys (and order) of one ``repro litmus --format json`` row.  The
+#: CLI and the verification service both select these from
+#: :func:`litmus_case_worker` payloads, which is what makes HTTP and CLI
+#: verdicts byte-identical.
+LITMUS_ROW_KEYS = ("case", "expected", "measured", "agree", "complete",
+                   "incomplete_reasons", "game_states")
+
 
 def litmus_case_worker(name: str) -> dict:
     """Check one transformation case of the catalog by name.

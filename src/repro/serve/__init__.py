@@ -1,0 +1,30 @@
+"""``repro serve``: the long-running verification service.
+
+The fourth pillar next to explore/fuzz/bench — a stdlib-only HTTP/JSON
+front end (:mod:`repro.serve.http`) over a transport-agnostic engine
+(:mod:`repro.serve.service`) that verifies programs and transformation
+pairs on demand, dedups identical queries by content address
+(:mod:`repro.serve.jobs`), and answers repeats straight from a
+persistent ``repro-verdict/1`` index (:mod:`repro.serve.store`).
+:mod:`repro.serve.client` is the matching ``repro client`` side.
+"""
+
+from .jobs import (
+    DEFAULT_MAX_PROGRAM_BYTES,
+    JOB_KINDS,
+    RequestError,
+    job_id_for,
+    normalize_request,
+    request_digest,
+    serve_job_worker,
+)
+from .service import JOB_STATES, Job, ServiceClosed, VerificationService
+from .store import VERDICT_SCHEMA, VerdictStore
+
+__all__ = [
+    "DEFAULT_MAX_PROGRAM_BYTES", "JOB_KINDS", "RequestError",
+    "job_id_for", "normalize_request", "request_digest",
+    "serve_job_worker",
+    "JOB_STATES", "Job", "ServiceClosed", "VerificationService",
+    "VERDICT_SCHEMA", "VerdictStore",
+]

@@ -1,0 +1,441 @@
+"""The verification service engine (transport-agnostic).
+
+:class:`VerificationService` owns the job registry, the queue, the
+workers, and the verdict store; the HTTP front end
+(:mod:`repro.serve.http`) and the tests drive it directly.
+
+Life of a job
+    ``submit`` normalizes the request (:mod:`repro.serve.jobs`),
+    content-addresses it, and then — in order — **dedups** against a
+    live job with the same digest (identical queries share one job id
+    and one execution), **consults the verdict store** (a hit creates
+    an already-``done`` job, ``cached=True``, without touching the
+    queue), or **enqueues**.  A drainer thread pops the queue and either
+    executes in-process (``jobs <= 1``) or dispatches onto a persistent
+    spawn pool built from :mod:`repro.runner`'s worker machinery
+    (``jobs > 1``) — the same ``_subprocess_entry`` the ``--jobs``
+    sweeps use, so worker observability (metrics snapshots, event
+    rings, cert-store shipments) merges back identically.
+
+Progress
+    Every job carries its own ``repro-events/1`` NDJSON buffer: the
+    queued/start markers, the worker's replayed events, the ``result``
+    event, a ``coverage`` event with the job's ``rule.*`` counters, and
+    a final ``stream-end`` sentinel (which ``repro query --follow``
+    exits on).  HTTP streaming readers block on a condition variable
+    and see lines as they are appended.  A :class:`repro.runner.
+    Heartbeat` reports service-level throughput on stderr when enabled.
+
+Shutdown
+    ``shutdown(drain=True)`` stops intake (late submissions raise
+    :class:`ServiceClosed` → HTTP 503), waits for every queued and
+    in-flight job to finish, closes the pool and the stores, and only
+    then returns — no accepted job is ever dropped.
+"""
+
+from __future__ import annotations
+
+import json
+import queue
+import threading
+import time
+from dataclasses import dataclass, field
+from multiprocessing import get_context
+from typing import Optional
+
+from .. import __version__, obs, runner
+from ..obs.events import EventStream
+from ..psna import certstore
+from ..psna.semantics import SEMANTICS_VERSION
+from . import jobs as jobmod
+from .store import VerdictStore
+
+#: Job states, in lifecycle order.
+JOB_STATES = ("queued", "running", "done", "failed")
+
+
+class ServiceClosed(Exception):
+    """Submission after shutdown began."""
+
+
+class _LineSink:
+    """File-like adapter: an :class:`EventStream` writes line + newline +
+    flush; complete lines land in the job's buffer on flush."""
+
+    def __init__(self, job: "Job", service: "VerificationService") -> None:
+        self._job = job
+        self._service = service
+        self._pending = ""
+
+    def write(self, text: str) -> None:
+        self._pending += text
+
+    def flush(self) -> None:
+        while "\n" in self._pending:
+            line, self._pending = self._pending.split("\n", 1)
+            self._service._append_event_line(self._job, line)
+
+
+@dataclass
+class Job:
+    """One verification job and its live NDJSON event buffer."""
+
+    id: str
+    digest: str
+    canonical: dict
+    state: str = "queued"
+    cached: bool = False
+    result: Optional[dict] = None
+    error: Optional[str] = None
+    submitted_at: float = field(default_factory=time.time)
+    finished_at: Optional[float] = None
+    event_lines: list[str] = field(default_factory=list)
+    stream_done: bool = False
+    #: The job's one EventStream (created at submit time, reused through
+    #: start/completion so the buffer is a single valid repro-events/1
+    #: stream with monotonic sequence numbers).
+    stream: Optional[EventStream] = None
+
+    def status(self) -> dict:
+        """The ``GET /v1/jobs/<id>`` body."""
+        body = {"job": self.id, "kind": self.canonical["kind"],
+                "state": self.state, "cached": self.cached}
+        if self.result is not None:
+            body["result"] = self.result
+        if self.error is not None:
+            body["error"] = self.error
+        return body
+
+
+class VerificationService:
+    """See the module docstring."""
+
+    def __init__(self, jobs: int = 1,
+                 store_dir: Optional[str] = None,
+                 max_program_bytes: int = jobmod.DEFAULT_MAX_PROGRAM_BYTES,
+                 heartbeat: Optional[runner.Heartbeat] = None) -> None:
+        self.jobs = max(1, jobs)
+        self.max_program_bytes = max_program_bytes
+        self.heartbeat = heartbeat
+        # resolve_dir handles all three cases: an explicit directory, the
+        # REPRO_CACHE_DIR default, and the "off"/"none" disable spelling.
+        directory = certstore.resolve_dir(store_dir)
+        self.store: Optional[VerdictStore] = (
+            VerdictStore(directory) if directory is not None else None)
+        self.started_at = time.time()
+        self._lock = threading.Lock()
+        self._cond = threading.Condition(self._lock)
+        self._by_id: dict[str, Job] = {}
+        self._queue: "queue.Queue[Optional[Job]]" = queue.Queue()
+        self._closed = False
+        self._inflight = 0
+        self.submitted = 0
+        self.deduped = 0
+        self.executed = 0
+        self.failed = 0
+        self._pool = None
+        if self.jobs > 1:
+            context = get_context("spawn")
+            parent = certstore.active()
+            self._pool = context.Pool(
+                processes=self.jobs,
+                initializer=runner._worker_init,
+                initargs=(parent.directory if parent is not None
+                          else None,))
+        self._drainer = threading.Thread(target=self._drain, daemon=True,
+                                         name="repro-serve-drainer")
+        self._drainer.start()
+
+    # -- events -----------------------------------------------------------
+
+    def _append_event_line(self, job: Job, line: str) -> None:
+        with self._cond:
+            job.event_lines.append(line)
+            self._cond.notify_all()
+
+    def _job_stream(self, job: Job) -> EventStream:
+        # "job_kind", not "kind": EventStream.emit's first positional is
+        # the event kind, and meta keys arrive as keyword arguments.
+        return EventStream(_LineSink(job, self),
+                           meta={"job": job.id,
+                                 "job_kind": job.canonical["kind"],
+                                 "semantics": SEMANTICS_VERSION})
+
+    # -- submission -------------------------------------------------------
+
+    def submit(self, body: object) -> tuple[Job, str]:
+        """Normalize, dedup, consult the store, enqueue.
+
+        Returns ``(job, served_from)`` where ``served_from`` describes
+        *this submission*: ``"store"`` (answered from the verdict index
+        without spawning a worker), ``"dedup"`` (attached to a live job
+        with the same content address), or ``"queue"`` (a fresh
+        execution).  Raises :class:`repro.serve.jobs.RequestError` on
+        malformed input and :class:`ServiceClosed` once shutdown has
+        begun.
+        """
+        canonical = jobmod.normalize_request(
+            body, max_program_bytes=self.max_program_bytes)
+        digest = jobmod.request_digest(canonical)
+        job_id = "j-" + digest
+        with self._lock:
+            if self._closed:
+                raise ServiceClosed("service is shutting down")
+            existing = self._by_id.get(job_id)
+            if existing is not None:
+                self.deduped += 1
+                if existing.state == "done" \
+                        and existing.result is not None:
+                    # A finished job re-submitted IS a verdict-store
+                    # answer: the registry entry is the index's
+                    # in-memory image (count the hit for the stats).
+                    if self.store is not None:
+                        self.store.get(digest)
+                    return existing, "store"
+                return existing, "dedup"
+            self.submitted += 1
+            job = Job(id=job_id, digest=digest, canonical=canonical)
+            self._by_id[job_id] = job
+            cached = self.store.get(digest) if self.store is not None \
+                else None
+            if cached is not None:
+                job.state = "done"
+                job.cached = True
+                job.result = cached
+                job.finished_at = time.time()
+            else:
+                self._inflight += 1
+        job.stream = self._job_stream(job)
+        if job.cached:
+            job.stream.emit("event", name="job-cached", job=job.id)
+            job.stream.emit("event", name="result", job=job.id,
+                            cached=True, **job.result)
+            self._finish_stream(job, job.stream, rules=None)
+            return job, "store"
+        job.stream.emit("event", name="job-queued", job=job.id,
+                        label=jobmod.describe(job.canonical))
+        self._queue.put(job)
+        return job, "queue"
+
+    def submit_batch(self, specs: list) -> list[tuple[Job, str]]:
+        if not isinstance(specs, list) or not specs:
+            raise jobmod.RequestError(400, "bad-batch",
+                                      "field 'jobs' must be a non-empty "
+                                      "list of job specs")
+        return [self.submit(spec) for spec in specs]
+
+    # -- execution --------------------------------------------------------
+
+    def _drain(self) -> None:
+        while True:
+            job = self._queue.get()
+            if job is None:
+                return
+            if self._pool is not None:
+                self._dispatch_pool(job)
+            else:
+                self._execute_local(job)
+
+    def _start_job(self, job: Job) -> EventStream:
+        with self._cond:
+            job.state = "running"
+            self._cond.notify_all()
+        stream = job.stream
+        stream.emit("event", name="job-start", job=job.id)
+        return stream
+
+    def _execute_local(self, job: Job) -> None:
+        stream = self._start_job(job)
+        own_session = not obs.enabled()
+        try:
+            if own_session:
+                with obs.session(stream=True) as session:
+                    payload = jobmod.serve_job_worker(job.canonical)
+                    snapshot = session.metrics.snapshot()
+                    events = session.events.drain()
+            else:
+                # An outer session is active (e.g. `repro serve --stats`):
+                # run inside it and report this job's counter delta only.
+                registry = obs.metrics()
+                before = registry.snapshot()
+                payload = jobmod.serve_job_worker(job.canonical)
+                snapshot = obs.diff_snapshots(before, registry.snapshot())
+                events = None
+        except Exception as error:  # noqa: BLE001 — jobs must not kill
+            self._fail_job(job, stream, error)  # the drainer
+            return
+        self._complete_job(job, stream, payload, snapshot, events)
+
+    def _dispatch_pool(self, job: Job) -> None:
+        stream = self._start_job(job)
+        task = (jobmod.serve_job_worker, job.canonical,
+                False, False, True, None)
+
+        def on_result(result) -> None:
+            payload, snapshot, _frames, _graph, events, _monitor, \
+                shipment = result
+            parent = certstore.active()
+            if parent is not None:
+                parent.absorb(shipment)
+            self._complete_job(job, stream, payload, snapshot, events)
+
+        def on_error(error) -> None:
+            self._fail_job(job, stream, error)
+
+        self._pool.apply_async(runner._subprocess_entry, (task,),
+                               callback=on_result,
+                               error_callback=on_error)
+
+    def _complete_job(self, job: Job, stream: EventStream,
+                      payload: dict, snapshot: Optional[dict],
+                      events: Optional[dict]) -> None:
+        if events:
+            if events.get("dropped"):
+                stream.emit("worker-drop", job=job.id,
+                            dropped=events["dropped"])
+            for event in events.get("events", ()):
+                if event.get("ev") == "meta":
+                    continue
+                stream.replay(event, job=job.id)
+        if self.store is not None:
+            self.store.put(job.digest, job.canonical["kind"], payload)
+        # Round-trip the payload through JSON exactly once, like a store
+        # hit: cold and warm responses are byte-identical by construction.
+        result = json.loads(json.dumps(payload, default=repr))
+        stream.emit("event", name="result", job=job.id, cached=False,
+                    **result)
+        rules = None
+        if snapshot is not None:
+            rules = {name: value
+                     for name, value in snapshot["counters"].items()
+                     if name.startswith("rule.") and value}
+        with self._cond:
+            job.state = "done"
+            job.result = result
+            job.finished_at = time.time()
+            self.executed += 1
+            self._inflight -= 1
+            self._cond.notify_all()
+        self._finish_stream(job, stream, rules=rules)
+        if self.heartbeat is not None:
+            self.heartbeat(job.status())
+
+    def _fail_job(self, job: Job, stream: EventStream, error) -> None:
+        detail = f"{type(error).__name__}: {error}"
+        stream.emit("event", name="job-failed", job=job.id, error=detail)
+        with self._cond:
+            job.state = "failed"
+            job.error = detail
+            job.finished_at = time.time()
+            self.failed += 1
+            self._inflight -= 1
+            self._cond.notify_all()
+        self._finish_stream(job, stream, rules=None)
+        if self.heartbeat is not None:
+            self.heartbeat(job.status())
+
+    def _finish_stream(self, job: Job, stream: EventStream,
+                       rules: Optional[dict]) -> None:
+        if rules:
+            stream.emit("coverage", rules=rules)
+        stream.emit("stream-end", job=job.id, state=job.state)
+        stream.close()
+        with self._cond:
+            job.stream_done = True
+            self._cond.notify_all()
+
+    # -- queries ----------------------------------------------------------
+
+    def get(self, job_id: str) -> Optional[Job]:
+        with self._lock:
+            return self._by_id.get(job_id)
+
+    def wait(self, job_id: str, timeout: Optional[float] = None) -> Job:
+        deadline = None if timeout is None \
+            else time.monotonic() + timeout
+        with self._cond:
+            while True:
+                job = self._by_id.get(job_id)
+                if job is None:
+                    raise KeyError(job_id)
+                if job.state in ("done", "failed"):
+                    return job
+                remaining = None if deadline is None \
+                    else deadline - time.monotonic()
+                if remaining is not None and remaining <= 0:
+                    return job
+                self._cond.wait(remaining)
+
+    def read_events(self, job_id: str, since: int = 0,
+                    timeout: Optional[float] = None,
+                    ) -> tuple[list[str], int, bool]:
+        """Event lines from index ``since``; blocks until new lines or
+        stream end.  Returns ``(lines, next_index, ended)``."""
+        deadline = None if timeout is None \
+            else time.monotonic() + timeout
+        with self._cond:
+            job = self._by_id.get(job_id)
+            if job is None:
+                raise KeyError(job_id)
+            while True:
+                if len(job.event_lines) > since:
+                    lines = job.event_lines[since:]
+                    return lines, since + len(lines), job.stream_done
+                if job.stream_done:
+                    return [], since, True
+                remaining = None if deadline is None \
+                    else deadline - time.monotonic()
+                if remaining is not None and remaining <= 0:
+                    return [], since, False
+                self._cond.wait(remaining)
+
+    def stats(self) -> dict:
+        with self._lock:
+            states = {state: 0 for state in JOB_STATES}
+            for job in self._by_id.values():
+                states[job.state] += 1
+            payload = {
+                "service": "repro-serve/1",
+                "version": __version__,
+                "semantics": SEMANTICS_VERSION,
+                "jobs": self.jobs,
+                "uptime_s": time.time() - self.started_at,
+                "submitted": self.submitted,
+                "deduped": self.deduped,
+                "executed": self.executed,
+                "failed": self.failed,
+                "states": states,
+                "closed": self._closed,
+            }
+        if self.store is not None:
+            payload["store"] = self.store.stats()
+        return payload
+
+    # -- lifecycle --------------------------------------------------------
+
+    def shutdown(self, drain: bool = True,
+                 timeout: Optional[float] = None) -> None:
+        """Stop intake; optionally wait for in-flight jobs; close."""
+        with self._cond:
+            if self._closed:
+                drain_needed = False
+            else:
+                self._closed = True
+                drain_needed = drain
+            if drain_needed:
+                deadline = None if timeout is None \
+                    else time.monotonic() + timeout
+                while self._inflight > 0:
+                    remaining = None if deadline is None \
+                        else deadline - time.monotonic()
+                    if remaining is not None and remaining <= 0:
+                        break
+                    self._cond.wait(remaining)
+        self._queue.put(None)
+        self._drainer.join(timeout=5.0)
+        if self._pool is not None:
+            self._pool.close()
+            self._pool.join()
+            self._pool = None
+        if self.store is not None:
+            self.store.close()

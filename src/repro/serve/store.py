@@ -1,0 +1,245 @@
+"""Content-addressed verdict store: the service's ``repro-verdict/1``
+result index.
+
+The persistent cert store (:mod:`repro.psna.certstore`) caches
+*certification* verdicts — the inner loop.  This store caches whole
+*job results*: the JSON payload a verification request produced, keyed
+by the request's content address (:func:`repro.serve.jobs.request_digest`
+— canonical programs + parameters + semantics version).  An identical
+query is answered straight from the index without ever spawning a
+worker; that is the service's memcache story.
+
+Layout mirrors the cert store and shares its directory (``--store``,
+default the cert store's resolved dir)::
+
+    verdict-<pid>-<n>.vseg   one header line, then one JSON object per
+                             line: {"d": digest, "k": kind, "r": result}
+
+Unlike the cert store, a service process is long-running and may be
+killed at any point, so entries are **appended and flushed per line**
+(the NDJSON stream discipline) instead of buffered until close — a
+``kill -9`` loses at most a partial trailing line, which the loader
+skips.  Segments written under another semantics version are ignored
+on load and reaped by :meth:`gc`.  Loading folds all segments, so
+concurrent service instances sharing a directory merge harmlessly.
+
+All methods are thread-safe: the HTTP front end, the drainer, and the
+pool-result callbacks all touch one handle.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+import threading
+from typing import IO, Optional
+
+from ..psna.semantics import SEMANTICS_VERSION
+
+VERDICT_SCHEMA = "repro-verdict/1"
+SEGMENT_HEADER = "repro-verdict-store/1"
+
+#: ``close()`` compacts once the directory holds more segments than this.
+COMPACT_SEGMENTS = 16
+
+
+class VerdictStore:
+    """One open handle on the on-disk verdict index."""
+
+    def __init__(self, directory: str) -> None:
+        self.directory = directory
+        self.entries: dict[str, dict] = {}
+        self.hits = 0
+        self.misses = 0
+        self.writes = 0
+        self._lock = threading.Lock()
+        self._segment: Optional[IO[str]] = None
+        self._segment_path: Optional[str] = None
+        self._closed = False
+        self._load()
+
+    # -- segment I/O ------------------------------------------------------
+
+    def _segments(self) -> list[str]:
+        try:
+            names = os.listdir(self.directory)
+        except OSError:
+            return []
+        return sorted(os.path.join(self.directory, name)
+                      for name in names
+                      if name.startswith("verdict-")
+                      and name.endswith(".vseg"))
+
+    def _load(self) -> None:
+        for path in self._segments():
+            self._load_segment(path, self.entries)
+
+    @staticmethod
+    def _load_segment(path: str, into: dict[str, dict]) -> bool:
+        """Fold one segment into ``into``; returns whether it carried the
+        current semantics header.  Malformed lines (truncation, garbage)
+        are skipped — corruption degrades to a miss, never a crash."""
+        try:
+            with open(path, "r", encoding="utf-8", errors="replace") as fh:
+                header = fh.readline().rstrip("\n").split(" ")
+                if header != [SEGMENT_HEADER, SEMANTICS_VERSION]:
+                    return False
+                for line in fh:
+                    if not line.endswith("\n"):
+                        continue  # partial trailing line (killed writer)
+                    try:
+                        record = json.loads(line)
+                    except ValueError:
+                        continue
+                    if not isinstance(record, dict):
+                        continue
+                    digest = record.get("d")
+                    result = record.get("r")
+                    if isinstance(digest, str) and isinstance(result, dict):
+                        into[digest] = {"kind": record.get("k"),
+                                        "result": result}
+        except OSError:
+            return False
+        return True
+
+    def _open_segment(self) -> Optional[IO[str]]:
+        if self._segment is not None:
+            return self._segment
+        try:
+            os.makedirs(self.directory, exist_ok=True)
+            fd, tmp = tempfile.mkstemp(prefix="verdict-", suffix=".tmp",
+                                       dir=self.directory)
+            handle = os.fdopen(fd, "w", encoding="utf-8")
+            handle.write(f"{SEGMENT_HEADER} {SEMANTICS_VERSION}\n")
+            handle.flush()
+            final = os.path.join(
+                self.directory,
+                f"verdict-{os.getpid()}-"
+                f"{os.path.basename(tmp)[8:-4]}.vseg")
+            os.replace(tmp, final)
+        except OSError:
+            return None
+        self._segment = handle
+        self._segment_path = final
+        return handle
+
+    # -- lookup / update --------------------------------------------------
+
+    def get(self, digest: str) -> Optional[dict]:
+        """The stored result payload for ``digest``, or ``None``."""
+        with self._lock:
+            entry = self.entries.get(digest)
+            if entry is None:
+                self.misses += 1
+                return None
+            self.hits += 1
+            return entry["result"]
+
+    def put(self, digest: str, kind: str, result: dict) -> bool:
+        """Record one verdict; appended and flushed immediately.
+
+        Returns whether the entry was new to this handle.
+        """
+        line = json.dumps({"d": digest, "k": kind, "r": result},
+                          sort_keys=True, default=repr)
+        with self._lock:
+            if digest in self.entries:
+                return False
+            self.entries[digest] = {"kind": kind,
+                                    "result": json.loads(line)["r"]}
+            self.writes += 1
+            handle = self._open_segment()
+            if handle is not None:
+                try:
+                    handle.write(line)
+                    handle.write("\n")
+                    handle.flush()
+                except OSError:
+                    pass
+            return True
+
+    # -- lifecycle / maintenance -----------------------------------------
+
+    def close(self) -> None:
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+            if self._segment is not None:
+                try:
+                    self._segment.flush()
+                    self._segment.close()
+                except OSError:
+                    pass
+                self._segment = None
+            if len(self._segments()) > COMPACT_SEGMENTS:
+                self._compact()
+
+    def _compact(self) -> None:
+        segments = self._segments()
+        merged: dict[str, dict] = {}
+        for path in segments:
+            self._load_segment(path, merged)
+        try:
+            fd, tmp = tempfile.mkstemp(prefix="verdict-", suffix=".tmp",
+                                       dir=self.directory)
+            with os.fdopen(fd, "w", encoding="utf-8") as fh:
+                fh.write(f"{SEGMENT_HEADER} {SEMANTICS_VERSION}\n")
+                for digest in sorted(merged):
+                    entry = merged[digest]
+                    fh.write(json.dumps({"d": digest, "k": entry["kind"],
+                                         "r": entry["result"]},
+                                        sort_keys=True) + "\n")
+            final = os.path.join(
+                self.directory,
+                f"verdict-{os.getpid()}-"
+                f"{os.path.basename(tmp)[8:-4]}.vseg")
+            os.replace(tmp, final)
+        except OSError:
+            return
+        for path in segments:
+            try:
+                os.unlink(path)
+            except OSError:
+                pass
+
+    def gc(self) -> dict:
+        """Reap stale-semantics segments; returns counts."""
+        with self._lock:
+            stale = 0
+            for path in self._segments():
+                probe: dict[str, dict] = {}
+                if not self._load_segment(path, probe):
+                    stale += 1
+                    try:
+                        os.unlink(path)
+                    except OSError:
+                        pass
+            return {"stale_segments": stale}
+
+    def size_bytes(self) -> int:
+        total = 0
+        for path in self._segments():
+            try:
+                total += os.path.getsize(path)
+            except OSError:
+                pass
+        return total
+
+    def stats(self) -> dict:
+        """The ``repro-verdict/1`` stats payload (also an endpoint body)."""
+        with self._lock:
+            consulted = self.hits + self.misses
+            return {
+                "schema": VERDICT_SCHEMA,
+                "directory": self.directory,
+                "semantics": SEMANTICS_VERSION,
+                "entries": len(self.entries),
+                "segments": len(self._segments()),
+                "size_bytes": self.size_bytes(),
+                "hits": self.hits,
+                "misses": self.misses,
+                "writes": self.writes,
+                "hit_rate": self.hits / consulted if consulted else 0.0,
+            }

@@ -7,7 +7,7 @@ from repro.obs.attrib import attrib_payload
 from repro.obs.report import bench_payload
 
 SECTIONS = ("Run history", "Rule coverage", "Attribution hotspots",
-            "State space", "Invariants", "Cert store",
+            "State space", "Invariants", "Cert store", "Service",
             "Latest fuzz campaign", "Benchmarks")
 
 
@@ -78,9 +78,20 @@ def _fixture_inputs(tmp_path):
             {"event": "gc", "stale_segments": 1, "dropped_entries": 0},
         ],
     }
+    serve = {
+        "service": "repro-serve/1", "version": "1.0.0",
+        "semantics": "psna-1", "jobs": 2, "uptime_s": 42.5,
+        "submitted": 65, "deduped": 64, "executed": 65, "failed": 0,
+        "states": {"queued": 0, "running": 0, "done": 129, "failed": 0},
+        "closed": False,
+        "store": {"schema": "repro-verdict/1", "directory": "verdicts",
+                  "semantics": "psna-1", "entries": 65, "segments": 1,
+                  "size_bytes": 14264, "hits": 65, "misses": 65,
+                  "writes": 65, "hit_rate": 0.5},
+    }
     return {"benches": [bench], "records": records, "coverage": coverage,
             "attrib": attrib, "fuzz_summary": fuzz, "graph": graph,
-            "monitor": monitor, "certstore": certstore}
+            "monitor": monitor, "certstore": certstore, "serve": serve}
 
 
 class TestBuildDashboard:
@@ -91,6 +102,7 @@ class TestBuildDashboard:
             coverage=inputs["coverage"], attrib=inputs["attrib"],
             fuzz_summary=inputs["fuzz_summary"], graph=inputs["graph"],
             monitor=inputs["monitor"], certstore=inputs["certstore"],
+            serve=inputs["serve"],
             meta={"git_sha": "abc1234", "python": "3.12.0"})
         for section in SECTIONS:
             assert section in page
@@ -109,6 +121,8 @@ class TestBuildDashboard:
         assert "Violation witnesses" in page  # witness capture rendered
         assert "last-run hit rate" in page  # cert-store tile
         assert "hit rate over runs" in page  # cert-store sparkline
+        assert "jobs submitted" in page  # service tile
+        assert "verdict store: 65 entries" in page  # service store line
 
     def test_standalone_html(self, tmp_path):
         inputs = _fixture_inputs(tmp_path)

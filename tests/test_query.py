@@ -1,6 +1,7 @@
 """``repro query``: offline interrogation of observability artifacts."""
 
 import json
+import time
 
 from repro.cli import main as cli_main
 from repro.obs.query import (
@@ -232,6 +233,51 @@ class TestQueryCli:
                      "--poll", "0.01", "--idle-timeout", "0.2"]) == 0
         assert main([str(path), "--follow", "--kind", "nope",
                      "--poll", "0.01", "--idle-timeout", "0.2"]) == 1
+
+    def test_follow_exits_on_stream_end_sentinel(self, tmp_path, capsys):
+        """Service job streams end with ``stream-end`` instead of a
+        ``coverage`` line (cached jobs carry no rule counters); the
+        follow must exit on it immediately, not wait out the idle
+        timeout."""
+        path = tmp_path / "job.ndjson"
+        path.write_text(json.dumps({"ev": "state", "states": 500}) + "\n"
+                        + json.dumps({"ev": "stream-end",
+                                      "job": "j-xyz"}) + "\n")
+        started = time.monotonic()
+        assert main([str(path), "--follow", "--kind", "state",
+                     "--poll", "0.01", "--idle-timeout", "30"]) == 0
+        assert time.monotonic() - started < 5.0
+        line = json.loads(capsys.readouterr().out.splitlines()[0])
+        assert line["states"] == 500
+
+    def test_follow_partial_line_dribble_trips_idle_timeout(
+            self, tmp_path, capsys):
+        """A writer that keeps appending bytes without ever finishing a
+        line is not alive: only complete lines reset the idle deadline,
+        so the follow still terminates."""
+        import threading
+
+        path = tmp_path / "dribble.ndjson"
+        path.write_text(json.dumps(EVENTS[1]) + "\n")
+        stop = threading.Event()
+
+        def dribbler():
+            with open(path, "a") as handle:
+                while not stop.is_set():
+                    handle.write("x")
+                    handle.flush()
+                    time.sleep(0.02)
+
+        thread = threading.Thread(target=dribbler)
+        thread.start()
+        try:
+            started = time.monotonic()
+            assert main([str(path), "--follow", "--kind", "span-enter",
+                         "--poll", "0.01", "--idle-timeout", "0.3"]) == 0
+            assert time.monotonic() - started < 5.0
+        finally:
+            stop.set()
+            thread.join()
 
     def test_follow_missing_file_exits_two(self, tmp_path, capsys):
         assert main([str(tmp_path / "never.ndjson"), "--follow",

@@ -1,0 +1,395 @@
+"""The verification service: engine, HTTP front end, verdict store.
+
+Three layers under test:
+
+* :class:`repro.serve.service.VerificationService` driven directly —
+  dedup, store hits, event streams, drain-on-shutdown;
+* the HTTP front end through a real bound socket and the
+  :mod:`repro.serve.client` wrapper — error bodies, NDJSON streaming,
+  byte-parity with the plain CLI;
+* :class:`repro.serve.store.VerdictStore` under concurrent writers and
+  across restarts.
+"""
+
+import io
+import json
+import threading
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.cli import main as cli_main
+from repro.litmus import ALL_TRANSFORMATION_CASES
+from repro.obs.events import validate_events
+from repro.serve import client
+from repro.serve.http import make_server
+from repro.serve.jobs import (
+    RequestError,
+    job_id_for,
+    normalize_request,
+    request_digest,
+)
+from repro.serve.service import ServiceClosed, VerificationService
+from repro.serve.store import VerdictStore
+
+VALIDATE_SPEC = {"kind": "validate",
+                 "source": "x_na := 1; x_na := 2; return 0;",
+                 "target": "x_na := 2; return 0;"}
+
+
+@pytest.fixture
+def service(tmp_path):
+    created = []
+
+    def factory(jobs: int = 1, store_dir=None) -> VerificationService:
+        if store_dir is None:
+            store_dir = str(tmp_path / "verdicts")
+        svc = VerificationService(jobs=jobs, store_dir=store_dir)
+        created.append(svc)
+        return svc
+
+    yield factory
+    for svc in created:
+        svc.shutdown(drain=True, timeout=30.0)
+
+
+@pytest.fixture
+def live(service):
+    """A service behind a real HTTP socket; yields (base_url, service)."""
+    servers = []
+
+    def factory(jobs: int = 1, store_dir=None, **server_kw):
+        svc = service(jobs=jobs, store_dir=store_dir)
+        server = make_server("127.0.0.1", 0, svc, **server_kw)
+        thread = threading.Thread(target=server.serve_forever, daemon=True)
+        thread.start()
+        servers.append((server, thread))
+        host, port = server.server_address[:2]
+        return f"http://{host}:{port}", svc
+
+    yield factory
+    for server, thread in servers:
+        server.shutdown()
+        server.server_close()
+        thread.join(timeout=5.0)
+
+
+class TestNormalization:
+    def test_formatting_does_not_change_the_job_id(self):
+        a = normalize_request({"kind": "validate",
+                               "source": "x_na:=1;return 0;",
+                               "target": "x_na   := 1; return 0;"})
+        b = normalize_request({"kind": "validate",
+                               "source": "x_na := 1;\nreturn 0;",
+                               "target": "x_na := 1; return 0;"})
+        assert a == b
+        assert job_id_for(a) == job_id_for(b)
+
+    def test_unknown_kind_is_a_400(self):
+        with pytest.raises(RequestError) as excinfo:
+            normalize_request({"kind": "frobnicate"})
+        assert excinfo.value.status == 400
+        assert excinfo.value.code == "unknown-kind"
+
+    def test_oversized_program_is_a_413(self):
+        huge = "x_na := 1; " * 10_000 + "return 0;"
+        with pytest.raises(RequestError) as excinfo:
+            normalize_request({"kind": "validate", "source": huge,
+                               "target": "return 0;"},
+                              max_program_bytes=1024)
+        assert excinfo.value.status == 413
+        assert excinfo.value.code == "program-too-large"
+
+    def test_unparseable_program_is_a_400_not_a_traceback(self):
+        with pytest.raises(RequestError) as excinfo:
+            normalize_request({"kind": "validate", "source": "x := (",
+                               "target": "return 0;"})
+        assert excinfo.value.status == 400
+        assert excinfo.value.code == "bad-program"
+
+
+class TestServiceEngine:
+    def test_validate_job_end_to_end(self, service):
+        svc = service()
+        job, served = svc.submit(VALIDATE_SPEC)
+        assert served == "queue"
+        finished = svc.wait(job.id, timeout=120.0)
+        assert finished.state == "done"
+        assert finished.result["command"] == "validate"
+        assert finished.result["valid"] is True
+
+    def test_event_stream_is_one_valid_repro_events_stream(self, service):
+        """Meta first, monotonic seq, result + stream-end present —
+        across the submit/start/complete hand-offs there must be exactly
+        one stream, not one per phase."""
+        svc = service()
+        job, _ = svc.submit(VALIDATE_SPEC)
+        svc.wait(job.id, timeout=120.0)
+        lines, _cursor, ended = svc.read_events(job.id, timeout=30.0)
+        assert ended
+        events = [json.loads(line) for line in lines]
+        assert validate_events(events) == []
+        kinds = [event.get("name") or event["ev"] for event in events]
+        assert kinds[0] == "meta"
+        assert "result" in kinds
+        assert kinds[-1] == "stream-end"
+
+    def test_parallel_identical_submissions_share_one_job(self, service):
+        """The dedup gate under contention: N racing submissions of the
+        same request must collapse onto a single job id and a single
+        execution."""
+        svc = service()
+        results = []
+        barrier = threading.Barrier(8)
+
+        def submitter():
+            barrier.wait()
+            results.append(svc.submit(VALIDATE_SPEC))
+
+        threads = [threading.Thread(target=submitter) for _ in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        ids = {job.id for job, _ in results}
+        assert len(ids) == 1
+        assert sum(1 for _, served in results if served == "queue") == 1
+        svc.wait(ids.pop(), timeout=120.0)
+        assert svc.executed == 1
+        assert svc.deduped == 7
+
+    def test_warm_restart_serves_from_the_verdict_store(self, service,
+                                                        tmp_path):
+        """A new service over the same store directory answers without
+        executing — the verdict survives the process boundary."""
+        store_dir = str(tmp_path / "persistent")
+        cold = service(store_dir=store_dir)
+        job, _ = cold.submit(VALIDATE_SPEC)
+        result = cold.wait(job.id, timeout=120.0).result
+        cold.shutdown(drain=True)
+
+        warm = service(store_dir=store_dir)
+        hit, served = warm.submit(VALIDATE_SPEC)
+        assert served == "store"
+        assert hit.cached is True
+        assert hit.state == "done"
+        assert hit.result == result
+        assert warm.executed == 0
+
+    def test_spawn_pool_jobs2_with_store_contention(self, service):
+        """Several distinct jobs through the 2-worker spawn pool, all
+        writing the shared verdict store; every verdict must land and
+        re-submission must be answered from the store."""
+        svc = service(jobs=2)
+        names = [case.name for case in ALL_TRANSFORMATION_CASES[:6]]
+        jobs = [svc.submit({"kind": "litmus", "case": name})[0]
+                for name in names]
+        for job in jobs:
+            assert svc.wait(job.id, timeout=300.0).state == "done"
+        assert svc.executed == len(names)
+        stats = svc.store.stats()
+        assert stats["writes"] == len(names)
+        for name in names:
+            _, served = svc.submit({"kind": "litmus", "case": name})
+            assert served == "store"
+
+    def test_shutdown_drains_inflight_jobs(self, service):
+        """Every accepted job finishes before shutdown returns; intake
+        closes immediately (late submissions raise ServiceClosed)."""
+        svc = service()
+        jobs = [svc.submit({"kind": "litmus", "case": case.name})[0]
+                for case in ALL_TRANSFORMATION_CASES[:4]]
+        svc.shutdown(drain=True, timeout=300.0)
+        for job in jobs:
+            assert job.state == "done"
+        with pytest.raises(ServiceClosed):
+            svc.submit(VALIDATE_SPEC)
+
+    def test_store_disabled_still_serves(self, service):
+        svc = service(store_dir="off")
+        assert svc.store is None
+        job, served = svc.submit(VALIDATE_SPEC)
+        assert served == "queue"
+        assert svc.wait(job.id, timeout=120.0).state == "done"
+        # Without a store the only cache is live dedup, not verdicts.
+        _, served = svc.submit(VALIDATE_SPEC)
+        assert served == "store"  # finished registry entry answers
+
+
+class TestHTTPFrontEnd:
+    def _raw(self, base, method="POST", path="/v1/jobs", data=b"",
+             headers=None):
+        """One raw request; returns (status, parsed JSON body)."""
+        req = urllib.request.Request(base + path, data=data,
+                                     headers=headers or {}, method=method)
+        try:
+            with urllib.request.urlopen(req, timeout=30.0) as response:
+                return response.status, json.loads(response.read())
+        except urllib.error.HTTPError as error:
+            return error.code, json.loads(error.read())
+
+    def test_version_health_check(self, live):
+        base, _svc = live()
+        body = client.request(base, "GET", "/v1/version")
+        assert body["service"] == "repro-serve/1"
+        assert body["kinds"] == ["adequacy", "explore", "litmus",
+                                 "validate"]
+
+    def test_malformed_json_is_a_400_error_body(self, live):
+        base, _svc = live()
+        status, body = self._raw(base, data=b"{not json",
+                                 headers={"Content-Length": "9"})
+        assert status == 400
+        assert body["schema"] == "repro-error/1"
+        assert body["error"] == "bad-json"
+        assert "Traceback" not in json.dumps(body)
+
+    def test_unknown_kind_is_a_400_error_body(self, live):
+        base, _svc = live()
+        with pytest.raises(client.ServiceError) as excinfo:
+            client.submit(base, {"kind": "frobnicate"})
+        assert excinfo.value.status == 400
+        assert excinfo.value.code == "unknown-kind"
+
+    def test_oversized_body_is_a_413(self, live):
+        base, _svc = live(max_body_bytes=64)
+        with pytest.raises(client.ServiceError) as excinfo:
+            client.submit(base, {"kind": "validate",
+                                 "source": "x_na := 1; " * 32
+                                           + "return 0;",
+                                 "target": "return 0;"})
+        assert excinfo.value.status == 413
+        assert excinfo.value.code == "body-too-large"
+
+    def test_unknown_job_is_a_404(self, live):
+        base, _svc = live()
+        with pytest.raises(client.ServiceError) as excinfo:
+            client.request(base, "GET", "/v1/jobs/j-doesnotexist")
+        assert excinfo.value.status == 404
+        assert excinfo.value.code == "unknown-job"
+
+    def test_unsupported_method_is_json_not_html(self, live):
+        base, _svc = live()
+        status, body = self._raw(base, method="DELETE",
+                                 path="/v1/version")
+        assert status in (405, 501)
+        assert body["schema"] == "repro-error/1"
+
+    def test_submit_wait_and_stream(self, live):
+        base, _svc = live()
+        submission = client.submit(base, VALIDATE_SPEC)
+        assert submission["state"] in ("queued", "running", "done")
+        status = client.wait_job(base, submission["job"], timeout=120.0)
+        assert status["state"] == "done"
+        assert status["result"]["valid"] is True
+        sink = io.StringIO()
+        assert client.stream_events(base, submission["job"],
+                                    out=sink) > 0
+        events = [json.loads(line)
+                  for line in sink.getvalue().splitlines()]
+        assert validate_events(events) == []
+        assert events[-1]["ev"] == "stream-end"
+
+    def test_litmus_catalog_is_byte_identical_to_the_cli(self, live,
+                                                         capsys):
+        """The CI hard gate, in-process: the service-backed catalog
+        sweep renders exactly the bytes of ``repro litmus --format
+        json`` (CI smoke repeats this over HTTP for the extended
+        catalog, cold and warm)."""
+        base, _svc = live(jobs=2)
+        stats: dict = {}
+        sink = io.StringIO()
+        assert client.run_litmus(base, extended=False, as_json=True,
+                                 out=sink, cache_stats=stats) == 0
+        assert stats["total"] == len(ALL_TRANSFORMATION_CASES)
+        assert stats["cached"] == 0
+        assert cli_main(["litmus", "--format", "json"]) == 0
+        assert sink.getvalue() == capsys.readouterr().out
+
+        # The warm pass is answered from the verdict store — and still
+        # renders the same bytes.
+        warm_stats: dict = {}
+        warm_sink = io.StringIO()
+        assert client.run_litmus(base, extended=False, as_json=True,
+                                 out=warm_sink,
+                                 cache_stats=warm_stats) == 0
+        assert warm_stats["hit_rate"] == 1.0
+        assert warm_sink.getvalue() == sink.getvalue()
+
+    def test_warm_batch_reports_store_hits(self, live):
+        base, _svc = live()
+        specs = [{"kind": "litmus", "case": case.name}
+                 for case in ALL_TRANSFORMATION_CASES[:4]]
+        cold = client.submit_batch(base, specs)
+        for entry in cold["jobs"]:
+            client.wait_job(base, entry["job"], timeout=300.0)
+        assert cold["cached"] == 0
+        warm = client.submit_batch(base, specs)
+        assert warm["cached"] == warm["total"] == len(specs)
+        for entry in warm["jobs"]:
+            assert entry["cached"] is True
+            assert entry["served_from"] == "store"
+
+    def test_closed_service_maps_to_503_shutting_down(self, live):
+        """Late submissions while the engine drains: the listener is
+        still up, so the refusal must be a 503 error body, never a
+        hang or a traceback."""
+        base, svc = live()
+        submission = client.submit(base, VALIDATE_SPEC)
+        svc.shutdown(drain=True, timeout=300.0)
+        assert svc.get(submission["job"]).state == "done"
+        with pytest.raises(client.ServiceError) as excinfo:
+            client.submit(base, VALIDATE_SPEC)
+        assert excinfo.value.status == 503
+        assert excinfo.value.code == "shutting-down"
+
+    def test_shutdown_endpoint_drains_and_stops(self, live):
+        base, svc = live()
+        submission = client.submit(base, VALIDATE_SPEC)
+        assert client.shutdown(base)["shutting_down"] is True
+        # The accepted job still finishes (drain), then intake closes.
+        job = svc.wait(submission["job"], timeout=300.0)
+        assert job.state == "done"
+        deadline = 200
+        while not svc.stats()["closed"] and deadline:
+            deadline -= 1
+            threading.Event().wait(0.05)
+        assert svc.stats()["closed"] is True
+
+
+class TestVerdictStore:
+    def test_concurrent_writers_one_directory(self, tmp_path):
+        """Two store handles (= two service processes) interleave writes
+        into one directory; a fresh handle sees every verdict."""
+        directory = str(tmp_path / "shared")
+        a, b = VerdictStore(directory), VerdictStore(directory)
+        digests = []
+        for index in range(16):
+            canonical = {"kind": "validate", "n": index}
+            digest = request_digest(canonical)
+            digests.append(digest)
+            (a if index % 2 else b).put(digest, "validate",
+                                        {"n": index})
+        a.close(), b.close()
+        fresh = VerdictStore(directory)
+        try:
+            for index, digest in enumerate(digests):
+                assert fresh.get(digest) == {"n": index}
+        finally:
+            fresh.close()
+
+    def test_corrupt_segment_line_is_skipped_not_fatal(self, tmp_path):
+        directory = tmp_path / "corrupt"
+        store = VerdictStore(str(directory))
+        digest = request_digest({"kind": "validate", "ok": True})
+        store.put(digest, "validate", {"ok": True})
+        store.close()
+        segment = next(directory.glob("*.vseg"))
+        with open(segment, "a") as handle:
+            handle.write("{truncated garbage\n")
+        reopened = VerdictStore(str(directory))
+        try:
+            assert reopened.get(digest) == {"ok": True}
+        finally:
+            reopened.close()
