@@ -10,7 +10,11 @@ the whole serving story, not just the job runner:
 * **warm-cache hit latency** — the same batch re-submitted against the
   populated verdict store: no job executes, every verdict is answered
   from the content-addressed index, so this is the pure serving
-  overhead (HTTP + normalization + index lookup).
+  overhead (HTTP + normalization + index lookup);
+* **metrics-scrape latency** — one ``GET /v1/metrics`` round-trip
+  (snapshot + Prometheus rendering) against a service that has served
+  a batch, plus the client-side exposition parse: the cost a scraper
+  adds per poll interval.
 
 The spawn pool boots once per service (not per round): the benchmark
 holds one service per scenario and times submissions against it, which
@@ -130,3 +134,19 @@ def test_warm_cache_hit_latency(benchmark, live_service):
     hit_rate = batch["cached"] / batch["total"]
     benchmark.extra_info["cases"] = batch["total"]
     benchmark.extra_info["warm_hit_rate"] = hit_rate
+
+
+def test_metrics_scrape_latency(benchmark, live_service):
+    """One scrape as a monitoring agent would do it: fetch the
+    Prometheus text and parse it back into samples."""
+    from repro.serve.metrics import parse_exposition
+
+    live = live_service(jobs=1)
+    _submit_batch(live.base, BATCH_CASES)  # populate, untimed
+
+    def scrape():
+        text = client.fetch_metrics(live.base, as_json=False)
+        return parse_exposition(text)
+
+    parsed = benchmark(scrape)
+    benchmark.extra_info["samples"] = len(parsed["samples"])

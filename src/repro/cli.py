@@ -11,8 +11,11 @@ Subcommands::
     repro explain ...              # narrate a witness / counterexample
     repro fuzz                     # differential fuzzing campaign / replay
     repro attrib                   # time attribution of a workload
-    repro query ARTIFACT           # filter/aggregate trace, event, and
-                                   # graph artifacts offline
+    repro query ARTIFACT           # filter/aggregate trace, event,
+                                   # graph, and metrics artifacts offline
+    repro serve                    # run the HTTP verification service
+    repro client ...               # talk to a running service
+    repro top                      # live ops view of a running service
 
 Each PROGRAM/SOURCE/TARGET argument is a path to a WHILE file, or inline
 WHILE source (detected when the argument is not an existing file).
@@ -66,6 +69,7 @@ import argparse
 import json
 import os
 import sys
+import time
 from typing import Optional, Sequence
 
 from . import __version__, obs, runner
@@ -652,6 +656,10 @@ def _cmd_serve(args: argparse.Namespace) -> int:
           f"(jobs={service.jobs}, store="
           f"{service.store.directory if service.store else 'off'})",
           file=sys.stderr)
+    if heartbeat is not None:
+        # Ticker, not just per-job callbacks: an idle-but-alive service
+        # must still tick on stderr like every other subcommand.
+        heartbeat.start_ticker()
     serve_forever(server, ready_file=args.ready_file)
     if heartbeat is not None:
         heartbeat.finish()
@@ -725,6 +733,49 @@ def _cmd_client(args: argparse.Namespace) -> int:
     except svc.ServiceError as error:
         print(f"repro: service error: {error}", file=sys.stderr)
         return 2
+
+
+def _cmd_top(args: argparse.Namespace) -> int:
+    """Live ops view: poll ``/v1/stats`` + ``/v1/metrics`` and render a
+    refreshing terminal table (curses-free — plain ANSI clear, or plain
+    append when stdout is not a tty / ``--once``)."""
+    from .serve import client as svc
+    from .serve.metrics import render_top
+
+    base = args.base
+    iterations = 1 if args.once else args.iterations
+    interval = max(0.1, args.interval)
+    previous_requests: Optional[int] = None
+    previous_time: Optional[float] = None
+    rendered = 0
+    refresh = (not args.once and sys.stdout.isatty())
+    while True:
+        try:
+            stats = svc.request(base, "GET", "/v1/stats")
+            metrics = svc.fetch_metrics(base, as_json=True)
+        except svc.ServiceError as error:
+            print(f"repro: service error: {error}", file=sys.stderr)
+            return 2
+        now = time.monotonic()
+        requests = metrics.get("counters", {}).get("requests.total", 0)
+        qps = None
+        if previous_requests is not None and now > previous_time:
+            qps = max(0.0, requests - previous_requests) \
+                / (now - previous_time)
+        previous_requests, previous_time = requests, now
+        frame = render_top(stats, metrics, qps=qps, base=base)
+        if refresh:
+            # Clear screen + home, the whole curses we need.
+            sys.stdout.write("\x1b[2J\x1b[H")
+        sys.stdout.write(frame)
+        sys.stdout.flush()
+        rendered += 1
+        if iterations and rendered >= iterations:
+            return 0
+        try:
+            time.sleep(interval)
+        except KeyboardInterrupt:
+            return 0
 
 
 class _VersionAction(argparse.Action):
@@ -947,7 +998,11 @@ def build_parser() -> argparse.ArgumentParser:
         "query",
         help="filter/aggregate trace, event, and graph artifacts")
     query.add_argument("artifact", help="path to the artifact file")
-    query.add_argument("--kind", help="filter: event kind (ev field)")
+    query.add_argument("--kind",
+                       help="filter: event kind (ev field); the value "
+                            "'metrics' instead forces reading the "
+                            "artifact as repro-servemetrics/1 "
+                            "(auto-detected otherwise)")
     query.add_argument("--span", help="filter: span/name field")
     query.add_argument("--rule", help="filter: rule id substring")
     query.add_argument("--case", type=int,
@@ -1069,6 +1124,23 @@ def build_parser() -> argparse.ArgumentParser:
     csub.add_parser("shutdown", help="drain in-flight jobs and stop")
     client.set_defaults(fn=_cmd_client)
 
+    top = sub.add_parser(
+        "top",
+        help="live ops view of a running service (QPS, hit rate, "
+             "latency percentiles, queue depth)")
+    top.add_argument("--base", default="http://127.0.0.1:8642",
+                     help="service base URL "
+                          "(default: http://127.0.0.1:8642)")
+    top.add_argument("--interval", type=float, default=2.0, metavar="S",
+                     help="refresh interval in seconds (default: 2.0)")
+    top.add_argument("--iterations", type=int, default=0, metavar="N",
+                     help="stop after N frames (default: 0 = until "
+                          "interrupted)")
+    top.add_argument("--once", action="store_true",
+                     help="render a single frame and exit (no screen "
+                          "clearing; CI- and pipe-friendly)")
+    top.set_defaults(fn=_cmd_top)
+
     return parser
 
 
@@ -1083,8 +1155,9 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     """
     args = build_parser().parse_args(argv)
     store = None
-    # `client` talks HTTP only — the *service* process owns the store.
-    if args.command not in ("query", "cache", "client"):
+    # `client`/`top` talk HTTP only — the *service* process owns the
+    # store.
+    if args.command not in ("query", "cache", "client", "top"):
         from .psna import certstore
 
         store = certstore.bind(certstore.open_default())

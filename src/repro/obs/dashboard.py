@@ -33,6 +33,11 @@ absent, so the page always builds):
   jobs submitted/executed/deduped/failed, uptime, and the verdict
   store's hit-rate line (save ``repro client stats`` output as
   ``serve-stats.json``);
+* **service health** — the ``repro-servemetrics/1`` panel: request
+  counters and latency quantiles, a per-bucket latency-histogram
+  sparkline, and queue-depth/utilization sparklines from the drainer's
+  gauge samples (save ``GET /v1/metrics?format=json`` as
+  ``servemetrics.json``);
 * **fuzz** — the latest campaign summary, verbatim.
 
 Colors follow the repo's validated default palette: categorical slot 1
@@ -64,6 +69,7 @@ DEFAULT_GRAPH = "graph-stats.json"
 DEFAULT_MONITOR = "monitor.json"
 DEFAULT_CERTSTORE = "cert-store.json"
 DEFAULT_SERVE = "serve-stats.json"
+DEFAULT_SERVEMETRICS = "servemetrics.json"
 
 _CSS = """
 :root { color-scheme: light dark; }
@@ -506,6 +512,82 @@ def _section_serve(serve: Optional[dict]) -> str:
     return "".join(parts)
 
 
+def _section_servemetrics(metrics: Optional[dict]) -> str:
+    """The service-health panel: a ``repro-servemetrics/1`` snapshot
+    (``GET /v1/metrics?format=json``, saved as ``servemetrics.json``)."""
+    if metrics is None:
+        return ('<p class="none">no service metrics — save one with '
+                '<code>curl '
+                '"$BASE/v1/metrics?format=json" &gt; servemetrics.json'
+                '</code></p>')
+    counters = metrics.get("counters", {}) or {}
+    gauges = metrics.get("gauges", {}) or {}
+    histograms = metrics.get("histograms", {}) or {}
+    samples = metrics.get("samples", {}) or {}
+    latency = histograms.get("request.latency_s") or {}
+    requests = counters.get("requests.total", 0)
+    store_hits = counters.get("serve.store.lru_hits", 0)
+    store_misses = counters.get("serve.store.lru_misses", 0)
+    consulted = store_hits + store_misses
+    lru_rate = (f"{store_hits / consulted * 100:.1f}%"
+                if consulted else "—")
+    parts = ["<div class='tiles'>",
+             _tile(requests, "requests"),
+             _tile(counters.get("jobs.executed", 0), "jobs executed"),
+             _tile(f"{latency.get('p50', 0.0) * 1000:.1f}ms",
+                   "latency p50"),
+             _tile(f"{latency.get('p95', 0.0) * 1000:.1f}ms",
+                   "latency p95"),
+             _tile(f"{latency.get('p99', 0.0) * 1000:.1f}ms",
+                   "latency p99"),
+             _tile(f"{gauges.get('queue.depth', 0):.0f}", "queue depth"),
+             _tile(lru_rate, "store LRU hit rate"),
+             "</div>"]
+    served = {name.split(".", 1)[1]: count
+              for name, count in counters.items()
+              if name.startswith("served.")}
+    if served:
+        parts.append("<p class='sub'>served from "
+                     + " · ".join(f"{origin}: {count}" for origin, count
+                                  in sorted(served.items()))
+                     + f" · rejected: "
+                       f"{counters.get('requests.rejected', 0)}</p>")
+    if latency.get("counts"):
+        # The latency histogram as a per-bucket sparkline: the shape of
+        # the distribution, bucket bounds in the hover title.
+        counts = [float(c) for c in latency["counts"]]
+        bounds = [str(b) for b in latency.get("le", [])] + ["+Inf"]
+        parts.append(
+            "<table><tr><th>request latency histogram</th>"
+            f"<td>{sparkline_svg(counts)}</td>"
+            f"<td class='num' title='{_esc(', '.join(bounds))}'>"
+            f"{latency.get('count', 0)} obs</td></tr>")
+        ring = samples.get("queue.depth") or []
+        if len(ring) > 1:
+            parts.append(
+                "<tr><th>queue depth (drainer samples)</th>"
+                f"<td>{sparkline_svg([float(v) for v in ring])}</td>"
+                f"<td class='num'>now {ring[-1]:.0f}</td></tr>")
+        util = samples.get("utilization") or []
+        if len(util) > 1:
+            parts.append(
+                "<tr><th>worker utilization</th>"
+                f"<td>{sparkline_svg([float(v) for v in util])}</td>"
+                f"<td class='num'>now {util[-1] * 100:.0f}%</td></tr>")
+        parts.append("</table>")
+    kinds = sorted((name.split(".", 2)[2], count)
+                   for name, count in counters.items()
+                   if name.startswith("requests.kind."))
+    if kinds:
+        rows = "".join(f"<tr><td>{_esc(kind)}</td>"
+                       f"<td class='num'>{count}</td></tr>"
+                       for kind, count in kinds)
+        parts.append("<table><tr><th>request kind</th>"
+                     "<th class='num'>requests</th></tr>" + rows
+                     + "</table>")
+    return "".join(parts)
+
+
 def _section_fuzz(summary: Optional[str]) -> str:
     if not summary:
         return ('<p class="none">no fuzz summary — save one with '
@@ -521,6 +603,7 @@ def build_dashboard(benches: Sequence[dict], records: Sequence[dict],
                     monitor: Optional[dict] = None,
                     certstore: Optional[dict] = None,
                     serve: Optional[dict] = None,
+                    servemetrics: Optional[dict] = None,
                     meta: Optional[dict] = None,
                     top: int = 20) -> str:
     """Render the full page; every argument is optional data."""
@@ -542,6 +625,7 @@ def build_dashboard(benches: Sequence[dict], records: Sequence[dict],
         ("Invariants", _section_monitor(monitor)),
         ("Cert store", _section_certstore(certstore)),
         ("Service", _section_serve(serve)),
+        ("Service health", _section_servemetrics(servemetrics)),
         ("Latest fuzz campaign", _section_fuzz(fuzz_summary)),
         ("Benchmarks", _section_benches(benches)),
     ]
@@ -580,7 +664,8 @@ def collect_inputs(root: str, ledger: Optional[str] = None,
                    graph: Optional[str] = None,
                    monitor: Optional[str] = None,
                    certstore: Optional[str] = None,
-                   serve: Optional[str] = None) -> dict:
+                   serve: Optional[str] = None,
+                   servemetrics: Optional[str] = None) -> dict:
     """Gather every dashboard input under ``root`` (missing = None)."""
     benches = []
     for path in sorted(glob.glob(os.path.join(root, "BENCH_*.json"))):
@@ -598,6 +683,8 @@ def collect_inputs(root: str, ledger: Optional[str] = None,
     monitor_path = monitor or os.path.join(root, DEFAULT_MONITOR)
     certstore_path = certstore or os.path.join(root, DEFAULT_CERTSTORE)
     serve_path = serve or os.path.join(root, DEFAULT_SERVE)
+    servemetrics_path = (servemetrics
+                         or os.path.join(root, DEFAULT_SERVEMETRICS))
     fuzz_summary = None
     if os.path.exists(fuzz_path):
         try:
@@ -615,6 +702,7 @@ def collect_inputs(root: str, ledger: Optional[str] = None,
         "monitor": _load_json(monitor_path),
         "certstore": _load_json(certstore_path),
         "serve": _load_json(serve_path),
+        "servemetrics": _load_json(servemetrics_path),
     }
 
 
@@ -624,7 +712,7 @@ def main(argv: Sequence[str]) -> int:
     options = {"--out": None, "--root": ".", "--ledger": None,
                "--coverage": None, "--attrib": None, "--fuzz": None,
                "--graph": None, "--monitor": None, "--certstore": None,
-               "--serve": None, "--top": "20"}
+               "--serve": None, "--servemetrics": None, "--top": "20"}
     for name in list(options):
         if name in args:
             index = args.index(name)
@@ -639,7 +727,7 @@ def main(argv: Sequence[str]) -> int:
               "[--root DIR] [--ledger FILE] [--coverage FILE] "
               "[--attrib FILE] [--fuzz FILE] [--graph FILE] "
               "[--monitor FILE] [--certstore FILE] [--serve FILE] "
-              "[--top N]")
+              "[--servemetrics FILE] [--top N]")
         return 2
     inputs = collect_inputs(options["--root"], ledger=options["--ledger"],
                             coverage=options["--coverage"],
@@ -648,7 +736,8 @@ def main(argv: Sequence[str]) -> int:
                             graph=options["--graph"],
                             monitor=options["--monitor"],
                             certstore=options["--certstore"],
-                            serve=options["--serve"])
+                            serve=options["--serve"],
+                            servemetrics=options["--servemetrics"])
     page = build_dashboard(inputs["benches"], inputs["records"],
                            coverage=inputs["coverage"],
                            attrib=inputs["attrib"],
@@ -657,6 +746,7 @@ def main(argv: Sequence[str]) -> int:
                            monitor=inputs["monitor"],
                            certstore=inputs["certstore"],
                            serve=inputs["serve"],
+                           servemetrics=inputs["servemetrics"],
                            meta=provenance_meta(options["--root"]),
                            top=int(options["--top"]))
     try:

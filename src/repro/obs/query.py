@@ -1,16 +1,24 @@
 """``repro query``: interrogate observability artifacts offline.
 
-One front end over the three artifact families the toolchain writes:
+One front end over the artifact families the toolchain writes:
 
-* ``repro-trace/1``  — JSONL span/event traces (``--trace``);
-* ``repro-events/1`` — NDJSON live event streams (``--stream``);
-* ``repro-graph/1``  — state-space graph reports (``--graph``).
+* ``repro-trace/1``        — JSONL span/event traces (``--trace``);
+* ``repro-events/1``       — NDJSON live event streams (``--stream``);
+* ``repro-graph/1``        — state-space graph reports (``--graph``);
+* ``repro-servemetrics/1`` — service metrics snapshots
+  (``GET /v1/metrics?format=json``).
 
 The artifact kind is auto-detected: a file that parses as one JSON
-object with a ``repro-graph/1`` schema is a graph report; otherwise the
-first line's ``schema`` field picks the stream dialect (both JSONL
-dialects share the per-line shape, so trace files work with the same
-filters).
+object with a ``repro-graph/1`` (or ``repro-servemetrics/1``) schema
+is a graph (metrics) report; otherwise the first line's ``schema``
+field picks the stream dialect (both JSONL dialects share the per-line
+shape, so trace files work with the same filters).  ``--kind metrics``
+forces the servemetrics interpretation (and errors when the artifact
+is something else).  A metrics artifact flattens to one event-shaped
+row per metric (``ev: "metric"``), so the line filters compose
+unchanged, and histogram rows carry a ``buckets`` dict — ``--top N
+--by buckets`` folds latency buckets exactly the way coverage events
+fold ``rules``.
 
 Three query modes compose left to right:
 
@@ -48,6 +56,11 @@ from typing import Optional
 
 from .statespace import GRAPH_SCHEMA, dedup_ratio
 
+#: Declared here (not imported) so loading a query artifact never
+#: drags the whole service package in; :mod:`repro.serve.metrics` is
+#: imported lazily only when a metrics artifact is actually queried.
+SERVEMETRICS_SCHEMA = "repro-servemetrics/1"
+
 #: Event fields consulted by ``--rule`` (a rule id can ride along in
 #: any of these, depending on the event kind).
 _RULE_FIELDS = ("rule", "last_rule")
@@ -62,9 +75,10 @@ FOLLOW_END_EVENTS = frozenset({"coverage", "stream-end"})
 def load_artifact(path: str) -> tuple[str, object]:
     """Read an artifact; returns ``(kind, data)``.
 
-    ``kind`` is ``"graph"`` (data: the payload dict) or ``"events"``
-    (data: the list of parsed lines — trace files included, they share
-    the line shape).  Raises ``ValueError`` on unparseable input.
+    ``kind`` is ``"graph"`` / ``"metrics"`` (data: the payload dict) or
+    ``"events"`` (data: the list of parsed lines — trace files
+    included, they share the line shape).  Raises ``ValueError`` on
+    unparseable input.
     """
     with open(path) as handle:
         text = handle.read()
@@ -77,6 +91,8 @@ def load_artifact(path: str) -> tuple[str, object]:
         if isinstance(whole, dict):
             if whole.get("schema") == GRAPH_SCHEMA:
                 return "graph", whole
+            if whole.get("schema") == SERVEMETRICS_SCHEMA:
+                return "metrics", whole
             if "graphs" in whole:
                 raise ValueError(
                     f"{path}: schema {whole.get('schema')!r} is not "
@@ -213,7 +229,11 @@ def build_parser() -> argparse.ArgumentParser:
         prog="repro query",
         description="Query trace/event/graph observability artifacts.")
     parser.add_argument("artifact", help="path to the artifact file")
-    parser.add_argument("--kind", help="filter: event kind (ev field)")
+    parser.add_argument("--kind",
+                        help="filter: event kind (ev field); the value "
+                             "'metrics' instead forces reading the "
+                             "artifact as repro-servemetrics/1 "
+                             "(auto-detected otherwise)")
     parser.add_argument("--span", help="filter: span/name field")
     parser.add_argument("--rule", help="filter: rule id substring")
     parser.add_argument("--case", type=int,
@@ -283,6 +303,29 @@ def _query_graph(payload: dict, options: argparse.Namespace) -> int:
     for row in _graph_summary_rows(payload):
         print(json.dumps(row, sort_keys=True))
     return 0
+
+
+def _query_metrics(payload: dict, options: argparse.Namespace) -> int:
+    """Query a ``repro-servemetrics/1`` snapshot: rows are synthesized
+    per metric (``ev: "metric"``), so the event filters and ``--top``
+    aggregation apply unchanged.  ``--kind metrics`` is the artifact
+    selector here, not a row filter — every row is a metric."""
+    from ..serve.metrics import metrics_rows
+
+    rows = metrics_rows(payload)
+    matched = filter_events(rows, kind=None, span=options.span,
+                            rule=options.rule, case=None)
+    if options.top:
+        ranked = top_values(matched, options.by, options.top)
+        for value, count in ranked:
+            print(f"{count:>10}  {value}")
+        return 0 if ranked else 1
+    for row in matched[:options.limit]:
+        print(json.dumps(row, sort_keys=True, default=repr))
+    if len(matched) > options.limit:
+        print(f"... {len(matched) - options.limit} more match(es) "
+              f"(raise --limit)", file=sys.stderr)
+    return 0 if matched else 1
 
 
 def _query_events(events: list[dict], options: argparse.Namespace) -> int:
@@ -393,6 +436,15 @@ def run(options: argparse.Namespace) -> int:
     except (OSError, ValueError) as error:
         print(f"error: {error}", file=sys.stderr)
         return 2
+    if getattr(options, "kind", None) == "metrics":
+        if kind != "metrics":
+            print(f"error: {options.artifact}: --kind metrics but the "
+                  f"artifact is not {SERVEMETRICS_SCHEMA}",
+                  file=sys.stderr)
+            return 2
+        return _query_metrics(data, options)
+    if kind == "metrics":
+        return _query_metrics(data, options)
     if kind == "graph":
         return _query_graph(data, options)
     if options.path_to:

@@ -223,6 +223,12 @@ def validate_report_file(path: str) -> list[str]:
         problems = validate_certstore_payload(payload)
     elif schema == "repro-verdict/1":
         problems = validate_verdict_payload(payload)
+    elif schema == "repro-servemetrics/1":
+        # Lazy import: validating a metrics snapshot must not require
+        # the HTTP service stack at import time.
+        from ..serve.metrics import validate_servemetrics
+
+        problems = validate_servemetrics(payload)
     else:
         from .attrib import ATTRIB_SCHEMA, validate_attrib_payload
         from .monitor import MONITOR_SCHEMA, validate_monitor_payload

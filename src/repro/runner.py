@@ -32,6 +32,7 @@ from multiprocessing import get_context
 from typing import Callable, Optional, Sequence
 
 from . import obs
+from .obs import telemetry
 from .obs.attrib import merge_frames
 from .psna import certstore
 
@@ -175,25 +176,41 @@ def _subprocess_entry(task):
     worker's drained ring, replayed into the parent stream tagged with
     the case index so the merged stream is deterministic in descriptor
     order.
+
+    Tasks dispatched by the verification service carry an optional
+    trailing :class:`repro.obs.telemetry.TraceContext` — the request's
+    trace id crossing the pickle boundary.  It is bound for the task's
+    duration and the drained event ring is stamped with the trace id
+    before shipping back, so worker-side spans arrive in the parent
+    already attributed to the originating request.  Sweep tasks omit
+    the element and nothing changes.
     """
     worker, descriptor, want_attrib, want_graph, want_events, \
-        monitor_spec = task
+        monitor_spec, *rest = task
+    trace_context = rest[0] if rest else None
     checker = None
     if monitor_spec is not None:
         # The monitor travels as its (mode, stride) spec — Monitor
         # objects themselves never cross the process boundary, only
         # their commutative snapshots do (the --graph-stats discipline).
         checker = obs.Monitor(monitor_spec[0], monitor_spec[1])
-    with obs.session(attrib=want_attrib, graph=want_graph,
-                     stream=True if want_events else None,
-                     monitor=checker) as session:
-        payload = worker(descriptor)
-        snapshot = session.metrics.snapshot()
-        frames = session.attrib.snapshot() if session.attrib else {}
-        graph_snapshot = session.graph.snapshot() if session.graph else None
-        events = session.events.drain() if session.events else None
-        monitor_snapshot = session.monitor.snapshot() \
-            if session.monitor else None
+    if trace_context is not None:
+        telemetry.bind(trace_context)
+    try:
+        with obs.session(attrib=want_attrib, graph=want_graph,
+                         stream=True if want_events else None,
+                         monitor=checker) as session:
+            payload = worker(descriptor)
+            snapshot = session.metrics.snapshot()
+            frames = session.attrib.snapshot() if session.attrib else {}
+            graph_snapshot = session.graph.snapshot() \
+                if session.graph else None
+            events = session.events.drain() if session.events else None
+            monitor_snapshot = session.monitor.snapshot() \
+                if session.monitor else None
+    finally:
+        telemetry.clear()
+    telemetry.stamp_events(events, trace_context)
     store = certstore.active()
     store_shipment = store.drain() if store is not None else None
     return payload, snapshot, frames, graph_snapshot, events, \

@@ -38,16 +38,19 @@ class ServiceError(Exception):
 
 def request(base: str, method: str, path: str,
             body: Optional[dict] = None,
-            timeout: float = 120.0) -> dict:
+            timeout: float = 120.0,
+            headers: Optional[dict] = None) -> dict:
     """One JSON request/response round-trip; raises ServiceError on any
     HTTP error (decoding the ``repro-error/1`` body) or socket failure."""
     data = None
-    headers = {"Accept": "application/json"}
+    send_headers = {"Accept": "application/json"}
     if body is not None:
         data = json.dumps(body).encode("utf-8")
-        headers["Content-Type"] = "application/json"
+        send_headers["Content-Type"] = "application/json"
+    if headers:
+        send_headers.update(headers)
     req = urllib.request.Request(base.rstrip("/") + path, data=data,
-                                 headers=headers, method=method)
+                                 headers=send_headers, method=method)
     try:
         with urllib.request.urlopen(req, timeout=timeout) as response:
             return json.loads(response.read().decode("utf-8"))
@@ -113,14 +116,61 @@ def wait_job(base: str, job_id: str, timeout: float = 300.0,
         time.sleep(poll_s)
 
 
-def submit(base: str, spec: dict, timeout: float = 120.0) -> dict:
-    return request(base, "POST", "/v1/jobs", body=spec, timeout=timeout)
+def submit(base: str, spec: dict, timeout: float = 120.0,
+           trace_id: Optional[str] = None) -> dict:
+    headers = {"X-Repro-Trace": trace_id} if trace_id else None
+    return request(base, "POST", "/v1/jobs", body=spec, timeout=timeout,
+                   headers=headers)
 
 
 def submit_batch(base: str, specs: list,
-                 timeout: float = 300.0) -> dict:
+                 timeout: float = 300.0,
+                 trace_id: Optional[str] = None) -> dict:
+    headers = {"X-Repro-Trace": trace_id} if trace_id else None
     return request(base, "POST", "/v1/batch", body={"jobs": specs},
-                   timeout=timeout)
+                   timeout=timeout, headers=headers)
+
+
+def fetch_metrics(base: str, as_json: bool = True,
+                  timeout: float = 60.0):
+    """``GET /v1/metrics``: the ``repro-servemetrics/1`` payload
+    (``as_json=True``) or the raw Prometheus exposition text."""
+    if as_json:
+        return request(base, "GET", "/v1/metrics?format=json",
+                       timeout=timeout)
+    req = urllib.request.Request(
+        base.rstrip("/") + "/v1/metrics",
+        headers={"Accept": "text/plain"})
+    try:
+        with urllib.request.urlopen(req, timeout=timeout) as response:
+            return response.read().decode("utf-8")
+    except urllib.error.HTTPError as error:
+        raise ServiceError(error.code, "http-error", str(error))
+    except urllib.error.URLError as error:
+        raise ServiceError(0, "unreachable",
+                           f"cannot reach {base}: {error.reason}")
+
+
+def fetch_trace(base: str, job_id: str, timeout: float = 60.0) -> list:
+    """``GET /v1/jobs/<id>/trace``: the job's span records, parsed."""
+    req = urllib.request.Request(
+        base.rstrip("/") + f"/v1/jobs/{job_id}/trace",
+        headers={"Accept": "application/x-ndjson"})
+    try:
+        with urllib.request.urlopen(req, timeout=timeout) as response:
+            text = response.read().decode("utf-8")
+    except urllib.error.HTTPError as error:
+        try:
+            payload = json.loads(error.read().decode("utf-8"))
+        except ValueError:
+            payload = {}
+        raise ServiceError(error.code,
+                           payload.get("error", "http-error"),
+                           payload.get("detail", str(error)))
+    except urllib.error.URLError as error:
+        raise ServiceError(0, "unreachable",
+                           f"cannot reach {base}: {error.reason}")
+    return [json.loads(line) for line in text.splitlines() if line]
 
 
 def run_litmus(base: str, extended: bool = False,

@@ -10,15 +10,24 @@ method  path                      body / response
 GET     /v1/version               service + semantics provenance
 GET     /v1/stats                 service counters, job states, store
 GET     /v1/store/stats           the ``repro-verdict/1`` index stats
+GET     /v1/metrics               Prometheus text exposition (or the
+                                  ``repro-servemetrics/1`` JSON with
+                                  ``?format=json``)
 POST    /v1/jobs                  one job spec → ``{"job", "state",
-                                  "cached", "served_from"}``
+                                  "cached", "served_from", "trace"}``
 POST    /v1/batch                 ``{"jobs": [spec, ...]}`` → one entry
                                   per spec, in order
 GET     /v1/jobs/<id>             job status (+ ``result`` when done)
 GET     /v1/jobs/<id>/events      live ``repro-events/1`` NDJSON stream
                                   (chunked; ends after ``stream-end``)
+GET     /v1/jobs/<id>/trace       the job's ``repro-trace/1`` NDJSON
+                                  span records (complete once done)
 POST    /v1/shutdown              graceful drain, then stop
 ======  ========================  =======================================
+
+Submissions may carry an ``X-Repro-Trace`` header: the job's spans
+record under the caller's trace id (distributed tracing across
+clients), and every submission body echoes the job's ``trace``.
 
 Every error — malformed JSON, unknown kind, oversized program, unknown
 job, and any unexpected exception — is a ``repro-error/1`` JSON body
@@ -29,6 +38,7 @@ from __future__ import annotations
 
 import json
 import threading
+import time
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Optional
 
@@ -36,6 +46,7 @@ from .. import __version__
 from ..obs.provenance import provenance_meta
 from ..psna.semantics import SEMANTICS_VERSION
 from .jobs import JOB_KINDS, RequestError
+from .metrics import render_exposition
 from .service import ServiceClosed, VerificationService
 
 ERROR_SCHEMA = "repro-error/1"
@@ -132,6 +143,10 @@ class _Handler(BaseHTTPRequestHandler):
         self._dispatch("POST")
 
     def _dispatch(self, method: str) -> None:
+        started = time.perf_counter()
+        service = getattr(self.server, "service", None)
+        if service is not None:
+            service.metrics.inc("http.requests")
         try:
             self._route(method)
         except RequestError as error:
@@ -147,6 +162,10 @@ class _Handler(BaseHTTPRequestHandler):
                     f"{type(error).__name__}: {error}")
             except OSError:
                 pass
+        finally:
+            if service is not None:
+                service.metrics.observe(
+                    "http.request_s", time.perf_counter() - started)
 
     def _route(self, method: str) -> None:
         path = self.path.split("?", 1)[0].rstrip("/")
@@ -157,10 +176,14 @@ class _Handler(BaseHTTPRequestHandler):
                 return self._send_json(200, self.service.stats())
             if path == "/v1/store/stats":
                 return self._get_store_stats()
+            if path == "/v1/metrics":
+                return self._get_metrics()
             if path.startswith("/v1/jobs/"):
                 rest = path[len("/v1/jobs/"):]
                 if rest.endswith("/events"):
                     return self._get_events(rest[:-len("/events")])
+                if rest.endswith("/trace"):
+                    return self._get_trace(rest[:-len("/trace")])
                 if "/" not in rest:
                     return self._get_job(rest)
             raise RequestError(404, "not-found",
@@ -172,7 +195,8 @@ class _Handler(BaseHTTPRequestHandler):
             return self._post_batch()
         if path == "/v1/shutdown":
             return self._post_shutdown()
-        if path in ("/v1/version", "/v1/stats", "/v1/store/stats") \
+        if path in ("/v1/version", "/v1/stats", "/v1/store/stats",
+                    "/v1/metrics") \
                 or path.startswith("/v1/jobs/"):
             raise RequestError(405, "method-not-allowed",
                                f"{path} does not accept {method}")
@@ -197,15 +221,62 @@ class _Handler(BaseHTTPRequestHandler):
                                "the verdict store is disabled")
         self._send_json(200, self.service.store.stats())
 
+    def _query_param(self, name: str) -> Optional[str]:
+        query = self.path.split("?", 1)
+        if len(query) != 2:
+            return None
+        for part in query[1].split("&"):
+            if part.startswith(name + "="):
+                return part[len(name) + 1:]
+        return None
+
+    def _get_metrics(self) -> None:
+        payload = self.service.metrics_payload()
+        if self._query_param("format") == "json":
+            return self._send_json(200, payload)
+        body = render_exposition(payload).encode("utf-8")
+        self.send_response(200)
+        self.send_header("Content-Type",
+                         "text/plain; version=0.0.4; charset=utf-8")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _get_trace(self, job_id: str) -> None:
+        job = self.service.get(job_id)
+        if job is None:
+            raise RequestError(404, "unknown-job",
+                               f"no such job: {job_id}")
+        lines = job.trace.lines() if job.trace is not None else []
+        body = "".join(line + "\n" for line in lines).encode("utf-8")
+        self.send_response(200)
+        self.send_header("Content-Type", "application/x-ndjson")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
     @staticmethod
     def _submission_body(job, served_from: str) -> dict:
         return {"job": job.id, "kind": job.canonical["kind"],
                 "state": job.state,
                 "cached": served_from == "store",
-                "served_from": served_from}
+                "served_from": served_from,
+                "trace": job.trace.trace_id
+                if job.trace is not None else None}
+
+    def _trace_header(self) -> Optional[str]:
+        return self.headers.get("X-Repro-Trace")
+
+    def _client_address(self) -> Optional[str]:
+        try:
+            return self.client_address[0]
+        except (TypeError, IndexError):
+            return None
 
     def _post_job(self) -> None:
-        job, served_from = self.service.submit(self._read_body())
+        job, served_from = self.service.submit(
+            self._read_body(), trace_id=self._trace_header(),
+            client=self._client_address())
         self._send_json(202, self._submission_body(job, served_from))
 
     def _post_batch(self) -> None:
@@ -213,7 +284,9 @@ class _Handler(BaseHTTPRequestHandler):
         if not isinstance(body, dict):
             raise RequestError(400, "bad-request",
                                "batch body must be a JSON object")
-        submissions = self.service.submit_batch(body.get("jobs"))
+        submissions = self.service.submit_batch(
+            body.get("jobs"), trace_id=self._trace_header(),
+            client=self._client_address())
         cached = sum(1 for _job, served in submissions
                      if served == "store")
         self._send_json(202, {

@@ -26,6 +26,22 @@ Progress
     and see lines as they are appended.  A :class:`repro.runner.
     Heartbeat` reports service-level throughput on stderr when enabled.
 
+Telemetry
+    Every job owns a :class:`repro.obs.telemetry.JobTrace`: phase
+    spans for normalization, the store consult, queue wait, worker
+    execution (the trace context crosses the spawn-pool pickle
+    boundary, so worker-side spans come back attributed to the
+    originating trace id), and stream render, sealed by a root
+    ``serve.request`` span — served as ``repro-trace/1`` NDJSON at
+    ``GET /v1/jobs/<id>/trace``.  A :class:`repro.serve.metrics.
+    ServiceMetrics` registry (``GET /v1/metrics``) keeps the
+    deterministic counters and fixed-bucket latency histograms, plus
+    queue-depth/in-flight/utilization gauges sampled by the drainer.
+    When a verdict store is configured, an append-only **audit
+    ledger** (``audit.jsonl`` beside the store segments) records one
+    line per submission and one per completion — who asked, what,
+    when, under which trace, and the verdict digest they got.
+
 Shutdown
     ``shutdown(drain=True)`` stops intake (late submissions raise
     :class:`ServiceClosed` → HTTP 503), waits for every queued and
@@ -35,7 +51,9 @@ Shutdown
 
 from __future__ import annotations
 
+import hashlib
 import json
+import os
 import queue
 import threading
 import time
@@ -44,10 +62,12 @@ from multiprocessing import get_context
 from typing import Optional
 
 from .. import __version__, obs, runner
+from ..obs import telemetry
 from ..obs.events import EventStream
 from ..psna import certstore
 from ..psna.semantics import SEMANTICS_VERSION
 from . import jobs as jobmod
+from .metrics import ServiceMetrics
 from .store import VerdictStore
 
 #: Job states, in lifecycle order.
@@ -76,6 +96,56 @@ class _LineSink:
             self._service._append_event_line(self._job, line)
 
 
+class _AuditLedger:
+    """Append-only ``audit.jsonl`` beside the verdict store.
+
+    One JSON line per submission and per completion, flushed per line
+    (the store's kill-safety discipline): who asked (client address),
+    what (job id, kind, digest), when, under which trace, where the
+    answer came from, and the verdict digest it resolved to.  Write
+    failures are swallowed — the ledger is evidence, not a
+    dependency.
+    """
+
+    def __init__(self, path: str) -> None:
+        self.path = path
+        self._lock = threading.Lock()
+        self._handle = None
+        try:
+            os.makedirs(os.path.dirname(path) or ".", exist_ok=True)
+            self._handle = open(path, "a", encoding="utf-8")
+        except OSError:
+            self._handle = None
+
+    def record(self, event: str, **fields) -> None:
+        if self._handle is None:
+            return
+        entry = {"t": time.time(), "event": event, **fields}
+        line = json.dumps(entry, sort_keys=True, default=repr)
+        with self._lock:
+            try:
+                self._handle.write(line + "\n")
+                self._handle.flush()
+            except (OSError, ValueError):
+                pass
+
+    def close(self) -> None:
+        with self._lock:
+            if self._handle is not None:
+                try:
+                    self._handle.close()
+                except OSError:
+                    pass
+                self._handle = None
+
+
+def _verdict_digest(result: dict) -> str:
+    """A short content digest of a result payload for audit lines."""
+    text = json.dumps(result, sort_keys=True, default=repr)
+    return hashlib.blake2b(text.encode("utf-8"),
+                           digest_size=8).hexdigest()
+
+
 @dataclass
 class Job:
     """One verification job and its live NDJSON event buffer."""
@@ -95,11 +165,23 @@ class Job:
     #: start/completion so the buffer is a single valid repro-events/1
     #: stream with monotonic sequence numbers).
     stream: Optional[EventStream] = None
+    #: The request-scoped trace (see :mod:`repro.obs.telemetry`).
+    trace: Optional[telemetry.JobTrace] = None
+    #: Submitting client address (audit ledger's "who").
+    client: Optional[str] = None
+    #: perf_counter marks for the queue-wait and execute phase spans.
+    enqueued_perf: Optional[float] = None
+    execute_started_perf: Optional[float] = None
+    #: Span id of the serve.execute phase, minted at start so the
+    #: worker-side trace context can parent onto it.
+    execute_span: Optional[str] = None
 
     def status(self) -> dict:
         """The ``GET /v1/jobs/<id>`` body."""
         body = {"job": self.id, "kind": self.canonical["kind"],
                 "state": self.state, "cached": self.cached}
+        if self.trace is not None:
+            body["trace"] = self.trace.trace_id
         if self.result is not None:
             body["result"] = self.result
         if self.error is not None:
@@ -122,6 +204,10 @@ class VerificationService:
         directory = certstore.resolve_dir(store_dir)
         self.store: Optional[VerdictStore] = (
             VerdictStore(directory) if directory is not None else None)
+        self.metrics = ServiceMetrics()
+        self.audit: Optional[_AuditLedger] = (
+            _AuditLedger(os.path.join(directory, "audit.jsonl"))
+            if directory is not None else None)
         self.started_at = time.time()
         self._lock = threading.Lock()
         self._cond = threading.Condition(self._lock)
@@ -163,7 +249,8 @@ class VerificationService:
 
     # -- submission -------------------------------------------------------
 
-    def submit(self, body: object) -> tuple[Job, str]:
+    def submit(self, body: object, trace_id: Optional[str] = None,
+               client: Optional[str] = None) -> tuple[Job, str]:
         """Normalize, dedup, consult the store, enqueue.
 
         Returns ``(job, served_from)`` where ``served_from`` describes
@@ -173,14 +260,31 @@ class VerificationService:
         execution).  Raises :class:`repro.serve.jobs.RequestError` on
         malformed input and :class:`ServiceClosed` once shutdown has
         begun.
+
+        ``trace_id`` (the sanitized ``X-Repro-Trace`` header, if any)
+        names the trace a *new* job records under; it never reaches
+        the canonical request, so the content address is unaffected.
+        ``client`` is the submitter's address for the audit ledger.
         """
-        canonical = jobmod.normalize_request(
-            body, max_program_bytes=self.max_program_bytes)
+        wall_start = time.time()
+        perf_start = time.perf_counter()
+        try:
+            canonical = jobmod.normalize_request(
+                body, max_program_bytes=self.max_program_bytes)
+        except jobmod.RequestError:
+            self.metrics.inc("requests.rejected")
+            raise
+        normalize_s = time.perf_counter() - perf_start
         digest = jobmod.request_digest(canonical)
         job_id = "j-" + digest
+        kind = canonical["kind"]
+        metrics = self.metrics
         with self._lock:
             if self._closed:
                 raise ServiceClosed("service is shutting down")
+            metrics.inc("requests.total")
+            metrics.inc(f"requests.kind.{kind}")
+            metrics.observe("normalize.s", normalize_s)
             existing = self._by_id.get(job_id)
             if existing is not None:
                 self.deduped += 1
@@ -191,38 +295,101 @@ class VerificationService:
                     # in-memory image (count the hit for the stats).
                     if self.store is not None:
                         self.store.get(digest)
+                    metrics.inc("served.store")
+                    # This submission is answered *now* — its latency
+                    # is the serving overhead, and it belongs in the
+                    # histogram: warm traffic is what collapses p95.
+                    metrics.observe("request.latency_s",
+                                    time.time() - wall_start)
+                    self._audit_submission(existing, client, "store")
                     return existing, "store"
+                metrics.inc("served.dedup")
+                self._audit_submission(existing, client, "dedup")
                 return existing, "dedup"
             self.submitted += 1
-            job = Job(id=job_id, digest=digest, canonical=canonical)
+            job = Job(id=job_id, digest=digest, canonical=canonical,
+                      client=client)
+            job.trace = telemetry.JobTrace(
+                trace_id=telemetry.sanitize_trace_id(trace_id),
+                meta={"job": job_id, "job_kind": kind})
+            job.trace.record("serve.normalize", normalize_s,
+                             t=wall_start, job=job_id)
             self._by_id[job_id] = job
+            consult_start = time.perf_counter()
             cached = self.store.get(digest) if self.store is not None \
                 else None
+            if self.store is not None:
+                consult_s = time.perf_counter() - consult_start
+                metrics.observe("store.consult_s", consult_s)
+                job.trace.record("serve.store", consult_s, job=job_id,
+                                 hit=cached is not None)
             if cached is not None:
                 job.state = "done"
                 job.cached = True
                 job.result = cached
                 job.finished_at = time.time()
+                metrics.inc("served.store")
             else:
                 self._inflight += 1
+                metrics.inc("served.queue")
         job.stream = self._job_stream(job)
         if job.cached:
-            job.stream.emit("event", name="job-cached", job=job.id)
+            render_start = time.perf_counter()
+            job.stream.emit("event", name="job-cached", job=job.id,
+                            trace=job.trace.trace_id)
             job.stream.emit("event", name="result", job=job.id,
                             cached=True, **job.result)
             self._finish_stream(job, job.stream, rules=None)
+            render_s = time.perf_counter() - render_start
+            job.trace.record("serve.render", render_s, job=job.id)
+            metrics.observe("render.s", render_s)
+            metrics.observe("request.latency_s",
+                            time.time() - job.submitted_at)
+            job.trace.close(job=job.id, state="done", cached=True)
+            self._audit_submission(job, client, "store")
+            self._audit_completion(job)
             return job, "store"
         job.stream.emit("event", name="job-queued", job=job.id,
+                        trace=job.trace.trace_id,
                         label=jobmod.describe(job.canonical))
+        job.enqueued_perf = time.perf_counter()
         self._queue.put(job)
+        metrics.sample("queue.depth", self._queue.qsize())
+        self._audit_submission(job, client, "queue")
         return job, "queue"
 
-    def submit_batch(self, specs: list) -> list[tuple[Job, str]]:
+    def _audit_submission(self, job: Job, client: Optional[str],
+                          served_from: str) -> None:
+        if self.audit is None:
+            return
+        self.audit.record(
+            "submitted", job=job.id, kind=job.canonical["kind"],
+            digest=job.digest, client=client,
+            trace=job.trace.trace_id if job.trace is not None else None,
+            served_from=served_from)
+
+    def _audit_completion(self, job: Job) -> None:
+        if self.audit is None:
+            return
+        self.audit.record(
+            "completed", job=job.id, kind=job.canonical["kind"],
+            digest=job.digest, state=job.state, cached=job.cached,
+            trace=job.trace.trace_id if job.trace is not None else None,
+            verdict=_verdict_digest(job.result)
+            if job.result is not None else None,
+            error=job.error)
+
+    def submit_batch(self, specs: list, trace_id: Optional[str] = None,
+                     client: Optional[str] = None,
+                     ) -> list[tuple[Job, str]]:
         if not isinstance(specs, list) or not specs:
             raise jobmod.RequestError(400, "bad-batch",
                                       "field 'jobs' must be a non-empty "
                                       "list of job specs")
-        return [self.submit(spec) for spec in specs]
+        # A batch under one X-Repro-Trace is one client trace spanning
+        # every job in it — each job still owns its root span.
+        return [self.submit(spec, trace_id=trace_id, client=client)
+                for spec in specs]
 
     # -- execution --------------------------------------------------------
 
@@ -231,17 +398,36 @@ class VerificationService:
             job = self._queue.get()
             if job is None:
                 return
+            self._sample_gauges()
             if self._pool is not None:
                 self._dispatch_pool(job)
             else:
                 self._execute_local(job)
 
+    def _sample_gauges(self) -> None:
+        """Drainer-side load gauges: queue depth, in-flight jobs, and
+        worker utilization (in-flight over capacity, clamped)."""
+        with self._lock:
+            inflight = self._inflight
+        self.metrics.sample("queue.depth", self._queue.qsize())
+        self.metrics.sample("inflight", inflight)
+        self.metrics.sample("utilization",
+                            min(1.0, inflight / self.jobs))
+
     def _start_job(self, job: Job) -> EventStream:
         with self._cond:
             job.state = "running"
             self._cond.notify_all()
+        job.execute_started_perf = time.perf_counter()
+        job.execute_span = telemetry.new_span_id()
+        if job.trace is not None and job.enqueued_perf is not None:
+            wait_s = job.execute_started_perf - job.enqueued_perf
+            job.trace.record("serve.queue", wait_s, job=job.id)
+            self.metrics.observe("queue.wait_s", wait_s)
         stream = job.stream
-        stream.emit("event", name="job-start", job=job.id)
+        stream.emit("event", name="job-start", job=job.id,
+                    trace=job.trace.trace_id
+                    if job.trace is not None else None)
         return stream
 
     def _execute_local(self, job: Job) -> None:
@@ -268,8 +454,13 @@ class VerificationService:
 
     def _dispatch_pool(self, job: Job) -> None:
         stream = self._start_job(job)
+        # The trailing TraceContext crosses the pickle boundary: the
+        # worker binds it and stamps its drained event ring, so every
+        # worker-side span comes back attributed to this request.
+        context = job.trace.child_context(span_id=job.execute_span) \
+            if job.trace is not None else None
         task = (jobmod.serve_job_worker, job.canonical,
-                False, False, True, None)
+                False, False, True, None, context)
 
         def on_result(result) -> None:
             payload, snapshot, _frames, _graph, events, _monitor, \
@@ -286,17 +477,44 @@ class VerificationService:
                                callback=on_result,
                                error_callback=on_error)
 
+    def _record_execute(self, job: Job) -> None:
+        if job.trace is None or job.execute_started_perf is None:
+            return
+        execute_s = time.perf_counter() - job.execute_started_perf
+        job.trace.record("serve.execute", execute_s, job=job.id,
+                         span_id=job.execute_span)
+        self.metrics.observe("execute.s", execute_s)
+
+    def _fold_worker_spans(self, job: Job, events: dict) -> None:
+        """Fold the worker's span-exit events into the job trace as
+        depth-2 records parented on the serve.execute span — the
+        worker-side half of the request's record set."""
+        if job.trace is None:
+            return
+        for event in events.get("events", ()):
+            if event.get("ev") != "span-exit":
+                continue
+            job.trace.add(telemetry.span_record(
+                event.get("name", "?"), event.get("t", 0.0),
+                event.get("dur_s", 0.0), depth=2,
+                trace=job.trace.trace_id, span=telemetry.new_span_id(),
+                parent=job.execute_span, worker=True))
+
     def _complete_job(self, job: Job, stream: EventStream,
                       payload: dict, snapshot: Optional[dict],
                       events: Optional[dict]) -> None:
+        self._record_execute(job)
+        trace_id = job.trace.trace_id if job.trace is not None else None
         if events:
             if events.get("dropped"):
                 stream.emit("worker-drop", job=job.id,
                             dropped=events["dropped"])
+            self._fold_worker_spans(job, events)
             for event in events.get("events", ()):
                 if event.get("ev") == "meta":
                     continue
-                stream.replay(event, job=job.id)
+                stream.replay(event, job=job.id, trace=trace_id)
+        render_start = time.perf_counter()
         if self.store is not None:
             self.store.put(job.digest, job.canonical["kind"], payload)
         # Round-trip the payload through JSON exactly once, like a store
@@ -317,10 +535,20 @@ class VerificationService:
             self._inflight -= 1
             self._cond.notify_all()
         self._finish_stream(job, stream, rules=rules)
+        render_s = time.perf_counter() - render_start
+        self.metrics.inc("jobs.executed")
+        self.metrics.observe("render.s", render_s)
+        self.metrics.observe("request.latency_s",
+                             job.finished_at - job.submitted_at)
+        if job.trace is not None:
+            job.trace.record("serve.render", render_s, job=job.id)
+            job.trace.close(job=job.id, state="done", cached=False)
+        self._audit_completion(job)
         if self.heartbeat is not None:
             self.heartbeat(job.status())
 
     def _fail_job(self, job: Job, stream: EventStream, error) -> None:
+        self._record_execute(job)
         detail = f"{type(error).__name__}: {error}"
         stream.emit("event", name="job-failed", job=job.id, error=detail)
         with self._cond:
@@ -331,6 +559,12 @@ class VerificationService:
             self._inflight -= 1
             self._cond.notify_all()
         self._finish_stream(job, stream, rules=None)
+        self.metrics.inc("jobs.failed")
+        self.metrics.observe("request.latency_s",
+                             job.finished_at - job.submitted_at)
+        if job.trace is not None:
+            job.trace.close(job=job.id, state="failed")
+        self._audit_completion(job)
         if self.heartbeat is not None:
             self.heartbeat(job.status())
 
@@ -411,6 +645,27 @@ class VerificationService:
             payload["store"] = self.store.stats()
         return payload
 
+    def metrics_payload(self) -> dict:
+        """The ``repro-servemetrics/1`` body of ``GET /v1/metrics``.
+
+        The verdict store's LRU counters fold in at snapshot time
+        (``serve.store.lru_hits``/``serve.store.lru_misses``) — the
+        store owns the counts, the metrics surface reports them.
+        """
+        # Re-sample the load gauges so a scrape reflects the service
+        # *now*, not the last dequeue — an idle service must report
+        # zero in-flight, even though the drainer has no reason to run.
+        self._sample_gauges()
+        payload = self.metrics.snapshot()
+        if self.store is not None:
+            store_stats = self.store.stats()
+            payload["counters"]["serve.store.lru_hits"] = \
+                store_stats["lru_hits"]
+            payload["counters"]["serve.store.lru_misses"] = \
+                store_stats["lru_misses"]
+            payload["counters"] = dict(sorted(payload["counters"].items()))
+        return payload
+
     # -- lifecycle --------------------------------------------------------
 
     def shutdown(self, drain: bool = True,
@@ -439,3 +694,5 @@ class VerificationService:
             self._pool = None
         if self.store is not None:
             self.store.close()
+        if self.audit is not None:
+            self.audit.close()

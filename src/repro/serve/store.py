@@ -23,6 +23,18 @@ skips.  Segments written under another semantics version are ignored
 on load and reaped by :meth:`gc`.  Loading folds all segments, so
 concurrent service instances sharing a directory merge harmlessly.
 
+Memory model (ROADMAP item 1): the store no longer pins every parsed
+result in memory.  Load time builds a **digest → (segment, byte
+offset) index** — a few dozen bytes per entry however large the
+verdicts grow — and ``get`` re-reads one line by ``seek``.  In front
+of that sits a **bounded LRU** of parsed results
+(``lru_entries``, default :data:`DEFAULT_LRU_ENTRIES`; 0 disables),
+so the hot, cache-dominated request mix never touches disk.  The
+``lru_hits``/``lru_misses`` counters feed the service metrics as
+``serve.store.lru_hits``/``serve.store.lru_misses``.  Responses are
+byte-identical with the LRU on or off: either path yields the same
+JSON-round-tripped result object (a test enforces this).
+
 All methods are thread-safe: the HTTP front end, the drainer, and the
 pool-result callbacks all touch one handle.
 """
@@ -33,6 +45,7 @@ import json
 import os
 import tempfile
 import threading
+from collections import OrderedDict
 from typing import IO, Optional
 
 from ..psna.semantics import SEMANTICS_VERSION
@@ -43,16 +56,29 @@ SEGMENT_HEADER = "repro-verdict-store/1"
 #: ``close()`` compacts once the directory holds more segments than this.
 COMPACT_SEGMENTS = 16
 
+#: Default capacity of the parsed-result LRU (entries, not bytes —
+#: verdict payloads are litmus rows / adequacy verdicts of a few KB).
+DEFAULT_LRU_ENTRIES = 1024
+
 
 class VerdictStore:
     """One open handle on the on-disk verdict index."""
 
-    def __init__(self, directory: str) -> None:
+    def __init__(self, directory: str,
+                 lru_entries: int = DEFAULT_LRU_ENTRIES) -> None:
         self.directory = directory
-        self.entries: dict[str, dict] = {}
+        #: digest -> (segment path, byte offset of the record line);
+        #: a ``None`` path marks a diskless entry held in ``_resident``
+        #: (unwritable store directory — degraded but functional).
+        self._index: dict[str, tuple[Optional[str], int]] = {}
+        self._resident: dict[str, dict] = {}
+        self.lru_entries = max(0, lru_entries)
+        self._lru: OrderedDict[str, dict] = OrderedDict()
         self.hits = 0
         self.misses = 0
         self.writes = 0
+        self.lru_hits = 0
+        self.lru_misses = 0
         self._lock = threading.Lock()
         self._segment: Optional[IO[str]] = None
         self._segment_path: Optional[str] = None
@@ -73,13 +99,47 @@ class VerdictStore:
 
     def _load(self) -> None:
         for path in self._segments():
-            self._load_segment(path, self.entries)
+            self._index_segment(path, self._index)
+
+    @staticmethod
+    def _index_segment(path: str,
+                       index: dict[str, tuple[Optional[str], int]]) -> bool:
+        """Fold one segment's record *offsets* into ``index``; returns
+        whether it carried the current semantics header.  Malformed
+        lines (truncation, garbage) are skipped — corruption degrades
+        to a miss, never a crash.  Results are not retained: the LRU
+        starts cold and fills on demand."""
+        try:
+            with open(path, "rb") as fh:
+                header_line = fh.readline()
+                header = (header_line.decode("utf-8", errors="replace")
+                          .rstrip("\n").split(" "))
+                if header != [SEGMENT_HEADER, SEMANTICS_VERSION]:
+                    return False
+                offset = len(header_line)
+                for raw in fh:
+                    line_offset, offset = offset, offset + len(raw)
+                    if not raw.endswith(b"\n"):
+                        continue  # partial trailing line (killed writer)
+                    try:
+                        record = json.loads(
+                            raw.decode("utf-8", errors="replace"))
+                    except ValueError:
+                        continue
+                    if not isinstance(record, dict):
+                        continue
+                    digest = record.get("d")
+                    if (isinstance(digest, str)
+                            and isinstance(record.get("r"), dict)):
+                        index[digest] = (path, line_offset)
+        except OSError:
+            return False
+        return True
 
     @staticmethod
     def _load_segment(path: str, into: dict[str, dict]) -> bool:
-        """Fold one segment into ``into``; returns whether it carried the
-        current semantics header.  Malformed lines (truncation, garbage)
-        are skipped — corruption degrades to a miss, never a crash."""
+        """Fold one segment's parsed records into ``into`` (the
+        compaction/GC path, which genuinely needs every result)."""
         try:
             with open(path, "r", encoding="utf-8", errors="replace") as fh:
                 header = fh.readline().rstrip("\n").split(" ")
@@ -103,6 +163,28 @@ class VerdictStore:
             return False
         return True
 
+    def _read_entry(self, path: Optional[str],
+                    offset: int) -> Optional[dict]:
+        """Re-read one record line by seek; None on any corruption."""
+        if path is None:
+            return None
+        try:
+            with open(path, "rb") as fh:
+                fh.seek(offset)
+                raw = fh.readline()
+        except OSError:
+            return None
+        if not raw.endswith(b"\n"):
+            return None
+        try:
+            record = json.loads(raw.decode("utf-8", errors="replace"))
+        except ValueError:
+            return None
+        if not isinstance(record, dict):
+            return None
+        result = record.get("r")
+        return result if isinstance(result, dict) else None
+
     def _open_segment(self) -> Optional[IO[str]]:
         if self._segment is not None:
             return self._segment
@@ -124,17 +206,49 @@ class VerdictStore:
         self._segment_path = final
         return handle
 
+    # -- LRU --------------------------------------------------------------
+
+    def _lru_get(self, digest: str) -> Optional[dict]:
+        if self.lru_entries <= 0:
+            return None
+        cached = self._lru.get(digest)
+        if cached is not None:
+            self._lru.move_to_end(digest)
+        return cached
+
+    def _lru_put(self, digest: str, result: dict) -> None:
+        if self.lru_entries <= 0:
+            return
+        self._lru[digest] = result
+        self._lru.move_to_end(digest)
+        while len(self._lru) > self.lru_entries:
+            self._lru.popitem(last=False)
+
     # -- lookup / update --------------------------------------------------
 
     def get(self, digest: str) -> Optional[dict]:
         """The stored result payload for ``digest``, or ``None``."""
         with self._lock:
-            entry = self.entries.get(digest)
-            if entry is None:
+            location = self._index.get(digest)
+            if location is None:
+                self.misses += 1
+                return None
+            cached = self._lru_get(digest)
+            if cached is not None:
+                self.lru_hits += 1
+                self.hits += 1
+                return cached
+            self.lru_misses += 1
+            result = self._read_entry(*location)
+            if result is None:
+                result = self._resident.get(digest)
+            if result is None:
+                # Segment vanished or rotted under us: an honest miss.
                 self.misses += 1
                 return None
             self.hits += 1
-            return entry["result"]
+            self._lru_put(digest, result)
+            return result
 
     def put(self, digest: str, kind: str, result: dict) -> bool:
         """Record one verdict; appended and flushed immediately.
@@ -144,19 +258,29 @@ class VerdictStore:
         line = json.dumps({"d": digest, "k": kind, "r": result},
                           sort_keys=True, default=repr)
         with self._lock:
-            if digest in self.entries:
+            if digest in self._index:
                 return False
-            self.entries[digest] = {"kind": kind,
-                                    "result": json.loads(line)["r"]}
             self.writes += 1
+            # The round trip pins the JSON-projected result (same bytes
+            # a later disk read would parse), keeping warm/cold and
+            # LRU-on/off responses identical.
+            parsed = json.loads(line)["r"]
             handle = self._open_segment()
+            written = False
             if handle is not None:
                 try:
+                    offset = handle.tell()
                     handle.write(line)
                     handle.write("\n")
                     handle.flush()
+                    self._index[digest] = (self._segment_path, offset)
+                    written = True
                 except OSError:
                     pass
+            if not written:
+                self._index[digest] = (None, -1)
+                self._resident[digest] = parsed
+            self._lru_put(digest, parsed)
             return True
 
     # -- lifecycle / maintenance -----------------------------------------
@@ -235,11 +359,15 @@ class VerdictStore:
                 "schema": VERDICT_SCHEMA,
                 "directory": self.directory,
                 "semantics": SEMANTICS_VERSION,
-                "entries": len(self.entries),
+                "entries": len(self._index),
                 "segments": len(self._segments()),
                 "size_bytes": self.size_bytes(),
                 "hits": self.hits,
                 "misses": self.misses,
                 "writes": self.writes,
                 "hit_rate": self.hits / consulted if consulted else 0.0,
+                "lru_entries": self.lru_entries,
+                "lru_size": len(self._lru),
+                "lru_hits": self.lru_hits,
+                "lru_misses": self.lru_misses,
             }

@@ -8,7 +8,7 @@ from repro.obs.report import bench_payload
 
 SECTIONS = ("Run history", "Rule coverage", "Attribution hotspots",
             "State space", "Invariants", "Cert store", "Service",
-            "Latest fuzz campaign", "Benchmarks")
+            "Service health", "Latest fuzz campaign", "Benchmarks")
 
 
 def _entry(name, min_s):
@@ -89,9 +89,27 @@ def _fixture_inputs(tmp_path):
                   "size_bytes": 14264, "hits": 65, "misses": 65,
                   "writes": 65, "hit_rate": 0.5},
     }
+    from repro.serve.metrics import ServiceMetrics
+
+    metrics = ServiceMetrics()
+    metrics.inc("requests.total", 65)
+    metrics.inc("requests.kind.litmus", 65)
+    metrics.inc("served.store", 32)
+    metrics.inc("jobs.executed", 33)
+    metrics.inc("serve.store.lru_hits", 30)
+    metrics.inc("serve.store.lru_misses", 2)
+    metrics.gauge("inflight", 1)
+    metrics.gauge("utilization", 0.5)
+    for value in (0.001, 0.0078125, 0.015625, 0.125, 0.5):
+        metrics.observe("request.latency_s", value)
+    for depth in (0, 2, 3, 1, 0):
+        metrics.sample("queue.depth", depth)
+        metrics.sample("utilization", depth / 4)
+    servemetrics = metrics.snapshot()
     return {"benches": [bench], "records": records, "coverage": coverage,
             "attrib": attrib, "fuzz_summary": fuzz, "graph": graph,
-            "monitor": monitor, "certstore": certstore, "serve": serve}
+            "monitor": monitor, "certstore": certstore, "serve": serve,
+            "servemetrics": servemetrics}
 
 
 class TestBuildDashboard:
@@ -103,6 +121,7 @@ class TestBuildDashboard:
             fuzz_summary=inputs["fuzz_summary"], graph=inputs["graph"],
             monitor=inputs["monitor"], certstore=inputs["certstore"],
             serve=inputs["serve"],
+            servemetrics=inputs["servemetrics"],
             meta={"git_sha": "abc1234", "python": "3.12.0"})
         for section in SECTIONS:
             assert section in page
@@ -123,6 +142,10 @@ class TestBuildDashboard:
         assert "hit rate over runs" in page  # cert-store sparkline
         assert "jobs submitted" in page  # service tile
         assert "verdict store: 65 entries" in page  # service store line
+        assert "latency p95" in page  # service-health tile
+        assert "request latency histogram" in page  # histogram sparkline
+        assert "queue depth (drainer samples)" in page  # gauge sparkline
+        assert "store LRU hit rate" in page  # LRU tile
 
     def test_standalone_html(self, tmp_path):
         inputs = _fixture_inputs(tmp_path)

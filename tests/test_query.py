@@ -300,3 +300,56 @@ class TestQueryCli:
         assert cli_main(["query", stream, "--kind", "truncation"]) == 0
         line = json.loads(capsys.readouterr().out.splitlines()[0])
         assert line["span"] == "psna.explore"
+
+
+class TestMetricsArtifacts:
+    """``repro query`` over ``repro-servemetrics/1`` snapshots."""
+
+    def _write_metrics(self, tmp_path):
+        from repro.serve.metrics import ServiceMetrics
+
+        metrics = ServiceMetrics()
+        metrics.inc("requests.total", 6)
+        metrics.inc("requests.kind.litmus", 6)
+        metrics.gauge("queue.depth", 2)
+        for value in (0.001, 0.015625, 0.25):
+            metrics.observe("request.latency_s", value)
+        path = tmp_path / "servemetrics.json"
+        path.write_text(json.dumps(metrics.snapshot()))
+        return str(path)
+
+    def test_auto_detection_prints_metric_rows(self, tmp_path, capsys):
+        assert main([self._write_metrics(tmp_path)]) == 0
+        rows = [json.loads(line)
+                for line in capsys.readouterr().out.splitlines()]
+        assert all(row["ev"] == "metric" for row in rows)
+        names = {row["name"] for row in rows}
+        assert "requests.total" in names
+        assert "request.latency_s" in names
+
+    def test_kind_metrics_forces_the_reading(self, tmp_path, capsys):
+        assert main([self._write_metrics(tmp_path),
+                     "--kind", "metrics"]) == 0
+        assert capsys.readouterr().out
+
+    def test_kind_metrics_on_other_artifacts_is_an_error(self, tmp_path,
+                                                         capsys):
+        assert main([_write_events(tmp_path),
+                     "--kind", "metrics"]) == 2
+        assert "metrics" in capsys.readouterr().err
+
+    def test_top_by_buckets_folds_the_histogram(self, tmp_path, capsys):
+        assert main([self._write_metrics(tmp_path), "--top", "3",
+                     "--by", "buckets"]) == 0
+        out = capsys.readouterr().out
+        assert "0.001" in out  # the populated bucket bound appears
+
+    def test_span_filter_selects_one_metric_by_name(self, tmp_path,
+                                                    capsys):
+        assert main([self._write_metrics(tmp_path),
+                     "--span", "request.latency_s"]) == 0
+        rows = [json.loads(line)
+                for line in capsys.readouterr().out.splitlines()]
+        assert [row["name"] for row in rows] == ["request.latency_s"]
+        assert main([self._write_metrics(tmp_path),
+                     "--span", "no.such.metric"]) == 1

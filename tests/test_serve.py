@@ -393,3 +393,247 @@ class TestVerdictStore:
             assert reopened.get(digest) == {"ok": True}
         finally:
             reopened.close()
+
+
+class TestTelemetry:
+    """Cross-process request tracing and the ``/v1/metrics`` layer."""
+
+    def test_one_job_is_one_trace_across_the_spawn_pool(self, live):
+        """The acceptance path: a single HTTP job on a ``--jobs 2``
+        service yields one trace covering normalize, store consult,
+        queue wait, worker execute, and render — with the worker-side
+        spans re-parented on the execute span and attributed to the
+        originating trace id."""
+        base, svc = live(jobs=2)
+        submission = client.submit(base, VALIDATE_SPEC,
+                                   trace_id="accept-1")
+        assert submission["trace"] == "accept-1"
+        client.wait_job(base, submission["job"], timeout=300.0)
+        records = client.fetch_trace(base, submission["job"])
+        head, spans = records[0], records[1:]
+        assert head["ev"] == "meta"
+        assert head["schema"] == "repro-trace/1"
+        assert head["trace"] == "accept-1"
+        names = {record["name"] for record in spans}
+        assert {"serve.normalize", "serve.store", "serve.queue",
+                "serve.execute", "serve.render",
+                "serve.request"} <= names
+        assert all(record["trace"] == "accept-1" for record in spans)
+        root = next(r for r in spans if r["name"] == "serve.request")
+        assert root["depth"] == 0
+        execute = next(r for r in spans if r["name"] == "serve.execute")
+        assert execute["parent"] == root["span"]
+        workers = [r for r in spans if r.get("worker")]
+        assert workers, "no worker-side spans crossed the pool boundary"
+        assert all(w["depth"] == 2 and w["parent"] == execute["span"]
+                   for w in workers)
+        # The job's event stream carries the same attribution: every
+        # trace-stamped event names the originating trace.
+        lines, _cursor, ended = svc.read_events(submission["job"],
+                                                timeout=30.0)
+        assert ended
+        stamped = [json.loads(line) for line in lines
+                   if '"trace"' in line]
+        assert stamped
+        assert all(event["trace"] == "accept-1" for event in stamped)
+
+    def test_unusable_trace_header_gets_a_fresh_id(self, live):
+        base, _svc = live()
+        submission = client.submit(base, VALIDATE_SPEC,
+                                   trace_id="bad header\x00")
+        assert submission["trace"]
+        assert submission["trace"] != "bad header\x00"
+
+    def test_metrics_json_and_prometheus_agree(self, live):
+        from repro.serve.metrics import (
+            exposition_problems,
+            parse_exposition,
+            sample_value,
+        )
+
+        base, _svc = live()
+        submission = client.submit(base, VALIDATE_SPEC)
+        client.wait_job(base, submission["job"], timeout=300.0)
+        payload = client.fetch_metrics(base, as_json=True)
+        assert payload["schema"] == "repro-servemetrics/1"
+        text = client.fetch_metrics(base, as_json=False)
+        assert exposition_problems(text) == []
+        parsed = parse_exposition(text)
+        assert sample_value(parsed, "repro_serve_requests_total") \
+            == payload["counters"]["requests.total"]
+        assert sample_value(parsed, "repro_serve_jobs_executed_total") \
+            == payload["counters"]["jobs.executed"] == 1
+        latency = payload["histograms"]["request.latency_s"]
+        assert sample_value(
+            parsed, "repro_serve_request_latency_seconds_count") \
+            == latency["count"]
+
+    def test_metrics_deterministic_across_worker_counts(self, service,
+                                                        tmp_path):
+        """The reproducibility gate: the same submissions through one
+        in-process worker and through a 2-process spawn pool must
+        produce byte-identical metrics on the deterministic projection
+        (integer counters and histogram totals; wall-clock sums,
+        gauges, and transport counters excluded by design)."""
+
+        def run(jobs, store_dir):
+            svc = service(jobs=jobs, store_dir=store_dir)
+            specs = [VALIDATE_SPEC] \
+                + [{"kind": "litmus", "case": case.name}
+                   for case in ALL_TRANSFORMATION_CASES[:2]]
+            for spec in specs:
+                job, _ = svc.submit(spec)
+                svc.wait(job.id, timeout=300.0)
+            # A repeat submission exercises the served-from-registry
+            # counter identically in both configurations.
+            svc.submit(VALIDATE_SPEC)
+            return svc.metrics_payload()
+
+        def project(payload):
+            counters = {name: value
+                        for name, value in payload["counters"].items()
+                        if not name.startswith("http.")}
+            histogram_counts = {
+                name: summary["count"]
+                for name, summary in payload["histograms"].items()
+                if not name.startswith("http.")}
+            return json.dumps({"counters": counters,
+                               "histograms": histogram_counts},
+                              sort_keys=True)
+
+        serial = run(1, str(tmp_path / "store-1"))
+        pooled = run(2, str(tmp_path / "store-2"))
+        assert project(serial) == project(pooled)
+
+    def test_audit_ledger_records_the_request_lifecycle(self, live,
+                                                        tmp_path):
+        base, svc = live()
+        submission = client.submit(base, VALIDATE_SPEC,
+                                   trace_id="audit-1")
+        client.wait_job(base, submission["job"], timeout=300.0)
+        client.submit(base, VALIDATE_SPEC)  # warm: served without a run
+        svc.shutdown(drain=True, timeout=60.0)
+        audit_path = tmp_path / "verdicts" / "audit.jsonl"
+        entries = [json.loads(line)
+                   for line in audit_path.read_text().splitlines()]
+        events = [entry["event"] for entry in entries]
+        assert events.count("submitted") == 2
+        assert events.count("completed") == 1
+        first = next(e for e in entries if e["event"] == "submitted")
+        assert first["trace"] == "audit-1"
+        assert first["client"] == "127.0.0.1"
+        assert first["job"] == submission["job"]
+        completed = next(e for e in entries
+                         if e["event"] == "completed")
+        assert completed["state"] == "done"
+        assert completed["verdict"]  # digest of the result payload
+        warm = entries[events.index("submitted", 1)] \
+            if events.index("submitted", 1) else entries[-1]
+        assert warm["served_from"] in ("store", "dedup")
+
+    def test_streaming_client_survives_drain_shutdown(self, live):
+        """Satellite: a client mid-way through the event stream when
+        ``shutdown(drain=True)`` lands must still receive the
+        stream-end sentinel, never a hang or a dropped socket."""
+        base, svc = live()
+        case = ALL_TRANSFORMATION_CASES[0]
+        submission = client.submit(base,
+                                   {"kind": "litmus",
+                                    "case": case.name})
+        sink = io.StringIO()
+        errors = []
+
+        def streamer():
+            try:
+                client.stream_events(base, submission["job"], out=sink,
+                                     timeout=300.0)
+            except Exception as error:  # surfaced in the main thread
+                errors.append(error)
+
+        thread = threading.Thread(target=streamer)
+        thread.start()
+        svc.shutdown(drain=True, timeout=300.0)
+        thread.join(timeout=60.0)
+        assert not thread.is_alive()
+        assert errors == []
+        events = [json.loads(line)
+                  for line in sink.getvalue().splitlines()]
+        assert events[-1]["ev"] == "stream-end"
+        assert any((event.get("name") or event["ev"]) == "result"
+                   for event in events)
+
+    def test_repro_top_renders_one_frame(self, live, capsys):
+        base, _svc = live()
+        submission = client.submit(base, VALIDATE_SPEC)
+        client.wait_job(base, submission["job"], timeout=300.0)
+        assert cli_main(["top", "--base", base, "--once"]) == 0
+        frame = capsys.readouterr().out
+        assert "p50" in frame and "p95" in frame and "p99" in frame
+        assert "queue" in frame
+        # --once never clears the screen (pipe- and CI-friendly).
+        assert "\x1b[" not in frame
+
+    def test_top_against_a_dead_service_exits_two(self, capsys):
+        assert cli_main(["top", "--base", "http://127.0.0.1:1",
+                         "--once"]) == 2
+        assert "" == capsys.readouterr().out
+
+
+class TestStoreLRU:
+    def _seed(self, directory, n=8):
+        writer = VerdictStore(directory)
+        digests = []
+        for index in range(n):
+            digest = request_digest({"kind": "validate", "n": index})
+            digests.append(digest)
+            writer.put(digest, "validate", {"n": index, "valid": True})
+        writer.close()
+        return digests
+
+    def test_responses_identical_with_lru_on_and_off(self, tmp_path):
+        directory = str(tmp_path / "store")
+        digests = self._seed(directory)
+        cached = VerdictStore(directory)
+        bare = VerdictStore(directory, lru_entries=0)
+        try:
+            for _pass in range(2):  # cold from disk, then LRU-warm
+                for digest in digests:
+                    assert json.dumps(cached.get(digest),
+                                      sort_keys=True) \
+                        == json.dumps(bare.get(digest), sort_keys=True)
+            stats = cached.stats()
+            assert stats["lru_hits"] == len(digests)
+            assert stats["lru_misses"] == len(digests)
+            assert bare.stats()["lru_hits"] == 0
+            assert bare.stats()["lru_size"] == 0
+        finally:
+            cached.close()
+            bare.close()
+
+    def test_lru_capacity_is_bounded(self, tmp_path):
+        directory = str(tmp_path / "store")
+        digests = self._seed(directory)
+        store = VerdictStore(directory, lru_entries=2)
+        try:
+            for digest in digests:
+                assert store.get(digest) is not None
+            stats = store.stats()
+            assert stats["lru_size"] == 2
+            assert stats["lru_entries"] == 2
+            # Re-reading the most recent entry hits; the evicted
+            # oldest one goes back to disk.
+            store.get(digests[-1])
+            assert store.stats()["lru_hits"] == 1
+            assert store.get(digests[0]) is not None
+        finally:
+            store.close()
+
+    def test_get_misses_do_not_touch_lru_counters(self, tmp_path):
+        store = VerdictStore(str(tmp_path / "store"))
+        try:
+            assert store.get("d" * 32) is None
+            stats = store.stats()
+            assert stats["misses"] == 1
+            assert stats["lru_hits"] == stats["lru_misses"] == 0
+        finally:
+            store.close()
